@@ -1,0 +1,204 @@
+// Command crnsim simulates a chemical reaction network described in the
+// .crn text format.
+//
+// Usage:
+//
+//	crnsim [flags] network.crn
+//
+// Modes:
+//
+//	-trace            print one stochastic trajectory as CSV (default)
+//	-trials N         Monte Carlo: run N trials and report final-state stats
+//	-mean             with -trials: ensemble mean±stderr time-course as CSV
+//	                  (grid of 20 points up to -maxtime, which is required)
+//	-species a,b,c    restrict reporting to these species
+//	-engine E         direct | optimized | first | next (default direct)
+//	-maxtime T        stop a trajectory at simulated time T
+//	-maxsteps N       stop a trajectory after N events (default 1e6)
+//	-seed S           RNG seed (default 1)
+//	-validate         validate the network and exit
+//	-dot              print a Graphviz rendering and exit
+//
+// Examples:
+//
+//	crnsim -validate model.crn
+//	crnsim -trace -maxtime 100 model.crn > trajectory.csv
+//	crnsim -trials 10000 -species cro2,ci2 model.crn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/mc"
+	"stochsynth/internal/rng"
+	"stochsynth/internal/sim"
+)
+
+func main() {
+	var (
+		trials   = flag.Int("trials", 0, "Monte Carlo trial count (0 = single trace)")
+		species  = flag.String("species", "", "comma-separated species to report (default all)")
+		engine   = flag.String("engine", "direct", "simulation engine: direct|optimized|first|next")
+		maxTime  = flag.Float64("maxtime", 0, "simulated-time bound (0 = none)")
+		maxSteps = flag.Int64("maxsteps", 1_000_000, "event-count bound")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		mean     = flag.Bool("mean", false, "with -trials: ensemble mean time-course (requires -maxtime)")
+		validate = flag.Bool("validate", false, "validate the network and exit")
+		dot      = flag.Bool("dot", false, "print Graphviz and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: crnsim [flags] network.crn")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	net, err := chem.ParseNetwork(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *validate:
+		issues := chem.Validate(net)
+		for _, is := range issues {
+			fmt.Println(is)
+		}
+		if len(chem.Errors(issues)) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("ok: %d species, %d reactions\n", net.NumSpecies(), net.NumReactions())
+		return
+	case *dot:
+		fmt.Print(chem.Graphviz(net))
+		return
+	}
+
+	report, err := selectSpecies(net, *species)
+	if err != nil {
+		fatal(err)
+	}
+	mk, err := engineFactory(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	opts := sim.RunOptions{MaxTime: *maxTime, MaxSteps: *maxSteps}
+
+	if *trials <= 0 {
+		eng := mk(net, rng.New(*seed))
+		var tr sim.Trajectory
+		opts.OnEvent = tr.RecordAll(eng)
+		res := sim.Run(eng, opts)
+		fmt.Print(projectCSV(&tr, net, report))
+		fmt.Fprintf(os.Stderr, "stopped: %s after %d events at t=%g\n", res.Reason, res.Steps, res.Time)
+		return
+	}
+
+	if *mean {
+		if *maxTime <= 0 {
+			fatal(fmt.Errorf("-mean requires a positive -maxtime"))
+		}
+		const points = 20
+		grid := make([]float64, points)
+		for i := range grid {
+			grid[i] = *maxTime * float64(i+1) / points
+		}
+		ens := sim.EnsembleStats(net, grid, *trials, *seed)
+		fmt.Print(ensembleCSV(ens, net, report))
+		return
+	}
+
+	for _, sp := range report {
+		sp := sp
+		s := mc.RunNumeric(mc.Config{Trials: *trials, Seed: *seed}, func(gen *rng.PCG) float64 {
+			eng := mk(net, gen)
+			sim.Run(eng, opts)
+			return float64(eng.State()[sp])
+		})
+		fmt.Printf("%-12s mean=%.4f stderr=%.4f min=%g max=%g (n=%d)\n",
+			net.Name(sp), s.Mean, s.StdErr(), s.Min, s.Max, s.N)
+	}
+}
+
+func engineFactory(name string) (func(*chem.Network, *rng.PCG) sim.Engine, error) {
+	switch name {
+	case "direct":
+		return func(n *chem.Network, g *rng.PCG) sim.Engine { return sim.NewDirect(n, g) }, nil
+	case "optimized":
+		return func(n *chem.Network, g *rng.PCG) sim.Engine { return sim.NewOptimizedDirect(n, g) }, nil
+	case "first":
+		return func(n *chem.Network, g *rng.PCG) sim.Engine { return sim.NewFirstReaction(n, g) }, nil
+	case "next":
+		return func(n *chem.Network, g *rng.PCG) sim.Engine { return sim.NewNextReaction(n, g) }, nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want direct|optimized|first|next)", name)
+	}
+}
+
+func selectSpecies(net *chem.Network, list string) ([]chem.Species, error) {
+	if list == "" {
+		all := make([]chem.Species, net.NumSpecies())
+		for i := range all {
+			all[i] = chem.Species(i)
+		}
+		return all, nil
+	}
+	var out []chem.Species
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		sp, ok := net.SpeciesByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown species %q", name)
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+func projectCSV(tr *sim.Trajectory, net *chem.Network, report []chem.Species) string {
+	var b strings.Builder
+	b.WriteString("t")
+	for _, sp := range report {
+		b.WriteByte(',')
+		b.WriteString(net.Name(sp))
+	}
+	b.WriteByte('\n')
+	for i, t := range tr.Times {
+		fmt.Fprintf(&b, "%g", t)
+		for _, sp := range report {
+			fmt.Fprintf(&b, ",%d", tr.States[i][sp])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func ensembleCSV(ens *sim.Ensemble, net *chem.Network, report []chem.Species) string {
+	var b strings.Builder
+	b.WriteString("t")
+	for _, sp := range report {
+		fmt.Fprintf(&b, ",%s,%s_stderr", net.Name(sp), net.Name(sp))
+	}
+	b.WriteByte('\n')
+	for k, t := range ens.Times {
+		fmt.Fprintf(&b, "%g", t)
+		for _, sp := range report {
+			fmt.Fprintf(&b, ",%g,%g", ens.Mean[k][sp], ens.StdErr(k, sp))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crnsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/rng"
+	"stochsynth/internal/sim"
+)
+
+func TestEngineFactory(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 3
+a -> b @ 1
+`)
+	for _, name := range []string{"direct", "optimized", "first", "next"} {
+		mk, err := engineFactory(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		eng := mk(net, rng.New(1))
+		if res := sim.Run(eng, sim.RunOptions{}); res.Steps != 3 {
+			t.Fatalf("%s ran %d steps", name, res.Steps)
+		}
+	}
+	if _, err := engineFactory("warp"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestSelectSpecies(t *testing.T) {
+	net := chem.MustParseNetwork(`a -> b @ 1`)
+	all, err := selectSpecies(net, "")
+	if err != nil || len(all) != 2 {
+		t.Fatalf("all species: %v %v", all, err)
+	}
+	some, err := selectSpecies(net, " b ")
+	if err != nil || len(some) != 1 || net.Name(some[0]) != "b" {
+		t.Fatalf("single species: %v %v", some, err)
+	}
+	if _, err := selectSpecies(net, "ghost"); err == nil {
+		t.Fatal("unknown species accepted")
+	}
+}
+
+func TestProjectCSV(t *testing.T) {
+	net := chem.MustParseNetwork(`a -> b @ 1`)
+	var tr sim.Trajectory
+	tr.Append(0, chem.State{1, 0})
+	tr.Append(0.5, chem.State{0, 1})
+	b := net.MustSpecies("b")
+	out := projectCSV(&tr, net, []chem.Species{b})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "t,b" || lines[2] != "0.5,1" {
+		t.Fatalf("csv:\n%s", out)
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+// Smoke tests: every experiment function must run to completion on tiny
+// trial counts (output goes to stdout; correctness of the underlying
+// numbers is covered by the library tests).
+
+func TestFigure3Smoke(t *testing.T)  { figure3(60, 1) }
+func TestFigure4Smoke(t *testing.T)  { figure4(0, 0) }
+func TestExample1Smoke(t *testing.T) { example1(60, 1) }
+func TestExample2Smoke(t *testing.T) { example2(60, 1) }
+func TestModulesSmoke(t *testing.T)  { modules(20, 1) }
+
+func TestFigure5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 smoke is ~seconds")
+	}
+	figure5(40, 1)
+}
+
+func TestPipelineSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline smoke is ~seconds")
+	}
+	pipeline(60, 1)
+}

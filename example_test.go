@@ -1,0 +1,105 @@
+package stochsynth_test
+
+import (
+	"fmt"
+
+	"stochsynth"
+)
+
+// ExampleStochasticSpec shows the paper's Example 1: a three-outcome
+// distribution programmed by initial quantities.
+func ExampleStochasticSpec() {
+	mod, err := stochsynth.StochasticSpec{
+		Outcomes: []stochsynth.Outcome{{Weight: 30}, {Weight: 40}, {Weight: 30}},
+		Gamma:    1e3,
+	}.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("reactions: %d\n", mod.Net.NumReactions())
+	fmt.Printf("programmed: %.2f\n", mod.Probabilities())
+	// Output:
+	// reactions: 18
+	// programmed: [0.30 0.40 0.30]
+}
+
+// ExampleParseNetworkString parses the .crn text format.
+func ExampleParseNetworkString() {
+	net, err := stochsynth.ParseNetworkString(`
+e1 = 30
+initializing: e1 -> d1 @ 1
+purifying: d1 + d2 -> 0 @ 1e6
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(stochsynth.Format(net))
+	// Output:
+	// (initializing) e1 --1--> d1
+	// (purifying)    d1 + d2 --1e+06--> ∅
+	//
+	// initial quantities:
+	//   e1 = 30
+}
+
+// ExampleLinearSpec builds the paper's linear module αx → βy.
+func ExampleLinearSpec() {
+	net, err := stochsynth.LinearSpec{Alpha: 2, Beta: 3, X: "x", Y: "y"}.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(stochsynth.Format(net))
+	// Output:
+	// (linear) 2x --1--> 3y
+}
+
+// ExampleAffineSpec compiles the paper's Example 2 preprocessing.
+func ExampleAffineSpec() {
+	am, err := stochsynth.AffineSpec{
+		Stochastic: stochsynth.StochasticSpec{
+			Outcomes: []stochsynth.Outcome{{Weight: 30}, {Weight: 40}, {Weight: 30}},
+			Gamma:    1e3,
+		},
+		Inputs: []string{"x1", "x2"},
+		Coeff:  [][]float64{{0.02, -0.03}, {0, 0.03}, {-0.02, 0}},
+	}.Build()
+	if err != nil {
+		panic(err)
+	}
+	p, err := am.ProbabilitiesAt([]int64{5, 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("p at X=(5,4): %.2f\n", p)
+	// Output:
+	// p at X=(5,4): [0.28 0.52 0.20]
+}
+
+// ExampleSynthesisParams programs a custom lambda-style response.
+func ExampleSynthesisParams() {
+	m, err := stochsynth.LambdaSynthesize(stochsynth.SynthesisParams{A: 20, B: 4, CInv: 8})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s model: %d reactions, %d species\n",
+		m.Name, m.Net.NumReactions(), m.Net.NumSpecies())
+	// Output:
+	// synthetic model: 19 reactions, 17 species
+}
+
+// ExampleEvalPolynomial evaluates the value a PolynomialSpec converges to.
+func ExampleEvalPolynomial() {
+	fmt.Println(stochsynth.EvalPolynomial([]int64{1, 2, 1}, 3)) // 1 + 2·3 + 3²
+	fmt.Println(stochsynth.EvalPolynomial([]int64{2, -1}, 5))   // clamped at 0
+	// Output:
+	// 16
+	// 0
+}
+
+// ExampleLogLin evaluates the paper's Equation 14.
+func ExampleLogLin() {
+	ref := stochsynth.LambdaReference()
+	fmt.Printf("P(lysogeny) at MOI=8: %.2f%%\n", ref.Eval(8))
+	// Output:
+	// P(lysogeny) at MOI=8: 34.33%
+}

@@ -1,0 +1,56 @@
+// Lambda switch: the paper's §3 application study in miniature.
+//
+// The lambda bacteriophage chooses between lysis and lysogeny with a
+// probability that depends on the multiplicity of infection (MOI). The
+// paper reduces the natural model to the curve fit
+//
+//	P(lysogeny)% = 15 + 6·log2(MOI) + MOI/6        (Equation 14)
+//
+// and synthesises a 19-reaction network (Figure 4) implementing it. This
+// example builds both our mechanistic natural-model surrogate and the
+// synthetic model, sweeps MOI from 1 to 10, and prints the three series of
+// the paper's Figure 5.
+//
+// Run with: go run ./examples/lambdaswitch [-trials N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"stochsynth"
+)
+
+func main() {
+	trials := flag.Int("trials", 3000, "Monte Carlo trials per MOI point")
+	flag.Parse()
+
+	synthetic := stochsynth.LambdaSynthetic()
+	natural, err := stochsynth.LambdaNatural(stochsynth.NaturalParams{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := stochsynth.LambdaReference()
+
+	fmt.Println("The synthesised lambda model (paper Figure 4):")
+	fmt.Println(stochsynth.Format(synthetic.Net))
+
+	mois := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	natPts := stochsynth.LambdaSweepMOI(natural, mois, *trials, 7)
+	synPts := stochsynth.LambdaSweepMOI(synthetic, mois, *trials, 8)
+
+	fmt.Println("MOI  natural%  synthetic%  Eq.14%")
+	for i, moi := range mois {
+		fmt.Printf("%3d   %6.2f     %6.2f    %6.2f\n",
+			moi, natPts[i].PctLysogeny, synPts[i].PctLysogeny, ref.Eval(float64(moi)))
+	}
+
+	if f, err := stochsynth.LambdaFitResponse(natPts); err == nil {
+		fmt.Printf("\nfit to natural surrogate:  %s\n", f)
+	}
+	if f, err := stochsynth.LambdaFitResponse(synPts); err == nil {
+		fmt.Printf("fit to synthetic system:   %s\n", f)
+	}
+	fmt.Println("paper's Equation 14:       15 + 6·log2(x) + 0.1667·x")
+}

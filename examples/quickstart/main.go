@@ -1,0 +1,63 @@
+// Quickstart: program a probability distribution into chemistry.
+//
+// This is the paper's Example 1: three molecular outcomes d1/d2/d3 produced
+// with probabilities 0.3/0.4/0.3, programmed purely by the initial
+// quantities of the input types (E = 30/40/30). We synthesise the reaction
+// network, print it in the paper's notation, simulate 20 000 independent
+// cells, and compare the measured outcome frequencies with the programmed
+// ones.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stochsynth"
+)
+
+func main() {
+	// 1. Specify the behaviour: three outcomes weighted 30/40/30, with the
+	// rate-separation factor γ=1000 controlling how reliably the first
+	// initializing firing decides the outcome (Figure 3 of the paper).
+	mod, err := stochsynth.StochasticSpec{
+		Outcomes: []stochsynth.Outcome{
+			{Weight: 30},
+			{Weight: 40},
+			{Weight: 30},
+		},
+		Gamma: 1e3,
+	}.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Inspect the synthesised chemistry (five reaction categories).
+	fmt.Println("Synthesised network:")
+	fmt.Println(stochsynth.Format(mod.Net))
+
+	// 3. Characterise it by Monte Carlo: each trial simulates one "cell"
+	// until some outcome's working reactions have fired 10 times.
+	const trials = 20000
+	res := stochsynth.MonteCarlo(
+		stochsynth.MCConfig{Trials: trials, Outcomes: 3, Seed: 1},
+		func(gen *stochsynth.RNG) int {
+			eng := stochsynth.NewDirect(mod.Net, gen)
+			r := stochsynth.Simulate(eng, stochsynth.RunOptions{
+				StopWhen: mod.ThresholdPredicate(10),
+				MaxSteps: 1_000_000,
+			})
+			_ = r
+			return mod.Winner(eng.State(), 10)
+		})
+
+	// 4. Compare measured vs programmed.
+	fmt.Println("outcome  programmed  measured")
+	for i, want := range mod.Probabilities() {
+		fmt.Printf("  d%d     %.3f       %.4f\n", i+1, want, res.Fraction(i))
+	}
+	if res.None > 0 {
+		fmt.Printf("unresolved trials: %d/%d\n", res.None, trials)
+	}
+}

@@ -1,0 +1,69 @@
+package chem
+
+// Builder provides a fluent API for constructing networks by species name.
+// It is the construction path used by the synthesis generators in package
+// synth, where species names are fabricated per module instance.
+//
+//	b := chem.NewBuilder()
+//	b.Init("e1", 30)
+//	b.Rxn("initializing").In("e1", 1).Out("d1", 1).Rate(1)
+//	net := b.Network()
+type Builder struct {
+	net *Network
+}
+
+// NewBuilder returns a Builder over a fresh empty network.
+func NewBuilder() *Builder {
+	return &Builder{net: NewNetwork()}
+}
+
+// WrapBuilder returns a Builder that appends to an existing network.
+func WrapBuilder(net *Network) *Builder {
+	return &Builder{net: net}
+}
+
+// Network returns the network under construction.
+func (b *Builder) Network() *Network { return b.net }
+
+// Species registers (or looks up) a species by name.
+func (b *Builder) Species(name string) Species { return b.net.AddSpecies(name) }
+
+// Init registers name if needed and sets its initial count.
+func (b *Builder) Init(name string, count int64) *Builder {
+	b.net.SetInitialByName(name, count)
+	return b
+}
+
+// Rxn starts a new reaction with the given category label (may be empty).
+// Terms are added with In/Out; the reaction is committed by Rate.
+func (b *Builder) Rxn(label string) *RxnBuilder {
+	return &RxnBuilder{b: b, label: label}
+}
+
+// RxnBuilder accumulates one reaction's terms. It is committed (appended to
+// the network) by Rate, which returns the parent Builder for chaining.
+type RxnBuilder struct {
+	b         *Builder
+	label     string
+	reactants []Term
+	products  []Term
+}
+
+// In adds coeff molecules of the named species to the reactant side.
+func (r *RxnBuilder) In(name string, coeff int64) *RxnBuilder {
+	r.reactants = append(r.reactants, Term{Species: r.b.Species(name), Coeff: coeff})
+	return r
+}
+
+// Out adds coeff molecules of the named species to the product side.
+func (r *RxnBuilder) Out(name string, coeff int64) *RxnBuilder {
+	r.products = append(r.products, Term{Species: r.b.Species(name), Coeff: coeff})
+	return r
+}
+
+// Rate sets the rate constant, commits the reaction to the network, and
+// returns the parent builder.
+func (r *RxnBuilder) Rate(k float64) *Builder {
+	r.b.net.AddReaction(r.label, r.reactants, r.products, k)
+	return r.b
+}

@@ -1,0 +1,188 @@
+package chem
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAddSpeciesIdempotent(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddSpecies("a")
+	b := n.AddSpecies("b")
+	a2 := n.AddSpecies("a")
+	if a != a2 {
+		t.Fatalf("re-registering species changed index: %d vs %d", a, a2)
+	}
+	if a == b {
+		t.Fatal("distinct species share an index")
+	}
+	if n.NumSpecies() != 2 {
+		t.Fatalf("NumSpecies = %d, want 2", n.NumSpecies())
+	}
+	if n.Name(a) != "a" || n.Name(b) != "b" {
+		t.Fatal("names not preserved")
+	}
+}
+
+func TestAddSpeciesRejectsBadNames(t *testing.T) {
+	bad := []string{"", "a b", "a+b", "x@y", "p>q", "m,n", "l:k", "h#", "2x", "a=b"}
+	for _, name := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddSpecies(%q) did not panic", name)
+				}
+			}()
+			NewNetwork().AddSpecies(name)
+		}()
+	}
+}
+
+func TestAddSpeciesAllowsPrimes(t *testing.T) {
+	n := NewNetwork()
+	s := n.AddSpecies("x1'")
+	if n.Name(s) != "x1'" {
+		t.Fatal("primed name mangled")
+	}
+}
+
+func TestMustSpeciesPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSpecies on unknown name did not panic")
+		}
+	}()
+	NewNetwork().MustSpecies("ghost")
+}
+
+func TestAddReactionNormalizes(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddSpecies("a")
+	b := n.AddSpecies("b")
+	// Duplicated and unsorted terms should merge and sort.
+	i := n.AddReaction("", []Term{{b, 1}, {a, 1}, {b, 1}}, []Term{{a, 0}, {b, 3}}, 2.5)
+	r := n.Reaction(i)
+	if len(r.Reactants) != 2 || r.Reactants[0].Species != a || r.Reactants[1].Species != b {
+		t.Fatalf("reactants not normalised: %+v", r.Reactants)
+	}
+	if r.Reactants[1].Coeff != 2 {
+		t.Fatalf("duplicate terms not merged: %+v", r.Reactants)
+	}
+	if len(r.Products) != 1 || r.Products[0] != (Term{b, 3}) {
+		t.Fatalf("zero-coeff product not dropped: %+v", r.Products)
+	}
+}
+
+func TestAddReactionRejectsBadRate(t *testing.T) {
+	n := NewNetwork()
+	n.AddSpecies("a")
+	for _, rate := range []float64{-1, nan(), inf()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddReaction with rate %v did not panic", rate)
+				}
+			}()
+			n.AddReaction("", []Term{{0, 1}}, nil, rate)
+		}()
+	}
+}
+
+func TestReactionOrder(t *testing.T) {
+	n := MustParseNetwork(`
+a + 2 b -> c @ 1
+0 -> a @ 1
+`)
+	if got := n.Reaction(0).Order(); got != 3 {
+		t.Fatalf("order = %d, want 3", got)
+	}
+	if got := n.Reaction(1).Order(); got != 0 {
+		t.Fatalf("zeroth-order reaction order = %d, want 0", got)
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddSpecies("a")
+	b := n.AddSpecies("b")
+	n.SetInitial(a, 15)
+	n.SetInitialByName("b", 25)
+	st := n.InitialState()
+	if st.Count(a) != 15 || st.Count(b) != 25 {
+		t.Fatalf("initial state %v", st)
+	}
+	// Mutating the returned state must not affect the network defaults.
+	st.Set(a, 0)
+	if n.Initial(a) != 15 {
+		t.Fatal("InitialState aliases network internals")
+	}
+}
+
+func TestSetInitialNegativePanics(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddSpecies("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative initial count did not panic")
+		}
+	}()
+	n.SetInitial(a, -1)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	n := MustParseNetwork(`
+e1 = 30
+initializing: e1 -> d1 @ 1
+`)
+	c := n.Clone()
+	c.SetInitialByName("e1", 99)
+	c.AddReaction("extra", nil, []Term{{0, 1}}, 5)
+	if n.Initial(n.MustSpecies("e1")) != 30 {
+		t.Fatal("clone shares initial counts")
+	}
+	if n.NumReactions() != 1 {
+		t.Fatal("clone shares reaction slice")
+	}
+}
+
+func TestMergeUnifiesSpecies(t *testing.T) {
+	a := MustParseNetwork(`
+x = 5
+x -> y @ 1
+`)
+	b := MustParseNetwork(`
+y = 7
+y -> z @ 2
+`)
+	a.Merge(b)
+	if a.NumSpecies() != 3 {
+		t.Fatalf("merged species count = %d, want 3", a.NumSpecies())
+	}
+	if a.NumReactions() != 2 {
+		t.Fatalf("merged reaction count = %d, want 2", a.NumReactions())
+	}
+	if a.Initial(a.MustSpecies("y")) != 7 {
+		t.Fatal("merge did not carry non-zero initial count")
+	}
+	if a.Initial(a.MustSpecies("x")) != 5 {
+		t.Fatal("merge clobbered existing initial count")
+	}
+	// The merged reaction must reference the unified y.
+	r := a.Reaction(1)
+	if a.Name(r.Reactants[0].Species) != "y" {
+		t.Fatal("merge did not remap species indices")
+	}
+}
+
+func TestSpeciesNamesCopy(t *testing.T) {
+	n := NewNetwork()
+	n.AddSpecies("a")
+	names := n.SpeciesNames()
+	names[0] = "mutated"
+	if n.Name(0) != "a" {
+		t.Fatal("SpeciesNames exposes internal slice")
+	}
+}
+
+func nan() float64 { return math.NaN() }
+func inf() float64 { return math.Inf(1) }

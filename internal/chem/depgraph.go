@@ -1,0 +1,140 @@
+package chem
+
+// DependencyGraph computes, for each reaction, the set of reactions whose
+// propensity may change when it fires. Reaction j depends on reaction i when
+// some species whose count i changes appears among j's reactants. Every
+// reaction is included in its own dependency set (its reactant counts change
+// when it fires, except for pure catalysts — we keep it anyway; recomputing
+// an unchanged propensity is cheap and the conservative set is always
+// correct).
+//
+// The result is indexed by firing reaction: deps[i] lists the reactions to
+// refresh after reaction i fires, in increasing order.
+func DependencyGraph(net *Network) [][]int {
+	numSpecies := net.NumSpecies()
+	// consumers[s] = reactions with s among their reactants.
+	consumers := make([][]int, numSpecies)
+	for j := range net.Reactions() {
+		for _, t := range net.Reaction(j).Reactants {
+			consumers[t.Species] = append(consumers[t.Species], j)
+		}
+	}
+	deps := make([][]int, net.NumReactions())
+	mark := make([]int, net.NumReactions())
+	for i := range mark {
+		mark[i] = -1
+	}
+	for i := range net.Reactions() {
+		set := []int{}
+		add := func(j int) {
+			if mark[j] != i {
+				mark[j] = i
+				set = append(set, j)
+			}
+		}
+		add(i)
+		for _, s := range changedSpecies(net.Reaction(i)) {
+			for _, j := range consumers[s] {
+				add(j)
+			}
+		}
+		// Keep deterministic increasing order for reproducible simulation.
+		insertionSort(set)
+		deps[i] = set
+	}
+	return deps
+}
+
+// changedSpecies returns the species whose net count changes when r fires.
+func changedSpecies(r *Reaction) []Species {
+	delta := map[Species]int64{}
+	for _, t := range r.Reactants {
+		delta[t.Species] -= t.Coeff
+	}
+	for _, t := range r.Products {
+		delta[t.Species] += t.Coeff
+	}
+	var out []Species
+	for s, d := range delta {
+		if d != 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Delta returns the net stoichiometric change vector of reaction r over
+// numSpecies species: delta[s] is the signed change in the count of s per
+// firing.
+func Delta(r *Reaction, numSpecies int) []int64 {
+	d := make([]int64, numSpecies)
+	for _, t := range r.Reactants {
+		d[t.Species] -= t.Coeff
+	}
+	for _, t := range r.Products {
+		d[t.Species] += t.Coeff
+	}
+	return d
+}
+
+// StoichiometryMatrix returns the numSpecies × numReactions net
+// stoichiometry matrix N with N[s][j] the change in species s per firing of
+// reaction j.
+func StoichiometryMatrix(net *Network) [][]int64 {
+	m := make([][]int64, net.NumSpecies())
+	for s := range m {
+		m[s] = make([]int64, net.NumReactions())
+	}
+	for j := range net.Reactions() {
+		r := net.Reaction(j)
+		for _, t := range r.Reactants {
+			m[t.Species][j] -= t.Coeff
+		}
+		for _, t := range r.Products {
+			m[t.Species][j] += t.Coeff
+		}
+	}
+	return m
+}
+
+// CheckConserved reports whether the weighted sum Σ w_s·x_s is invariant
+// under every reaction of the network (i.e. w is a conservation law).
+func CheckConserved(net *Network, weights []float64) bool {
+	if len(weights) != net.NumSpecies() {
+		return false
+	}
+	for j := range net.Reactions() {
+		r := net.Reaction(j)
+		var sum float64
+		for _, t := range r.Reactants {
+			sum -= float64(t.Coeff) * weights[t.Species]
+		}
+		for _, t := range r.Products {
+			sum += float64(t.Coeff) * weights[t.Species]
+		}
+		if sum != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxReactionOrder returns the largest reaction order in the network (0 for
+// an empty network). Tau-leaping and the CME state-space bound use it.
+func MaxReactionOrder(net *Network) int64 {
+	var max int64
+	for i := range net.Reactions() {
+		if o := net.Reaction(i).Order(); o > max {
+			max = o
+		}
+	}
+	return max
+}

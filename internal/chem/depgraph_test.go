@@ -1,0 +1,125 @@
+package chem
+
+import (
+	"testing"
+)
+
+func TestDependencyGraphBasic(t *testing.T) {
+	// r0: a -> b   changes a, b
+	// r1: b -> c   changes b, c
+	// r2: c -> a   changes c, a
+	net := MustParseNetwork(`
+a -> b @ 1
+b -> c @ 1
+c -> a @ 1
+`)
+	deps := DependencyGraph(net)
+	want := [][]int{
+		{0, 1}, // firing r0 changes a (r0's reactant) and b (r1's reactant)
+		{1, 2},
+		{0, 2},
+	}
+	for i := range want {
+		if !equalInts(deps[i], want[i]) {
+			t.Errorf("deps[%d] = %v, want %v", i, deps[i], want[i])
+		}
+	}
+}
+
+func TestDependencyGraphCatalyst(t *testing.T) {
+	// A pure catalyst reaction still includes itself (conservative set).
+	net := MustParseNetwork(`
+d1 + f1 -> d1 + cro2 @ 1
+cro2 -> 0 @ 1
+`)
+	deps := DependencyGraph(net)
+	if !containsInt(deps[0], 0) {
+		t.Errorf("deps[0] = %v should contain itself", deps[0])
+	}
+	if !containsInt(deps[0], 1) {
+		t.Errorf("deps[0] = %v should contain consumer of cro2", deps[0])
+	}
+	// Firing cro2 decay changes only cro2, which reaction 0 does not consume.
+	if containsInt(deps[1], 0) {
+		t.Errorf("deps[1] = %v should not contain reaction 0", deps[1])
+	}
+}
+
+func TestDeltaVector(t *testing.T) {
+	net := MustParseNetwork(`a + b -> 2 c + b @ 1`)
+	d := Delta(net.Reaction(0), net.NumSpecies())
+	a, b, c := net.MustSpecies("a"), net.MustSpecies("b"), net.MustSpecies("c")
+	if d[a] != -1 || d[b] != 0 || d[c] != 2 {
+		t.Fatalf("delta = %v", d)
+	}
+}
+
+func TestStoichiometryMatrix(t *testing.T) {
+	net := MustParseNetwork(`
+a -> b @ 1
+2 b -> a @ 1
+`)
+	m := StoichiometryMatrix(net)
+	a, b := net.MustSpecies("a"), net.MustSpecies("b")
+	if m[a][0] != -1 || m[b][0] != 1 {
+		t.Fatalf("column 0 wrong: %v", m)
+	}
+	if m[a][1] != 1 || m[b][1] != -2 {
+		t.Fatalf("column 1 wrong: %v", m)
+	}
+}
+
+func TestCheckConserved(t *testing.T) {
+	// a <-> b conserves a+b; a -> 2b does not.
+	net := MustParseNetwork(`
+a -> b @ 1
+b -> a @ 1
+`)
+	if !CheckConserved(net, []float64{1, 1}) {
+		t.Fatal("a+b should be conserved")
+	}
+	net2 := MustParseNetwork(`a -> 2 b @ 1`)
+	if CheckConserved(net2, []float64{1, 1}) {
+		t.Fatal("a+b should not be conserved under a -> 2b")
+	}
+	if !CheckConserved(net2, []float64{2, 1}) {
+		t.Fatal("2a+b should be conserved under a -> 2b")
+	}
+	if CheckConserved(net2, []float64{1}) {
+		t.Fatal("wrong-length weights should fail")
+	}
+}
+
+func TestMaxReactionOrder(t *testing.T) {
+	net := MustParseNetwork(`
+0 -> a @ 1
+a + 2 b -> c @ 1
+`)
+	if got := MaxReactionOrder(net); got != 3 {
+		t.Fatalf("max order = %d, want 3", got)
+	}
+	if got := MaxReactionOrder(NewNetwork()); got != 0 {
+		t.Fatalf("empty network max order = %d, want 0", got)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsInt(a []int, v int) bool {
+	for _, x := range a {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,182 @@
+package chem
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FormatReaction renders one reaction in paper notation, e.g.
+//
+//	d1 + d2 --1e+09--> ∅
+func FormatReaction(net *Network, r *Reaction) string {
+	var b strings.Builder
+	writeSide(&b, net, r.Reactants)
+	fmt.Fprintf(&b, " --%s--> ", formatRate(r.Rate))
+	writeSide(&b, net, r.Products)
+	return b.String()
+}
+
+// Format renders the whole network in paper notation, one reaction per line,
+// with category labels in a left-hand column (as in Figure 4 of the paper)
+// and initial quantities in a trailing block.
+func Format(net *Network) string {
+	var b strings.Builder
+	width := 0
+	for _, r := range net.Reactions() {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	for i := range net.Reactions() {
+		r := net.Reaction(i)
+		if width > 0 {
+			label := ""
+			if r.Label != "" {
+				label = "(" + r.Label + ")"
+			}
+			fmt.Fprintf(&b, "%-*s ", width+2, label)
+		}
+		b.WriteString(FormatReaction(net, r))
+		b.WriteByte('\n')
+	}
+	wroteHeader := false
+	for s := 0; s < net.NumSpecies(); s++ {
+		if c := net.Initial(Species(s)); c != 0 {
+			if !wroteHeader {
+				b.WriteString("\ninitial quantities:\n")
+				wroteHeader = true
+			}
+			fmt.Fprintf(&b, "  %s = %d\n", net.Name(Species(s)), c)
+		}
+	}
+	return b.String()
+}
+
+// AppendCRN renders the network in the parseable .crn text format accepted
+// by ParseNetwork, appended to dst. Round-tripping through AppendCRN and
+// ParseNetwork preserves species order, initial counts, labels, reactions
+// and rates.
+func AppendCRN(dst []byte, net *Network) []byte {
+	var b strings.Builder
+	b.WriteString("# stochsynth CRN\n")
+	for s := 0; s < net.NumSpecies(); s++ {
+		if c := net.Initial(Species(s)); c != 0 {
+			fmt.Fprintf(&b, "%s = %d\n", net.Name(Species(s)), c)
+		}
+	}
+	for i := range net.Reactions() {
+		r := net.Reaction(i)
+		if r.Label != "" {
+			b.WriteString(r.Label)
+			b.WriteString(": ")
+		}
+		writeSideCRN(&b, net, r.Reactants)
+		b.WriteString(" -> ")
+		writeSideCRN(&b, net, r.Products)
+		fmt.Fprintf(&b, " @ %s\n", formatRateFull(r.Rate))
+	}
+	return append(dst, b.String()...)
+}
+
+func writeSide(b *strings.Builder, net *Network, terms []Term) {
+	if len(terms) == 0 {
+		b.WriteString("∅")
+		return
+	}
+	for i, t := range terms {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		if t.Coeff != 1 {
+			fmt.Fprintf(b, "%d", t.Coeff)
+		}
+		b.WriteString(net.Name(t.Species))
+	}
+}
+
+func writeSideCRN(b *strings.Builder, net *Network, terms []Term) {
+	if len(terms) == 0 {
+		b.WriteString("0")
+		return
+	}
+	for i, t := range terms {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		if t.Coeff != 1 {
+			fmt.Fprintf(b, "%d ", t.Coeff)
+		}
+		b.WriteString(net.Name(t.Species))
+	}
+}
+
+// formatRate renders rates for display: 6 significant digits (absorbing the
+// ~1e-16 float residue of rate-scheme arithmetic like γ²·(1/γ)), integers
+// without exponent when small, scientific notation otherwise.
+func formatRate(rate float64) string {
+	r := rate
+	if rounded, err := strconv.ParseFloat(strconv.FormatFloat(rate, 'g', 6, 64), 64); err == nil {
+		r = rounded
+	}
+	if r == float64(int64(r)) && r >= 0.001 && r < 1e6 {
+		return strconv.FormatFloat(r, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(r, 'g', 6, 64)
+}
+
+// formatRateFull renders rates at full precision for lossless round trips
+// through the .crn format.
+func formatRateFull(rate float64) string {
+	return strconv.FormatFloat(rate, 'g', -1, 64)
+}
+
+// Graphviz renders the network as a DOT bipartite species/reaction graph for
+// visual inspection. Species are ellipses; reactions are boxes labelled with
+// their rates; edge multiplicity is annotated for coefficients > 1.
+func Graphviz(net *Network) string {
+	var b strings.Builder
+	b.WriteString("digraph crn {\n  rankdir=LR;\n")
+	used := make(map[Species]bool)
+	for _, r := range net.Reactions() {
+		for _, t := range r.Reactants {
+			used[t.Species] = true
+		}
+		for _, t := range r.Products {
+			used[t.Species] = true
+		}
+	}
+	var species []Species
+	for s := range used {
+		species = append(species, s)
+	}
+	sort.Slice(species, func(i, j int) bool { return species[i] < species[j] })
+	for _, s := range species {
+		fmt.Fprintf(&b, "  s%d [label=%q shape=ellipse];\n", s, net.Name(s))
+	}
+	for i := range net.Reactions() {
+		r := net.Reaction(i)
+		label := formatRate(r.Rate)
+		if r.Label != "" {
+			label = r.Label + "\\n" + label
+		}
+		fmt.Fprintf(&b, "  r%d [label=%q shape=box];\n", i, label)
+		for _, t := range r.Reactants {
+			if t.Coeff == 1 {
+				fmt.Fprintf(&b, "  s%d -> r%d;\n", t.Species, i)
+			} else {
+				fmt.Fprintf(&b, "  s%d -> r%d [label=\"%d\"];\n", t.Species, i, t.Coeff)
+			}
+		}
+		for _, t := range r.Products {
+			if t.Coeff == 1 {
+				fmt.Fprintf(&b, "  r%d -> s%d;\n", i, t.Species)
+			} else {
+				fmt.Fprintf(&b, "  r%d -> s%d [label=\"%d\"];\n", i, t.Species, t.Coeff)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

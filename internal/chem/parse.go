@@ -1,0 +1,166 @@
+package chem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseError describes a failure to parse the .crn text format, with the
+// 1-based line number at which it occurred.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("crn: line %d: %s", e.Line, e.Msg)
+}
+
+// ParseNetwork reads the .crn text format:
+//
+//	# comment (also after content on a line)
+//	e1 = 30                      initial count
+//	initializing: e1 -> d1 @ 1   labelled reaction
+//	d1 + d2 -> 0 @ 1e6           unlabelled; '0', '_' or 'empty' is ∅
+//	a + 2 x1 -> a + x1' + c @ 1e6
+//
+// Coefficients may be juxtaposed ("2x1") or space-separated ("2 x1").
+// Species names may contain primes (x1') and any character other than
+// whitespace and the reserved set "+@>,:#=".
+func ParseNetwork(r io.Reader) (*Network, error) {
+	net := NewNetwork()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(net, line); err != nil {
+			return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("crn: read: %w", err)
+	}
+	return net, nil
+}
+
+// ParseNetworkString is ParseNetwork over an in-memory string.
+func ParseNetworkString(s string) (*Network, error) {
+	return ParseNetwork(strings.NewReader(s))
+}
+
+// MustParseNetwork parses src and panics on error. Intended for tests and
+// package-level fixtures.
+func MustParseNetwork(src string) *Network {
+	net, err := ParseNetworkString(src)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+func parseLine(net *Network, line string) error {
+	if strings.Contains(line, "->") {
+		return parseReaction(net, line)
+	}
+	if eq := strings.IndexByte(line, '='); eq >= 0 {
+		name := strings.TrimSpace(line[:eq])
+		countStr := strings.TrimSpace(line[eq+1:])
+		if err := checkSpeciesName(name); err != nil {
+			return err
+		}
+		count, err := strconv.ParseInt(countStr, 10, 64)
+		if err != nil {
+			return fmt.Errorf("invalid count %q for species %s", countStr, name)
+		}
+		if count < 0 {
+			return fmt.Errorf("negative initial count %d for species %s", count, name)
+		}
+		net.SetInitialByName(name, count)
+		return nil
+	}
+	return fmt.Errorf("unrecognised line %q (want 'name = count' or 'lhs -> rhs @ rate')", line)
+}
+
+func parseReaction(net *Network, line string) error {
+	label := ""
+	// An optional "label:" prefix, where the label must precede the "->".
+	if colon := strings.IndexByte(line, ':'); colon >= 0 && colon < strings.Index(line, "->") {
+		label = strings.TrimSpace(line[:colon])
+		line = strings.TrimSpace(line[colon+1:])
+	}
+	at := strings.LastIndex(line, "@")
+	if at < 0 {
+		return fmt.Errorf("reaction missing '@ rate'")
+	}
+	rateStr := strings.TrimSpace(line[at+1:])
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil {
+		return fmt.Errorf("invalid rate %q", rateStr)
+	}
+	if rate < 0 {
+		return fmt.Errorf("negative rate %v", rate)
+	}
+	body := strings.TrimSpace(line[:at])
+	arrow := strings.Index(body, "->")
+	if arrow < 0 {
+		return fmt.Errorf("reaction missing '->'")
+	}
+	lhs, err := parseSide(net, strings.TrimSpace(body[:arrow]))
+	if err != nil {
+		return fmt.Errorf("reactants: %w", err)
+	}
+	rhs, err := parseSide(net, strings.TrimSpace(body[arrow+2:]))
+	if err != nil {
+		return fmt.Errorf("products: %w", err)
+	}
+	net.AddReaction(label, lhs, rhs, rate)
+	return nil
+}
+
+// parseSide parses "a + 2 b + 3c" into terms. "0", "_", "empty" and "∅"
+// denote the empty side.
+func parseSide(net *Network, side string) ([]Term, error) {
+	switch side {
+	case "", "0", "_", "empty", "∅":
+		return nil, nil
+	}
+	parts := strings.Split(side, "+")
+	terms := make([]Term, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("empty term in %q", side)
+		}
+		coeff := int64(1)
+		// Leading digits form the coefficient; remainder is the name.
+		i := 0
+		for i < len(part) && part[i] >= '0' && part[i] <= '9' {
+			i++
+		}
+		if i > 0 {
+			c, err := strconv.ParseInt(part[:i], 10, 64)
+			if err != nil || c <= 0 {
+				return nil, fmt.Errorf("invalid coefficient in term %q", part)
+			}
+			coeff = c
+		}
+		name := strings.TrimSpace(part[i:])
+		if err := checkSpeciesName(name); err != nil {
+			return nil, err
+		}
+		terms = append(terms, Term{Species: net.AddSpecies(name), Coeff: coeff})
+	}
+	return terms, nil
+}

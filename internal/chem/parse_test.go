@@ -1,0 +1,221 @@
+package chem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseExample1(t *testing.T) {
+	// Example 1 of the paper: 3-outcome stochastic module skeleton.
+	src := `
+# Example 1
+e1 = 30
+e2 = 40
+e3 = 30
+
+initializing: e1 -> d1 @ 1
+initializing: e2 -> d2 @ 1
+initializing: e3 -> d3 @ 1
+reinforcing: e1 + d1 -> 2 d1 @ 1e3
+purifying: d1 + d2 -> 0 @ 1e6
+`
+	net, err := ParseNetworkString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumReactions() != 5 {
+		t.Fatalf("reactions = %d, want 5", net.NumReactions())
+	}
+	if got := net.Initial(net.MustSpecies("e2")); got != 40 {
+		t.Fatalf("E2 = %d, want 40", got)
+	}
+	r := net.Reaction(3)
+	if r.Label != "reinforcing" {
+		t.Fatalf("label = %q", r.Label)
+	}
+	if r.Products[0].Coeff != 2 {
+		t.Fatalf("product coeff = %d, want 2", r.Products[0].Coeff)
+	}
+	purify := net.Reaction(4)
+	if len(purify.Products) != 0 {
+		t.Fatalf("purifying products = %v, want empty", purify.Products)
+	}
+	if purify.Rate != 1e6 {
+		t.Fatalf("purifying rate = %v", purify.Rate)
+	}
+}
+
+func TestParseJuxtaposedCoefficient(t *testing.T) {
+	net, err := ParseNetworkString(`a + 2b -> 3c @ 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := net.Reaction(0)
+	if r.Reactants[1].Coeff != 2 || r.Products[0].Coeff != 3 {
+		t.Fatalf("coefficients wrong: %+v", r)
+	}
+}
+
+func TestParsePrimedSpecies(t *testing.T) {
+	net, err := ParseNetworkString(`x1' -> x1 @ 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := net.SpeciesByName("x1'"); !ok {
+		t.Fatal("primed species not registered")
+	}
+}
+
+func TestParseEmptySides(t *testing.T) {
+	for _, empty := range []string{"0", "_", "empty", "∅"} {
+		net, err := ParseNetworkString("a -> " + empty + " @ 1")
+		if err != nil {
+			t.Fatalf("%q: %v", empty, err)
+		}
+		if len(net.Reaction(0).Products) != 0 {
+			t.Fatalf("%q not treated as empty", empty)
+		}
+	}
+	net, err := ParseNetworkString(`0 -> a @ 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Reaction(0).Reactants) != 0 {
+		t.Fatal("source reaction has reactants")
+	}
+}
+
+func TestParseTrailingComment(t *testing.T) {
+	net, err := ParseNetworkString(`a -> b @ 2 # becomes b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Reaction(0).Rate != 2 {
+		t.Fatal("trailing comment broke rate parse")
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		line int
+		frag string
+	}{
+		{"a -> b\n", 1, "missing '@ rate'"},
+		{"# ok\nbogus line\n", 2, "unrecognised"},
+		{"a -> b @ fast\n", 1, "invalid rate"},
+		{"a = -3\n", 1, "negative initial count"},
+		{"a = many\n", 1, "invalid count"},
+		{"a + -> b @ 1\n", 1, "empty term"},
+		{"0x -> b @ 1\n", 1, "invalid coefficient"},
+		{"a -> b @ -2\n", 1, "negative rate"},
+	}
+	for _, c := range cases {
+		_, err := ParseNetworkString(c.src)
+		if err == nil {
+			t.Errorf("%q: no error", c.src)
+			continue
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Errorf("%q: error %v is not *ParseError", c.src, err)
+			continue
+		}
+		if pe.Line != c.line {
+			t.Errorf("%q: line %d, want %d", c.src, pe.Line, c.line)
+		}
+		if !strings.Contains(pe.Msg, c.frag) {
+			t.Errorf("%q: message %q lacks %q", c.src, pe.Msg, c.frag)
+		}
+	}
+}
+
+func TestParseLabelWithoutArrowIsError(t *testing.T) {
+	if _, err := ParseNetworkString("label: nonsense\n"); err == nil {
+		t.Fatal("labelled non-reaction parsed")
+	}
+}
+
+func TestMustParseNetworkPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseNetwork did not panic")
+		}
+	}()
+	MustParseNetwork("garbage")
+}
+
+func TestRoundTripCRN(t *testing.T) {
+	src := `
+moi = 4
+f1 = 100
+fan-out: moi -> x1 + x2 @ 1e9
+logarithm: a + 2 x1 -> a + x1' + c @ 1e6
+logarithm: 2 c -> c @ 1e6
+working: d1 + f1 -> d1 + cro2 @ 1e-9
+decay: a -> 0 @ 1000
+`
+	net, err := ParseNetworkString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(AppendCRN(nil, net))
+	net2, err := ParseNetworkString(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	if net2.NumReactions() != net.NumReactions() {
+		t.Fatalf("round trip lost reactions: %d vs %d", net2.NumReactions(), net.NumReactions())
+	}
+	if net2.NumSpecies() != net.NumSpecies() {
+		t.Fatalf("round trip lost species: %d vs %d", net2.NumSpecies(), net.NumSpecies())
+	}
+	for i := 0; i < net.NumReactions(); i++ {
+		a, b := net.Reaction(i), net2.Reaction(i)
+		if a.Label != b.Label || a.Rate != b.Rate {
+			t.Fatalf("reaction %d label/rate mismatch: %+v vs %+v", i, a, b)
+		}
+		if FormatReaction(net, a) != FormatReaction(net2, b) {
+			t.Fatalf("reaction %d differs after round trip", i)
+		}
+	}
+	for s := 0; s < net.NumSpecies(); s++ {
+		if net.Initial(Species(s)) != net2.Initial(net2.MustSpecies(net.Name(Species(s)))) {
+			t.Fatalf("initial count of %s lost in round trip", net.Name(Species(s)))
+		}
+	}
+}
+
+func TestFormatReactionNotation(t *testing.T) {
+	net := MustParseNetwork(`purifying: d1 + d2 -> 0 @ 1e6`)
+	got := FormatReaction(net, net.Reaction(0))
+	if got != "d1 + d2 --1e+06--> ∅" {
+		t.Fatalf("FormatReaction = %q", got)
+	}
+}
+
+func TestFormatIncludesLabelsAndInitials(t *testing.T) {
+	net := MustParseNetwork(`
+e1 = 15
+initializing: e1 -> d1 @ 1
+`)
+	out := Format(net)
+	if !strings.Contains(out, "(initializing)") {
+		t.Fatalf("Format lacks label column:\n%s", out)
+	}
+	if !strings.Contains(out, "e1 = 15") {
+		t.Fatalf("Format lacks initial quantities:\n%s", out)
+	}
+}
+
+func TestGraphvizStructure(t *testing.T) {
+	net := MustParseNetwork(`
+a + 2 b -> c @ 1
+`)
+	dot := Graphviz(net)
+	for _, frag := range []string{"digraph crn", "shape=ellipse", "shape=box", `label="2"`} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("Graphviz output lacks %q:\n%s", frag, dot)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package chem
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Issue is one finding from Validate, with a severity and a human-readable
+// message. Errors make a network unusable; warnings flag suspicious but
+// legal structure (the kind of thing a synthesis bug produces).
+type Issue struct {
+	Severity Severity
+	Msg      string
+}
+
+// Severity classifies a validation issue.
+type Severity int
+
+// Severity levels.
+const (
+	Warning Severity = iota
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+func (i Issue) String() string { return i.Severity.String() + ": " + i.Msg }
+
+// Validate performs structural checks on the network and returns all
+// findings. A network with no Error-severity findings is safe to simulate.
+//
+// Checks:
+//   - rates are finite and non-negative (zero-rate reactions warn: they can
+//     never fire)
+//   - reactions with neither reactants nor products are errors
+//   - species that appear in no reaction warn (dead weight)
+//   - species that are consumed but never produced and have zero initial
+//     count warn (the reaction can never fire)
+//   - duplicate reactions (same sides, same label) warn
+//   - reaction order above 3 warns (legal in the abstract model but hard to
+//     realise chemically; the paper's power module uses order ≤ 3)
+func Validate(net *Network) []Issue {
+	var issues []Issue
+	errf := func(format string, args ...interface{}) {
+		issues = append(issues, Issue{Error, fmt.Sprintf(format, args...)})
+	}
+	warnf := func(format string, args ...interface{}) {
+		issues = append(issues, Issue{Warning, fmt.Sprintf(format, args...)})
+	}
+
+	appears := make([]bool, net.NumSpecies())
+	produced := make([]bool, net.NumSpecies())
+	consumed := make([]bool, net.NumSpecies())
+	seen := make(map[string]int)
+
+	for i := range net.Reactions() {
+		r := net.Reaction(i)
+		desc := FormatReaction(net, r)
+		if math.IsNaN(r.Rate) || math.IsInf(r.Rate, 0) || r.Rate < 0 {
+			errf("reaction %d (%s): invalid rate %v", i, desc, r.Rate)
+		} else if r.Rate == 0 {
+			warnf("reaction %d (%s): zero rate; it can never fire", i, desc)
+		}
+		if len(r.Reactants) == 0 && len(r.Products) == 0 {
+			errf("reaction %d: no reactants and no products", i)
+		}
+		if o := r.Order(); o > 3 {
+			warnf("reaction %d (%s): order %d > 3 is hard to realise chemically", i, desc, o)
+		}
+		for _, t := range r.Reactants {
+			appears[t.Species] = true
+			consumed[t.Species] = true
+		}
+		for _, t := range r.Products {
+			appears[t.Species] = true
+			produced[t.Species] = true
+		}
+		key := signature(net, r)
+		if prev, dup := seen[key]; dup {
+			warnf("reaction %d duplicates reaction %d (%s)", i, prev, desc)
+		} else {
+			seen[key] = i
+		}
+	}
+
+	for s := 0; s < net.NumSpecies(); s++ {
+		sp := Species(s)
+		if !appears[s] {
+			warnf("species %s appears in no reaction", net.Name(sp))
+			continue
+		}
+		if consumed[s] && !produced[s] && net.Initial(sp) == 0 {
+			warnf("species %s is consumed but never produced and starts at 0", net.Name(sp))
+		}
+	}
+
+	// Reachability: reactions that can never fire from the default initial
+	// state, under the optimistic abstraction that any species which can
+	// ever be present can be present in arbitrary quantity. A reaction
+	// unreachable even under this abstraction is certainly dead.
+	for _, dead := range DeadReactions(net) {
+		warnf("reaction %d (%s) can never fire from the initial state",
+			dead, FormatReaction(net, net.Reaction(dead)))
+	}
+	return issues
+}
+
+// DeadReactions returns the indices of reactions that can never fire
+// starting from the network's default initial state, using a fixed-point
+// reachability abstraction: a species is "available" if its initial count
+// is positive or some fireable reaction produces it; a reaction is
+// fireable once all its reactants are available (quantities are abstracted
+// away, so this under-approximates deadness — every reported reaction is
+// genuinely dead, but quantity-starved reactions may go unreported).
+func DeadReactions(net *Network) []int {
+	available := make([]bool, net.NumSpecies())
+	for s := 0; s < net.NumSpecies(); s++ {
+		if net.Initial(Species(s)) > 0 {
+			available[s] = true
+		}
+	}
+	fired := make([]bool, net.NumReactions())
+	for changed := true; changed; {
+		changed = false
+		for i := range net.Reactions() {
+			if fired[i] {
+				continue
+			}
+			r := net.Reaction(i)
+			ok := true
+			for _, t := range r.Reactants {
+				if !available[t.Species] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			fired[i] = true
+			changed = true
+			for _, t := range r.Products {
+				if !available[t.Species] {
+					available[t.Species] = true
+				}
+			}
+		}
+	}
+	var dead []int
+	for i, f := range fired {
+		if !f {
+			dead = append(dead, i)
+		}
+	}
+	return dead
+}
+
+// Errors filters issues down to Error severity.
+func Errors(issues []Issue) []Issue {
+	var out []Issue
+	for _, is := range issues {
+		if is.Severity == Error {
+			out = append(out, is)
+		}
+	}
+	return out
+}
+
+// signature canonically encodes a reaction's structure for duplicate
+// detection (label, sides and rate all participate: two copies of the same
+// channel are legal kinetics — the propensities add — but almost always a
+// generator bug, hence warning not error).
+func signature(net *Network, r *Reaction) string {
+	var b strings.Builder
+	b.WriteString(r.Label)
+	b.WriteByte('|')
+	writeSideCRN(&b, net, r.Reactants)
+	b.WriteByte('|')
+	writeSideCRN(&b, net, r.Products)
+	fmt.Fprintf(&b, "|%g", r.Rate)
+	return b.String()
+}

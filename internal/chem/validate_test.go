@@ -1,0 +1,206 @@
+package chem
+
+import (
+	"strings"
+	"testing"
+)
+
+func findIssue(issues []Issue, frag string) *Issue {
+	for i := range issues {
+		if strings.Contains(issues[i].Msg, frag) {
+			return &issues[i]
+		}
+	}
+	return nil
+}
+
+func TestValidateCleanNetwork(t *testing.T) {
+	net := MustParseNetwork(`
+e1 = 30
+initializing: e1 -> d1 @ 1
+decay: d1 -> 0 @ 1
+`)
+	issues := Validate(net)
+	if len(Errors(issues)) != 0 {
+		t.Fatalf("clean network produced errors: %v", issues)
+	}
+}
+
+func TestValidateZeroRateWarns(t *testing.T) {
+	net := MustParseNetwork(`a -> b @ 0`)
+	is := findIssue(Validate(net), "zero rate")
+	if is == nil || is.Severity != Warning {
+		t.Fatalf("zero rate not warned: %v", Validate(net))
+	}
+}
+
+func TestValidateEmptyReactionErrors(t *testing.T) {
+	net := NewNetwork()
+	net.AddReaction("", nil, nil, 1)
+	is := findIssue(Validate(net), "no reactants and no products")
+	if is == nil || is.Severity != Error {
+		t.Fatalf("empty reaction not an error: %v", Validate(net))
+	}
+}
+
+func TestValidateUnusedSpeciesWarns(t *testing.T) {
+	net := MustParseNetwork(`a -> b @ 1`)
+	net.AddSpecies("lonely")
+	if findIssue(Validate(net), "appears in no reaction") == nil {
+		t.Fatalf("unused species not flagged: %v", Validate(net))
+	}
+}
+
+func TestValidateStarvedSpeciesWarns(t *testing.T) {
+	// b is consumed, never produced, and starts at zero.
+	net := MustParseNetwork(`b -> c @ 1`)
+	if findIssue(Validate(net), "consumed but never produced") == nil {
+		t.Fatalf("starved species not flagged: %v", Validate(net))
+	}
+	// Giving it an initial count clears the warning.
+	net.SetInitialByName("b", 5)
+	if findIssue(Validate(net), "consumed but never produced") != nil {
+		t.Fatalf("starved warning raised despite initial count: %v", Validate(net))
+	}
+}
+
+func TestValidateDuplicateWarns(t *testing.T) {
+	net := MustParseNetwork(`
+a -> b @ 1
+a -> b @ 1
+`)
+	if findIssue(Validate(net), "duplicates") == nil {
+		t.Fatalf("duplicate reaction not flagged: %v", Validate(net))
+	}
+	// Same sides but different rate is not a duplicate.
+	net2 := MustParseNetwork(`
+a -> b @ 1
+a -> b @ 2
+`)
+	if findIssue(Validate(net2), "duplicates") != nil {
+		t.Fatalf("distinct-rate reactions flagged as duplicate: %v", Validate(net2))
+	}
+}
+
+func TestValidateHighOrderWarns(t *testing.T) {
+	net := MustParseNetwork(`4 a -> b @ 1`)
+	net.SetInitialByName("a", 4)
+	if findIssue(Validate(net), "order 4") == nil {
+		t.Fatalf("order-4 reaction not flagged: %v", Validate(net))
+	}
+}
+
+func TestErrorsFilter(t *testing.T) {
+	issues := []Issue{
+		{Warning, "w"},
+		{Error, "e"},
+		{Warning, "w2"},
+	}
+	errs := Errors(issues)
+	if len(errs) != 1 || errs[0].Msg != "e" {
+		t.Fatalf("Errors = %v", errs)
+	}
+}
+
+func TestIssueString(t *testing.T) {
+	if got := (Issue{Error, "boom"}).String(); got != "error: boom" {
+		t.Fatalf("Issue.String = %q", got)
+	}
+	if got := (Issue{Warning, "meh"}).String(); got != "warning: meh" {
+		t.Fatalf("Issue.String = %q", got)
+	}
+}
+
+func TestDeadReactionsBasic(t *testing.T) {
+	// b is never available, so the second reaction is dead; the chain from
+	// a is live.
+	net := MustParseNetwork(`
+a = 5
+a -> c @ 1
+b -> d @ 1
+c -> e @ 1
+`)
+	dead := DeadReactions(net)
+	if len(dead) != 1 || dead[0] != 1 {
+		t.Fatalf("dead = %v, want [1]", dead)
+	}
+}
+
+func TestDeadReactionsChainReachability(t *testing.T) {
+	// Availability propagates through products: all reactions live.
+	net := MustParseNetwork(`
+a = 1
+a -> b @ 1
+b -> c @ 1
+c + a -> d @ 1
+`)
+	if dead := DeadReactions(net); len(dead) != 0 {
+		t.Fatalf("dead = %v, want none", dead)
+	}
+}
+
+func TestDeadReactionsCycleWithoutSeed(t *testing.T) {
+	// A two-reaction cycle with no initial molecules: both dead.
+	net := MustParseNetwork(`
+p -> q @ 1
+q -> p @ 1
+`)
+	if dead := DeadReactions(net); len(dead) != 2 {
+		t.Fatalf("dead = %v, want both", dead)
+	}
+}
+
+func TestDeadReactionsZerothOrderAlwaysLive(t *testing.T) {
+	net := MustParseNetwork(`
+0 -> a @ 1
+a -> b @ 1
+`)
+	if dead := DeadReactions(net); len(dead) != 0 {
+		t.Fatalf("dead = %v, want none (source seeds everything)", dead)
+	}
+}
+
+func TestValidateFlagsDeadReactions(t *testing.T) {
+	net := MustParseNetwork(`
+a = 1
+ghost -> a @ 1
+`)
+	if findIssue(Validate(net), "can never fire") == nil {
+		t.Fatalf("dead reaction not flagged: %v", Validate(net))
+	}
+}
+
+func TestFigure4HasNoDeadReactions(t *testing.T) {
+	// Sanity: with moi installed, every reaction of the lambda model is
+	// reachable. (moi defaults to 0, so set it.)
+	net := MustParseNetwork(`
+moi = 1
+b = 1
+e1 = 85
+e2 = 15
+f1 = 100
+f2 = 200
+fan-out: moi -> x1 + x2 @ 1e9
+linear: 6 x2 -> y1 @ 1e9
+logarithm: b -> b + a @ 1e-3
+logarithm: a + 2 x1 -> a + c + x1' @ 1e6
+logarithm: 2 c -> c @ 1e6
+logarithm: a -> 0 @ 1e3
+logarithm: x1' -> x1 @ 1
+logarithm: c -> 6 y2 @ 1
+assimilation: y2 + e1 -> e2 @ 1e9
+assimilation: y1 + e1 -> e2 @ 1e9
+initializing: e1 -> d1 @ 1e-9
+initializing: e2 -> d2 @ 1e-9
+reinforcing: e1 + d1 -> 2 d1 @ 1
+reinforcing: e2 + d2 -> 2 d2 @ 1
+stabilizing: e2 + d1 -> d1 @ 1
+stabilizing: e1 + d2 -> d2 @ 1
+purifying: d1 + d2 -> 0 @ 1e9
+working: d1 + f1 -> d1 + cro2 @ 1e-9
+working: d2 + f2 -> d2 + ci2 @ 1e-9
+`)
+	if dead := DeadReactions(net); len(dead) != 0 {
+		t.Fatalf("dead = %v, want none", dead)
+	}
+}

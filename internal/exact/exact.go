@@ -1,0 +1,325 @@
+// Package exact solves the chemical master equation (CME) on small,
+// bounded-reachability networks. It is the library's ground-truth oracle:
+// where Monte Carlo gives estimates with sampling error, this package gives
+// probabilities to numerical tolerance, letting tests verify both the
+// synthesised networks and the Monte Carlo harness itself.
+//
+// The workflow is: Enumerate the reachable state space from an initial
+// state (breadth-first over reaction firings, with a state-count cap),
+// then either
+//
+//   - TransientAt: the full distribution over states at a finite time,
+//     computed by uniformization (Jensen's method), or
+//   - AbsorptionProbs: the probability of ending in each absorbing
+//     (quiescent) state, computed on the embedded jump chain by
+//     Gauss–Seidel iteration.
+//
+// Complexity is linear in states × transitions per step; it is intended for
+// state spaces up to ~10⁵ states — ample for the two- and three-outcome
+// stochastic-module instances used in verification.
+package exact
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"stochsynth/internal/chem"
+)
+
+// Transition is one outgoing CME transition: firing Reaction moves the
+// system to state index To at the given Rate (the propensity in the source
+// state).
+type Transition struct {
+	To       int
+	Rate     float64
+	Reaction int
+}
+
+// StateSpace is an enumerated reachable state space with its transition
+// structure.
+type StateSpace struct {
+	net     *chem.Network
+	states  []chem.State
+	index   map[string]int
+	trans   [][]Transition
+	outflow []float64 // total outgoing rate per state
+}
+
+// Enumerate explores every state reachable from initial via reaction
+// firings. It fails if more than maxStates states are reachable. The
+// initial state becomes index 0.
+func Enumerate(net *chem.Network, initial chem.State, maxStates int) (*StateSpace, error) {
+	if len(initial) != net.NumSpecies() {
+		return nil, fmt.Errorf("exact: initial state has %d species, network has %d",
+			len(initial), net.NumSpecies())
+	}
+	if maxStates <= 0 {
+		maxStates = 100000
+	}
+	ss := &StateSpace{
+		net:   net,
+		index: make(map[string]int),
+	}
+	ss.add(initial.Clone())
+	for head := 0; head < len(ss.states); head++ {
+		st := ss.states[head]
+		var out []Transition
+		var total float64
+		for j := 0; j < net.NumReactions(); j++ {
+			r := net.Reaction(j)
+			a := chem.Propensity(r, st)
+			if a <= 0 {
+				continue
+			}
+			next := st.Clone()
+			next.Apply(r)
+			idx, ok := ss.index[encode(next)]
+			if !ok {
+				if len(ss.states) >= maxStates {
+					return nil, fmt.Errorf("exact: state space exceeds %d states", maxStates)
+				}
+				idx = ss.add(next)
+			}
+			out = append(out, Transition{To: idx, Rate: a, Reaction: j})
+			total += a
+		}
+		ss.trans = append(ss.trans, out)
+		ss.outflow = append(ss.outflow, total)
+	}
+	return ss, nil
+}
+
+func (ss *StateSpace) add(st chem.State) int {
+	idx := len(ss.states)
+	ss.states = append(ss.states, st)
+	ss.index[encode(st)] = idx
+	return idx
+}
+
+func encode(st chem.State) string {
+	buf := make([]byte, 8*len(st))
+	for i, c := range st {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(c))
+	}
+	return string(buf)
+}
+
+// NumStates returns the number of enumerated states.
+func (ss *StateSpace) NumStates() int { return len(ss.states) }
+
+// State returns the state vector of index i (read-only).
+func (ss *StateSpace) State(i int) chem.State { return ss.states[i] }
+
+// Transitions returns the outgoing transitions of state i (read-only).
+func (ss *StateSpace) Transitions(i int) []Transition { return ss.trans[i] }
+
+// IsAbsorbing reports whether state i has no outgoing transitions.
+func (ss *StateSpace) IsAbsorbing(i int) bool { return len(ss.trans[i]) == 0 }
+
+// AbsorbingStates lists the indices of all absorbing (quiescent) states.
+func (ss *StateSpace) AbsorbingStates() []int {
+	var out []int
+	for i := range ss.states {
+		if ss.IsAbsorbing(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TransientAt returns the distribution over states at time t, starting from
+// probability 1 on state 0, computed by uniformization truncated when the
+// remaining Poisson tail mass drops below tol (default 1e-12 when tol <= 0).
+//
+// It returns an error when the uniformization rate Λ·t exceeds 2e5 steps —
+// the CME is then better handled by the stochastic engines. Wide rate
+// separations (the γ² spread of the paper's stochastic module) hit this
+// quickly; use modest γ in exact cross-checks.
+func (ss *StateSpace) TransientAt(t, tol float64) ([]float64, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("exact: negative time %v", t)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	lambda := 0.0
+	for _, f := range ss.outflow {
+		if f > lambda {
+			lambda = f
+		}
+	}
+	dist := make([]float64, len(ss.states))
+	dist[0] = 1
+	if lambda == 0 || t == 0 {
+		return dist, nil
+	}
+	lt := lambda * t
+	// Truncation point: mean + 10σ + slack covers the Poisson mass to far
+	// below any reasonable tol.
+	kMax := int(lt + 10*math.Sqrt(lt) + 50)
+	if kMax > 200000 {
+		return nil, fmt.Errorf("exact: uniformization needs ~%d steps (Λt=%.3g); too stiff", kMax, lt)
+	}
+	result := make([]float64, len(ss.states))
+	v := append([]float64(nil), dist...)
+	next := make([]float64, len(ss.states))
+	logLt := math.Log(lt)
+	sumW := 0.0
+	for k := 0; ; k++ {
+		lw, _ := math.Lgamma(float64(k + 1))
+		logW := -lt + float64(k)*logLt - lw
+		w := math.Exp(logW)
+		sumW += w
+		if w > 0 {
+			for i, p := range v {
+				result[i] += w * p
+			}
+		}
+		if k >= kMax || (sumW > 1-tol && k > int(lt)) {
+			break
+		}
+		// v ← v·P with P = I + Q/Λ (self-loop keeps the residual mass).
+		for i := range next {
+			next[i] = 0
+		}
+		for i, p := range v {
+			if p == 0 {
+				continue
+			}
+			stay := 1 - ss.outflow[i]/lambda
+			if stay > 0 {
+				next[i] += p * stay
+			}
+			for _, tr := range ss.trans[i] {
+				next[tr.To] += p * tr.Rate / lambda
+			}
+		}
+		v, next = next, v
+	}
+	// Normalise away the truncated tail.
+	total := 0.0
+	for _, p := range result {
+		total += p
+	}
+	if total > 0 {
+		for i := range result {
+			result[i] /= total
+		}
+	}
+	return result, nil
+}
+
+// AbsorptionProbs returns, for each state index, a map from absorbing-state
+// index to the probability of eventually being absorbed there, for the
+// chain started at state 0. Only the start state's row is computed
+// (a vector per absorbing state, Gauss–Seidel iterated to tol).
+//
+// It returns an error if the space has no absorbing state or the iteration
+// fails to converge within maxIter sweeps (default 100000 when <= 0).
+func (ss *StateSpace) AbsorptionProbs(tol float64, maxIter int) (map[int]float64, error) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 100000
+	}
+	absorbing := ss.AbsorbingStates()
+	if len(absorbing) == 0 {
+		return nil, fmt.Errorf("exact: no absorbing states")
+	}
+	out := make(map[int]float64, len(absorbing))
+	for _, a := range absorbing {
+		u := make([]float64, len(ss.states))
+		u[a] = 1
+		var delta float64
+		converged := false
+		for iter := 0; iter < maxIter; iter++ {
+			delta = 0
+			// Sweep in reverse order: BFS enumeration tends to place
+			// absorbing states late, so reverse Gauss–Seidel propagates
+			// their values backwards fastest.
+			for i := len(ss.states) - 1; i >= 0; i-- {
+				if ss.IsAbsorbing(i) {
+					continue
+				}
+				sum := 0.0
+				for _, tr := range ss.trans[i] {
+					sum += tr.Rate / ss.outflow[i] * u[tr.To]
+				}
+				if d := math.Abs(sum - u[i]); d > delta {
+					delta = d
+				}
+				u[i] = sum
+			}
+			if delta < tol {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			return nil, fmt.Errorf("exact: absorption solve did not converge (last delta %g)", delta)
+		}
+		out[a] = u[0]
+	}
+	return out, nil
+}
+
+// MeanAbsorptionTime returns the expected time for the chain started at
+// state 0 to reach any absorbing state, solved by Gauss–Seidel iteration on
+// the first-step equations t_i = 1/outflow_i + Σ_j P_ij·t_j. It returns an
+// error if the space has no absorbing state or the iteration fails to
+// converge (tol and maxIter default as in AbsorptionProbs).
+func (ss *StateSpace) MeanAbsorptionTime(tol float64, maxIter int) (float64, error) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 100000
+	}
+	if len(ss.AbsorbingStates()) == 0 {
+		return 0, fmt.Errorf("exact: no absorbing states")
+	}
+	times := make([]float64, len(ss.states))
+	for iter := 0; iter < maxIter; iter++ {
+		delta := 0.0
+		for i := len(ss.states) - 1; i >= 0; i-- {
+			if ss.IsAbsorbing(i) {
+				continue
+			}
+			sum := 1 / ss.outflow[i]
+			for _, tr := range ss.trans[i] {
+				sum += tr.Rate / ss.outflow[i] * times[tr.To]
+			}
+			if d := math.Abs(sum - times[i]); d > delta {
+				delta = d
+			}
+			times[i] = sum
+		}
+		if delta < tol*(1+times[0]) {
+			return times[0], nil
+		}
+	}
+	return 0, fmt.Errorf("exact: mean absorption time did not converge")
+}
+
+// Marginal projects a distribution over states down to the distribution of
+// one species' count.
+func (ss *StateSpace) Marginal(dist []float64, sp chem.Species) map[int64]float64 {
+	out := make(map[int64]float64)
+	for i, p := range dist {
+		if p != 0 {
+			out[ss.states[i][sp]] += p
+		}
+	}
+	return out
+}
+
+// MeanCount returns the expected count of species sp under dist.
+func (ss *StateSpace) MeanCount(dist []float64, sp chem.Species) float64 {
+	mean := 0.0
+	for i, p := range dist {
+		mean += p * float64(ss.states[i][sp])
+	}
+	return mean
+}

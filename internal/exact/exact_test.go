@@ -1,0 +1,361 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/mc"
+	"stochsynth/internal/rng"
+	"stochsynth/internal/sim"
+)
+
+func TestEnumerateLinearChain(t *testing.T) {
+	// a=3 decaying: states 3,2,1,0 → 4 states, last absorbing.
+	net := chem.MustParseNetwork(`
+a = 3
+a -> 0 @ 1
+`)
+	ss, err := Enumerate(net, net.InitialState(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.NumStates() != 4 {
+		t.Fatalf("states = %d, want 4", ss.NumStates())
+	}
+	abs := ss.AbsorbingStates()
+	if len(abs) != 1 || ss.State(abs[0])[0] != 0 {
+		t.Fatalf("absorbing states = %v", abs)
+	}
+}
+
+func TestEnumerateRespectsCap(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 100
+a -> 0 @ 1
+`)
+	if _, err := Enumerate(net, net.InitialState(), 5); err == nil {
+		t.Fatal("cap not enforced")
+	}
+}
+
+func TestEnumerateRejectsBadState(t *testing.T) {
+	net := chem.MustParseNetwork(`a -> 0 @ 1`)
+	if _, err := Enumerate(net, chem.State{1, 2}, 0); err == nil {
+		t.Fatal("wrong-length state accepted")
+	}
+}
+
+func TestTransientMatchesAnalyticDecay(t *testing.T) {
+	// Single molecule decay: P(alive at t) = exp(−kt).
+	net := chem.MustParseNetwork(`
+a = 1
+a -> 0 @ 2
+`)
+	ss, err := Enumerate(net, net.InitialState(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := ss.TransientAt(0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg := ss.Marginal(dist, 0)
+	want := math.Exp(-2 * 0.5)
+	if math.Abs(marg[1]-want) > 1e-9 {
+		t.Fatalf("P(alive) = %v, want %v", marg[1], want)
+	}
+	if math.Abs(marg[0]-(1-want)) > 1e-9 {
+		t.Fatalf("P(dead) = %v, want %v", marg[0], 1-want)
+	}
+}
+
+func TestTransientPoissonProcess(t *testing.T) {
+	// Pure birth 0 → a at rate λ: count at t is Poisson(λt). Bound the
+	// space by checking only modest times.
+	net := chem.MustParseNetwork(`0 -> a @ 3`)
+	ss, err := Enumerate(net, chem.State{0}, 400)
+	if err == nil {
+		t.Fatal("unbounded birth process must exceed any cap") // sanity
+	}
+	// Add a hard wall via an auxiliary fuel species to bound the space.
+	net2 := chem.MustParseNetwork(`
+fuel = 200
+fuel -> a @ 3
+`)
+	ss, err = Enumerate(net2, net2.InitialState(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := ss.TransientAt(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For t << fuel-exhaustion time this is ≈ Poisson(3)... but the fuel
+	// makes each birth rate 3·fuel, not 3. Instead verify the mean against
+	// the analytic pure-death complement: fuel(t) = 200·e^(−3t).
+	a := net2.MustSpecies("a")
+	mean := ss.MeanCount(dist, a)
+	want := 200 * (1 - math.Exp(-3))
+	if math.Abs(mean-want) > 1e-6*want {
+		t.Fatalf("mean births = %v, want %v", mean, want)
+	}
+}
+
+func TestTransientAtZeroTime(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 2
+a -> 0 @ 1
+`)
+	ss, _ := Enumerate(net, net.InitialState(), 0)
+	dist, err := ss.TransientAt(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[0] != 1 {
+		t.Fatalf("P(initial) at t=0 = %v", dist[0])
+	}
+}
+
+func TestTransientRejectsStiffSystems(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 1
+a -> b @ 1e9
+b -> a @ 1e9
+`)
+	ss, _ := Enumerate(net, net.InitialState(), 0)
+	if _, err := ss.TransientAt(10, 0); err == nil {
+		t.Fatal("stiff uniformization accepted")
+	}
+}
+
+func TestAbsorptionTwoWayRace(t *testing.T) {
+	// a -> b @ 3 races a -> c @ 1: P(b) = 3/4 exactly.
+	net := chem.MustParseNetwork(`
+a = 1
+a -> b @ 3
+a -> c @ 1
+`)
+	ss, err := Enumerate(net, net.InitialState(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := ss.AbsorptionProbs(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := net.MustSpecies("b")
+	total := 0.0
+	for state, p := range probs {
+		total += p
+		if ss.State(state)[b] == 1 {
+			if math.Abs(p-0.75) > 1e-10 {
+				t.Fatalf("P(b outcome) = %v, want 0.75", p)
+			}
+		}
+	}
+	if math.Abs(total-1) > 1e-10 {
+		t.Fatalf("absorption probs sum to %v", total)
+	}
+}
+
+func TestAbsorptionMatchesMonteCarlo(t *testing.T) {
+	// A miniature 2-outcome stochastic module (E=2 each, γ=10): the exact
+	// absorption probability of the d1-only outcomes must match an MC
+	// estimate within sampling error.
+	net := chem.MustParseNetwork(`
+e1 = 2
+e2 = 2
+init1: e1 -> d1 @ 2
+init2: e2 -> d2 @ 1
+reinf1: e1 + d1 -> 2 d1 @ 20
+reinf2: e2 + d2 -> 2 d2 @ 10
+stab1: d1 + e2 -> d1 @ 20
+stab2: d2 + e1 -> d2 @ 10
+purif: d1 + d2 -> 0 @ 200
+`)
+	ss, err := Enumerate(net, net.InitialState(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := ss.AbsorptionProbs(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := net.MustSpecies("d1")
+	d2 := net.MustSpecies("d2")
+	exactD1 := 0.0
+	for state, p := range probs {
+		st := ss.State(state)
+		if st[d1] > 0 && st[d2] == 0 {
+			exactD1 += p
+		}
+	}
+	const trials = 40000
+	res := mc.Run(mc.Config{Trials: trials, Outcomes: 2, Seed: 99}, func(gen *rng.PCG) int {
+		eng := sim.NewDirect(net, gen)
+		sim.Run(eng, sim.RunOptions{})
+		st := eng.State()
+		if st[d1] > 0 && st[d2] == 0 {
+			return 0
+		}
+		return 1
+	})
+	mcD1 := res.Fraction(0)
+	sd := math.Sqrt(exactD1 * (1 - exactD1) / trials)
+	if math.Abs(mcD1-exactD1) > 6*sd {
+		t.Fatalf("MC %v vs exact %v (6σ=%v)", mcD1, exactD1, 6*sd)
+	}
+	t.Logf("exact P(d1 wins) = %.6f, MC = %.6f", exactD1, mcD1)
+}
+
+func TestAbsorptionNoAbsorbingStates(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 1
+a -> b @ 1
+b -> a @ 1
+`)
+	ss, _ := Enumerate(net, net.InitialState(), 0)
+	if _, err := ss.AbsorptionProbs(0, 0); err == nil {
+		t.Fatal("cycle without absorption accepted")
+	}
+}
+
+func TestTransientDistributionSumsToOne(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 4
+b = 2
+a -> b @ 1
+b -> 0 @ 2
+a + b -> b @ 0.5
+`)
+	ss, err := Enumerate(net, net.InitialState(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []float64{0.1, 1, 10} {
+		dist, err := ss.TransientAt(tm, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, p := range dist {
+			if p < -1e-15 {
+				t.Fatalf("negative probability %v at t=%v", p, tm)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("distribution at t=%v sums to %v", tm, sum)
+		}
+	}
+}
+
+func TestTransientMatchesSSAEnsemble(t *testing.T) {
+	// Cross-check: CME marginal mean vs SSA ensemble mean at a fixed time.
+	net := chem.MustParseNetwork(`
+a = 10
+a -> b @ 1
+b -> a @ 0.5
+`)
+	ss, err := Enumerate(net, net.InitialState(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := ss.TransientAt(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aIdx := net.MustSpecies("a")
+	exactMean := ss.MeanCount(dist, aIdx)
+	s := mc.RunNumeric(mc.Config{Trials: 20000, Seed: 7}, func(gen *rng.PCG) float64 {
+		eng := sim.NewDirect(net, gen)
+		sim.Run(eng, sim.RunOptions{MaxTime: 2})
+		return float64(eng.State()[aIdx])
+	})
+	if math.Abs(s.Mean-exactMean) > 6*s.StdErr() {
+		t.Fatalf("SSA mean %v vs CME mean %v (6·se=%v)", s.Mean, exactMean, 6*s.StdErr())
+	}
+}
+
+func TestMeanAbsorptionTimePureDeath(t *testing.T) {
+	// a -> 0 at rate k from A0=N: mean extinction time = (1/k)·H_N.
+	net := chem.MustParseNetwork(`
+a = 12
+a -> 0 @ 2
+`)
+	ss, err := Enumerate(net, net.InitialState(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ss.MeanAbsorptionTime(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for i := 1; i <= 12; i++ {
+		want += 1 / (2 * float64(i))
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean absorption time = %v, want %v", got, want)
+	}
+}
+
+func TestMeanAbsorptionTimeTwoStep(t *testing.T) {
+	// a -> b -> c, rates 1 and 2: mean = 1 + 1/2.
+	net := chem.MustParseNetwork(`
+a = 1
+a -> b @ 1
+b -> c @ 2
+`)
+	ss, err := Enumerate(net, net.InitialState(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ss.MeanAbsorptionTime(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("mean absorption time = %v, want 1.5", got)
+	}
+}
+
+func TestMeanAbsorptionTimeNoAbsorbing(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 1
+a -> b @ 1
+b -> a @ 1
+`)
+	ss, _ := Enumerate(net, net.InitialState(), 0)
+	if _, err := ss.MeanAbsorptionTime(0, 0); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestMeanAbsorptionTimeMatchesSSA(t *testing.T) {
+	// Cross-check against the Monte Carlo mean for a branching chain.
+	net := chem.MustParseNetwork(`
+a = 1
+a -> b @ 3
+a -> c @ 1
+b -> c @ 0.5
+`)
+	ss, err := Enumerate(net, net.InitialState(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ss.MeanAbsorptionTime(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mc.RunNumeric(mc.Config{Trials: 30000, Seed: 5}, func(gen *rng.PCG) float64 {
+		eng := sim.NewDirect(net, gen)
+		res := sim.Run(eng, sim.RunOptions{})
+		_ = res
+		return eng.Time()
+	})
+	if math.Abs(s.Mean-want) > 6*s.StdErr() {
+		t.Fatalf("SSA mean %v vs exact %v (6·se=%v)", s.Mean, want, 6*s.StdErr())
+	}
+}

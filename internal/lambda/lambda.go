@@ -1,0 +1,181 @@
+// Package lambda reproduces the paper's application study (§3): fitting the
+// stochastic lysis/lysogeny response of the lambda bacteriophage with a
+// synthesised reaction network.
+//
+// Three models participate, mirroring Figure 5's three series:
+//
+//   - Reference: the paper's Equation 14 curve fit,
+//     P(cI₂ threshold)% = 15 + 6·log₂(MOI) + MOI/6, obtained by the authors
+//     from Monte Carlo runs of the Arkin et al. (1998) natural model.
+//   - NaturalModel: a mechanistic surrogate for the Arkin model (117
+//     reactions / 61 species, not reprinted in the paper) — an MOI-dosed
+//     cro/cI race with capacity-limited CII degradation; see natural.go and
+//     DESIGN.md for the substitution rationale.
+//   - Synthesize / SyntheticModel: the paper's synthesis output, a
+//     19-reaction / 17-species network (Figure 4) built from the synth
+//     package's modules, programmable for any response a + b·log₂ + x/c.
+//
+// Outcomes follow the paper's thresholds: lysis when cro₂ reaches 55
+// copies, lysogeny when cI₂ reaches 145.
+package lambda
+
+import (
+	"fmt"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/fit"
+	"stochsynth/internal/mc"
+	"stochsynth/internal/rng"
+	"stochsynth/internal/sim"
+)
+
+// Outcome indices reported by model classifiers.
+const (
+	// Lysis: the cro₂ threshold was reached first.
+	Lysis = 0
+	// Lysogeny: the cI₂ threshold was reached first.
+	Lysogeny = 1
+)
+
+// Thresholds are the paper's outcome thresholds: "the outcomes are judged
+// according to threshold values: 55 for cro2 and 145 for ci2".
+type Thresholds struct {
+	Cro2 int64
+	CI2  int64
+}
+
+// DefaultThresholds returns the paper's values.
+func DefaultThresholds() Thresholds { return Thresholds{Cro2: 55, CI2: 145} }
+
+// Reference returns Equation 14, the paper's curve fit to the natural
+// model: P(lysogeny)% = 15 + 6·log₂(MOI) + MOI/6. (The paper's text labels
+// this P(lysis), but Figure 5's axis — "cI₂ Threshold Reached (%)" — and
+// the biology both identify the rising curve with lysogeny; see DESIGN.md.)
+func Reference() fit.LogLin {
+	return fit.LogLin{A: 15, B: 6, C: 1.0 / 6, R2: 1}
+}
+
+// Model is a lambda-switch model ready for Monte Carlo characterisation.
+type Model struct {
+	// Name identifies the model in reports ("synthetic", "natural").
+	Name string
+	// Net is the reaction network; MOI is installed per trial.
+	Net *chem.Network
+	// MOI, Cro2 and CI2 are the input and output species.
+	MOI  chem.Species
+	Cro2 chem.Species
+	CI2  chem.Species
+	// Thresholds classify the outcome.
+	Thresholds Thresholds
+	// MaxSteps bounds one trial (deadlock safety net).
+	MaxSteps int64
+}
+
+// Trial returns an mc.Trial that runs one infection at the given MOI and
+// classifies the outcome (Lysis, Lysogeny, or mc.None on deadlock).
+func (m *Model) Trial(moi int64) mc.Trial {
+	st0 := m.Net.InitialState()
+	st0.Set(m.MOI, moi)
+	maxSteps := m.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 5_000_000
+	}
+	return func(gen *rng.PCG) int {
+		eng := sim.NewDirect(m.Net, gen)
+		eng.Reset(st0, 0)
+		res := sim.Run(eng, sim.RunOptions{
+			MaxSteps: maxSteps,
+			StopWhen: func(st chem.State, _ float64) bool {
+				return st[m.Cro2] >= m.Thresholds.Cro2 || st[m.CI2] >= m.Thresholds.CI2
+			},
+		})
+		if res.Reason != sim.StopPredicate {
+			return mc.None
+		}
+		if eng.State()[m.CI2] >= m.Thresholds.CI2 {
+			return Lysogeny
+		}
+		return Lysis
+	}
+}
+
+// Point is one MOI sweep sample: the measured lysogeny percentage with its
+// 95% Wilson interval.
+type Point struct {
+	MOI         int64
+	PctLysogeny float64
+	PctLo       float64
+	PctHi       float64
+	Unresolved  int64
+}
+
+// SweepMOI characterises the model's probabilistic response across the
+// given MOI values ("sweeping the quantity of the input type moi"),
+// running trials Monte Carlo trials per point.
+func SweepMOI(m *Model, mois []int64, trials int, seed uint64) []Point {
+	points := make([]Point, len(mois))
+	for i, moi := range mois {
+		res := mc.Run(mc.Config{
+			Trials:   trials,
+			Outcomes: 2,
+			Seed:     seed + uint64(i)*0x9e3779b97f4a7c15,
+		}, m.Trial(moi))
+		p := res.Proportion(Lysogeny)
+		lo, hi := p.Wilson(mc.Z95)
+		points[i] = Point{
+			MOI:         moi,
+			PctLysogeny: 100 * p.Estimate(),
+			PctLo:       100 * lo,
+			PctHi:       100 * hi,
+			Unresolved:  res.None,
+		}
+	}
+	return points
+}
+
+// RoundToParams converts a fitted response into synthesisable parameters:
+// A and B round to the nearest integers (clamped to the valid ranges) and
+// the linear coefficient c becomes its nearest inverse-integer 1/CInv.
+// This is the quantisation step between the paper's Equation 14 and its
+// Figure 4 construction (15, 6, 1/6 happen to be exactly representable).
+// It returns an error when the fitted curve cannot be realised (e.g.
+// non-positive constant term).
+func RoundToParams(m fit.LogLin) (SynthesisParams, error) {
+	a := int64(m.A + 0.5)
+	if a < 1 || a > 99 {
+		return SynthesisParams{}, fmt.Errorf("lambda: constant term %v not realisable as initial quantity in (0,100)", m.A)
+	}
+	b := int64(m.B + 0.5)
+	if b < 1 {
+		b = 1 // a flat-in-log response still needs a positive per-pass count
+	}
+	var cinv int64
+	switch {
+	case m.C > 1:
+		cinv = 1
+	case m.C > 0:
+		cinv = int64(1/m.C + 0.5)
+		if cinv > 1000 {
+			cinv = 1000 // effectively no linear term
+		}
+	default:
+		cinv = 1000
+	}
+	return SynthesisParams{A: a, B: b, CInv: cinv}, nil
+}
+
+// FitResponse fits the paper's a + b·log₂(MOI) + c·MOI model to sweep
+// points (the step the paper performs on the natural model's data to obtain
+// Equation 14).
+func FitResponse(points []Point) (fit.LogLin, error) {
+	if len(points) < 3 {
+		return fit.LogLin{}, fmt.Errorf("lambda: need at least 3 points, got %d", len(points))
+	}
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		xs[i] = float64(p.MOI)
+		ys[i] = p.PctLysogeny
+	}
+	return fit.FitLogLin(xs, ys)
+}

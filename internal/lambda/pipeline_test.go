@@ -1,0 +1,98 @@
+package lambda
+
+import (
+	"math"
+	"testing"
+
+	"stochsynth/internal/fit"
+)
+
+func TestRoundToParams(t *testing.T) {
+	cases := []struct {
+		in   fit.LogLin
+		want SynthesisParams
+	}{
+		{fit.LogLin{A: 15, B: 6, C: 1.0 / 6}, SynthesisParams{A: 15, B: 6, CInv: 6}},
+		{fit.LogLin{A: 14.6, B: 5.7, C: 0.24}, SynthesisParams{A: 15, B: 6, CInv: 4}},
+		{fit.LogLin{A: 12.6, B: 2.5, C: 1.8}, SynthesisParams{A: 13, B: 3, CInv: 1}},
+		{fit.LogLin{A: 20, B: 0.2, C: 0.00001}, SynthesisParams{A: 20, B: 1, CInv: 1000}},
+		{fit.LogLin{A: 20, B: 2, C: -0.5}, SynthesisParams{A: 20, B: 2, CInv: 1000}},
+	}
+	for _, c := range cases {
+		got, err := RoundToParams(c.in)
+		if err != nil {
+			t.Errorf("RoundToParams(%+v): %v", c.in, err)
+			continue
+		}
+		if got.A != c.want.A || got.B != c.want.B || got.CInv != c.want.CInv {
+			t.Errorf("RoundToParams(%+v) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRoundToParamsRejectsUnrealisable(t *testing.T) {
+	for _, m := range []fit.LogLin{
+		{A: 0.2, B: 6, C: 0.1},
+		{A: -3, B: 6, C: 0.1},
+		{A: 104, B: 6, C: 0.1},
+	} {
+		if _, err := RoundToParams(m); err == nil {
+			t.Errorf("RoundToParams(%+v) accepted", m)
+		}
+	}
+}
+
+// TestEndToEndMethodology runs the paper's complete §3 flow against the
+// natural surrogate:
+//
+//  1. characterise the "natural" system by Monte Carlo sweep,
+//  2. curve-fit the response with the Eq. 14 model family,
+//  3. quantise the fit into synthesis parameters,
+//  4. synthesise the reduced model,
+//  5. characterise the synthetic system and check it reproduces the
+//     natural response.
+func TestEndToEndMethodology(t *testing.T) {
+	mois := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	natural, err := NaturalModel(NaturalParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 1500
+
+	// (1) characterise and (2) fit.
+	natPts := SweepMOI(natural, mois, trials, 0xfeed)
+	fitted, err := FitResponse(natPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitted.R2 < 0.9 {
+		t.Fatalf("natural fit R² = %v (%s)", fitted.R2, fitted)
+	}
+
+	// (3) quantise and (4) synthesise.
+	params, err := RoundToParams(fitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := Synthesize(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (5) validate: the synthetic response must track the natural one.
+	synPts := SweepMOI(model, mois, trials, 0xbeef)
+	var rms float64
+	for i := range mois {
+		d := synPts[i].PctLysogeny - natPts[i].PctLysogeny
+		rms += d * d
+	}
+	rms = math.Sqrt(rms / float64(len(mois)))
+	// Tolerance: quantisation (integer staircase vs smooth curve) plus two
+	// Monte Carlo noise terms; 6 percentage points RMS is conservative.
+	if rms > 6 {
+		t.Fatalf("synthetic response deviates from natural by %.2f points RMS\nnatural: %+v\nsynthetic: %+v\nparams: %+v",
+			rms, natPts, synPts, params)
+	}
+	t.Logf("methodology round trip: fit %s → params %+v → RMS deviation %.2f points",
+		fitted, params, rms)
+}

@@ -1,0 +1,79 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"stochsynth/internal/rng"
+)
+
+func TestRunAdaptiveTightensInterval(t *testing.T) {
+	trial := func(gen *rng.PCG) int {
+		if gen.Float64() < 0.3 {
+			return 0
+		}
+		return 1
+	}
+	res := RunAdaptive(Config{Trials: 2000, Outcomes: 2, Seed: 5}, 0.01, 1_000_000, trial)
+	for i := 0; i < 2; i++ {
+		lo, hi := res.Proportion(i).Wilson(Z95)
+		if (hi-lo)/2 > 0.01 {
+			t.Fatalf("outcome %d half-width %v > 0.01 after %d trials", i, (hi-lo)/2, res.Trials)
+		}
+	}
+	if math.Abs(res.Fraction(0)-0.3) > 0.02 {
+		t.Fatalf("estimate %v, want ~0.3", res.Fraction(0))
+	}
+	// Needs several batches: a single 2000-trial batch has half-width ~0.02.
+	if res.Trials <= 2000 {
+		t.Fatalf("stopped after one batch (%d trials)", res.Trials)
+	}
+}
+
+func TestRunAdaptiveRespectsCap(t *testing.T) {
+	trial := func(gen *rng.PCG) int {
+		if gen.Float64() < 0.5 {
+			return 0
+		}
+		return 1
+	}
+	res := RunAdaptive(Config{Trials: 1000, Outcomes: 2, Seed: 7}, 1e-9, 5000, trial)
+	if res.Trials > 5000 {
+		t.Fatalf("cap exceeded: %d trials", res.Trials)
+	}
+}
+
+func TestRunAdaptiveStopsImmediatelyWhenEasy(t *testing.T) {
+	// Degenerate distribution: interval collapses after one batch.
+	trial := func(*rng.PCG) int { return 0 }
+	res := RunAdaptive(Config{Trials: 5000, Outcomes: 1, Seed: 9}, 0.01, 1_000_000, trial)
+	if res.Trials != 5000 {
+		t.Fatalf("ran %d trials, want exactly one batch", res.Trials)
+	}
+}
+
+func TestRunAdaptivePanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RunAdaptive(Config{Trials: 10, Outcomes: 1}, 0, 100, func(*rng.PCG) int { return 0 })
+}
+
+func TestRunAdaptiveRareEvent(t *testing.T) {
+	// p = 0.002: a 1000-trial batch sees ~2 hits; adaptive sampling should
+	// continue until the interval half-width is ≤ 0.002 and the estimate
+	// is within a factor-ish of truth.
+	trial := func(gen *rng.PCG) int {
+		if gen.Float64() < 0.002 {
+			return 0
+		}
+		return 1
+	}
+	res := RunAdaptive(Config{Trials: 1000, Outcomes: 2, Seed: 11}, 0.002, 200000, trial)
+	lo, hi := res.Proportion(0).Wilson(Z95)
+	if lo > 0.002 || hi < 0.002 {
+		t.Fatalf("interval [%v, %v] misses truth 0.002 (n=%d)", lo, hi, res.Trials)
+	}
+}

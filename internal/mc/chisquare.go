@@ -1,0 +1,68 @@
+package mc
+
+import "fmt"
+
+// chi-square critical values at significance 0.001 (99.9%), indexed by
+// degrees of freedom 1..12. Tests at this level produce a false alarm once
+// per thousand runs, which is the right trade-off for a CI suite full of
+// statistical assertions.
+var chiSqCrit999 = []float64{
+	0, // df 0 unused
+	10.828, 13.816, 16.266, 18.467, 20.515, 22.458,
+	24.322, 26.124, 27.877, 29.588, 31.264, 32.909,
+}
+
+// ChiSquare returns Pearson's χ² statistic comparing observed counts with
+// expected cell probabilities. It returns an error if the inputs are
+// mismatched, the probabilities do not sum to ≈1, or any expected count is
+// below 5 (the usual validity rule for the χ² approximation).
+func ChiSquare(counts []int64, probs []float64) (float64, error) {
+	if len(counts) != len(probs) || len(counts) < 2 {
+		return 0, fmt.Errorf("mc: ChiSquare needs matching counts/probs with at least 2 cells")
+	}
+	var n int64
+	for _, c := range counts {
+		if c < 0 {
+			return 0, fmt.Errorf("mc: negative count %d", c)
+		}
+		n += c
+	}
+	total := 0.0
+	for _, p := range probs {
+		if p < 0 {
+			return 0, fmt.Errorf("mc: negative probability %v", p)
+		}
+		total += p
+	}
+	if total < 0.999999 || total > 1.000001 {
+		return 0, fmt.Errorf("mc: probabilities sum to %v, want 1", total)
+	}
+	stat := 0.0
+	for i, c := range counts {
+		expected := probs[i] * float64(n)
+		if expected < 5 {
+			return 0, fmt.Errorf("mc: expected count %.2f in cell %d below 5; use more trials", expected, i)
+		}
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	return stat, nil
+}
+
+// GoodnessOfFit runs Pearson's χ² test of the observed counts against the
+// expected probabilities at significance 0.001. ok is true when the
+// distribution is consistent with the expectation. Degrees of freedom
+// above 12 are not supported (the library's outcome spaces are small).
+func GoodnessOfFit(counts []int64, probs []float64) (stat, critical float64, ok bool, err error) {
+	stat, err = ChiSquare(counts, probs)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	df := len(counts) - 1
+	if df >= len(chiSqCrit999) {
+		return 0, 0, false, fmt.Errorf("mc: %d degrees of freedom unsupported (max %d)",
+			df, len(chiSqCrit999)-1)
+	}
+	critical = chiSqCrit999[df]
+	return stat, critical, stat <= critical, nil
+}

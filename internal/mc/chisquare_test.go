@@ -1,0 +1,78 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+
+	"stochsynth/internal/rng"
+)
+
+func TestChiSquareExactFit(t *testing.T) {
+	stat, err := ChiSquare([]int64{300, 400, 300}, []float64{0.3, 0.4, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 {
+		t.Fatalf("stat = %v, want 0 for exact fit", stat)
+	}
+}
+
+func TestChiSquareDetectsMismatch(t *testing.T) {
+	// Data from 0.5/0.5 tested against 0.3/0.7: must reject decisively.
+	_, _, ok, err := GoodnessOfFit([]int64{5000, 5000}, []float64{0.3, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("gross mismatch accepted")
+	}
+}
+
+func TestGoodnessOfFitAcceptsSampledTruth(t *testing.T) {
+	gen := rng.New(31)
+	probs := []float64{0.3, 0.4, 0.3}
+	counts := make([]int64, 3)
+	for i := 0; i < 50000; i++ {
+		counts[gen.Discrete(probs)]++
+	}
+	stat, crit, ok, err := GoodnessOfFit(counts, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("true distribution rejected: stat %v > crit %v", stat, crit)
+	}
+}
+
+func TestChiSquareValidation(t *testing.T) {
+	cases := []struct {
+		counts []int64
+		probs  []float64
+		frag   string
+	}{
+		{[]int64{1}, []float64{1}, "at least 2"},
+		{[]int64{1, 2}, []float64{0.5}, "at least 2"},
+		{[]int64{-1, 2}, []float64{0.5, 0.5}, "negative count"},
+		{[]int64{10, 10}, []float64{-0.5, 1.5}, "negative probability"},
+		{[]int64{10, 10}, []float64{0.4, 0.4}, "sum to"},
+		{[]int64{4, 400}, []float64{0.001, 0.999}, "below 5"},
+	}
+	for _, c := range cases {
+		_, err := ChiSquare(c.counts, c.probs)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("ChiSquare(%v, %v): err = %v, want %q", c.counts, c.probs, err, c.frag)
+		}
+	}
+}
+
+func TestGoodnessOfFitDFLimit(t *testing.T) {
+	counts := make([]int64, 14)
+	probs := make([]float64, 14)
+	for i := range counts {
+		counts[i] = 100
+		probs[i] = 1.0 / 14
+	}
+	if _, _, _, err := GoodnessOfFit(counts, probs); err == nil {
+		t.Fatal("df beyond table accepted")
+	}
+}

@@ -1,0 +1,215 @@
+// Package mc is the Monte Carlo harness used to characterise probabilistic
+// responses, exactly as the paper does ("Monte Carlo simulations with
+// 100,000 trials were performed").
+//
+// Trials run in parallel on a worker pool, but every trial draws its
+// randomness from its own rng stream derived from (seed, trial index), so
+// results are bit-for-bit reproducible regardless of scheduling and worker
+// count. Outcome tallies come with Wilson confidence intervals, and Sweep
+// drives a family of runs across a parameter range (the paper's γ and MOI
+// sweeps).
+package mc
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"stochsynth/internal/rng"
+)
+
+// Outcome constants. Classifiers return a non-negative outcome index, or
+// None when the trial produced no classifiable outcome (e.g. the race
+// deadlocked with no winner).
+const None = -1
+
+// Trial runs one independent simulation with the supplied generator and
+// returns an outcome index in [0, Outcomes) or None.
+type Trial func(gen *rng.PCG) int
+
+// Config parameterises a Monte Carlo run.
+type Config struct {
+	// Trials is the number of independent trials (must be > 0).
+	Trials int
+	// Outcomes is the number of distinct outcome indices (must be > 0).
+	Outcomes int
+	// Seed selects the reproducible stream family.
+	Seed uint64
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Result tallies the outcomes of a run.
+type Result struct {
+	// Counts[i] is the number of trials classified as outcome i.
+	Counts []int64
+	// None is the number of unclassifiable trials.
+	None int64
+	// Trials is the total number of trials run.
+	Trials int64
+}
+
+// Proportion returns the estimator for outcome i over all trials
+// (unclassified trials count in the denominator).
+func (r Result) Proportion(i int) Proportion {
+	return Proportion{Successes: r.Counts[i], Trials: r.Trials}
+}
+
+// Fraction returns Counts[i]/Trials as a plain float64.
+func (r Result) Fraction(i int) float64 {
+	return float64(r.Counts[i]) / float64(r.Trials)
+}
+
+// String renders the tallies compactly for logs.
+func (r Result) String() string {
+	s := "mc.Result{"
+	for i, c := range r.Counts {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("p%d=%.4f", i, float64(c)/float64(r.Trials))
+	}
+	if r.None > 0 {
+		s += fmt.Sprintf(" none=%d", r.None)
+	}
+	return s + fmt.Sprintf(" n=%d}", r.Trials)
+}
+
+// Run executes cfg.Trials independent trials of trial and tallies outcomes.
+// It panics on invalid configuration or on out-of-range outcome indices
+// (a classifier bug).
+func Run(cfg Config, trial Trial) Result {
+	if cfg.Trials <= 0 {
+		panic("mc: Config.Trials must be positive")
+	}
+	if cfg.Outcomes <= 0 {
+		panic("mc: Config.Outcomes must be positive")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+
+	type tally struct {
+		counts []int64
+		none   int64
+		err    string
+	}
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		tallies[w].counts = make([]int64, cfg.Outcomes)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Static striping keeps the trial→stream mapping fixed, so
+			// the aggregate is independent of scheduling.
+			for i := w; i < cfg.Trials; i += workers {
+				gen := rng.NewStream(cfg.Seed, uint64(i))
+				outcome := trial(gen)
+				switch {
+				case outcome == None:
+					tallies[w].none++
+				case outcome >= 0 && outcome < cfg.Outcomes:
+					tallies[w].counts[outcome]++
+				default:
+					// Record the bug and stop this worker; panicking here
+					// would crash the process from a non-caller goroutine.
+					tallies[w].err = fmt.Sprintf(
+						"mc: classifier returned %d for trial %d, want [0,%d) or None",
+						outcome, i, cfg.Outcomes)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, t := range tallies {
+		if t.err != "" {
+			panic(t.err)
+		}
+	}
+
+	res := Result{Counts: make([]int64, cfg.Outcomes), Trials: int64(cfg.Trials)}
+	for _, t := range tallies {
+		for i, c := range t.counts {
+			res.Counts[i] += c
+		}
+		res.None += t.none
+	}
+	return res
+}
+
+// NumericTrial runs one independent simulation and returns a numeric
+// measurement (e.g. the output count of a deterministic module).
+type NumericTrial func(gen *rng.PCG) float64
+
+// Summary holds moment statistics of a numeric Monte Carlo run.
+type Summary struct {
+	N    int64
+	Mean float64
+	// Var is the unbiased sample variance.
+	Var      float64
+	Min, Max float64
+}
+
+// StdErr returns the standard error of the mean.
+func (s Summary) StdErr() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return math.Sqrt(s.Var / float64(s.N))
+}
+
+// RunNumeric executes cfg.Trials independent numeric trials and summarises
+// them. cfg.Outcomes is ignored.
+func RunNumeric(cfg Config, trial NumericTrial) Summary {
+	if cfg.Trials <= 0 {
+		panic("mc: Config.Trials must be positive")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	values := make([]float64, cfg.Trials)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < cfg.Trials; i += workers {
+				values[i] = trial(rng.NewStream(cfg.Seed, uint64(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := Summary{N: int64(cfg.Trials), Min: values[0], Max: values[0]}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(cfg.Trials)
+	if cfg.Trials > 1 {
+		ss := 0.0
+		for _, v := range values {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Var = ss / float64(cfg.Trials-1)
+	}
+	return s
+}

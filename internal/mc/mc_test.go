@@ -1,0 +1,137 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"stochsynth/internal/rng"
+)
+
+func TestRunTalliesKnownDistribution(t *testing.T) {
+	// Trial: draw from a fixed 0.3/0.4/0.3 categorical.
+	trial := func(gen *rng.PCG) int {
+		return gen.Discrete([]float64{0.3, 0.4, 0.3})
+	}
+	res := Run(Config{Trials: 100000, Outcomes: 3, Seed: 1}, trial)
+	want := []float64{0.3, 0.4, 0.3}
+	for i, w := range want {
+		got := res.Fraction(i)
+		sd := math.Sqrt(w * (1 - w) / 100000)
+		if math.Abs(got-w) > 6*sd {
+			t.Errorf("outcome %d: %v, want %v±%v", i, got, w, 6*sd)
+		}
+	}
+	if res.None != 0 {
+		t.Errorf("None = %d, want 0", res.None)
+	}
+	if res.Trials != 100000 {
+		t.Errorf("Trials = %d", res.Trials)
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	trial := func(gen *rng.PCG) int {
+		if gen.Float64() < 0.37 {
+			return 0
+		}
+		return 1
+	}
+	base := Run(Config{Trials: 5000, Outcomes: 2, Seed: 42, Workers: 1}, trial)
+	for _, workers := range []int{2, 4, 7, 16} {
+		res := Run(Config{Trials: 5000, Outcomes: 2, Seed: 42, Workers: workers}, trial)
+		if res.Counts[0] != base.Counts[0] || res.Counts[1] != base.Counts[1] {
+			t.Errorf("workers=%d changed tallies: %v vs %v", workers, res.Counts, base.Counts)
+		}
+	}
+}
+
+func TestRunCountsNone(t *testing.T) {
+	trial := func(gen *rng.PCG) int {
+		if gen.Float64() < 0.5 {
+			return None
+		}
+		return 0
+	}
+	res := Run(Config{Trials: 10000, Outcomes: 1, Seed: 3}, trial)
+	if res.None == 0 || res.Counts[0] == 0 {
+		t.Fatalf("None=%d Counts=%v", res.None, res.Counts)
+	}
+	if res.None+res.Counts[0] != 10000 {
+		t.Fatalf("tallies do not sum to trials: %d + %d", res.None, res.Counts[0])
+	}
+}
+
+func TestRunPanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{Trials: 0, Outcomes: 1},
+		{Trials: 10, Outcomes: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			Run(cfg, func(*rng.PCG) int { return 0 })
+		}()
+	}
+}
+
+func TestRunPanicsOnOutOfRangeOutcome(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range outcome did not panic")
+		}
+	}()
+	Run(Config{Trials: 4, Outcomes: 2, Workers: 1}, func(*rng.PCG) int { return 5 })
+}
+
+func TestRunNumericSummary(t *testing.T) {
+	// Uniform [0,1): mean 1/2, variance 1/12.
+	s := RunNumeric(Config{Trials: 100000, Seed: 9}, func(gen *rng.PCG) float64 {
+		return gen.Float64()
+	})
+	if math.Abs(s.Mean-0.5) > 0.005 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Var-1.0/12) > 0.005 {
+		t.Errorf("var = %v, want ~%v", s.Var, 1.0/12)
+	}
+	if s.Min < 0 || s.Max >= 1 || s.Min > s.Max {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.N != 100000 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.StdErr() <= 0 || s.StdErr() > 0.01 {
+		t.Errorf("stderr = %v", s.StdErr())
+	}
+}
+
+func TestRunNumericDeterministicAcrossWorkers(t *testing.T) {
+	trial := func(gen *rng.PCG) float64 { return gen.Float64() }
+	a := RunNumeric(Config{Trials: 1000, Seed: 5, Workers: 1}, trial)
+	b := RunNumeric(Config{Trials: 1000, Seed: 5, Workers: 8}, trial)
+	if a.Mean != b.Mean || a.Var != b.Var {
+		t.Fatalf("numeric run depends on workers: %+v vs %+v", a, b)
+	}
+}
+
+func TestResultStringIncludesProportions(t *testing.T) {
+	res := Result{Counts: []int64{30, 70}, Trials: 100, None: 5}
+	s := res.String()
+	for _, frag := range []string{"p0=0.3000", "p1=0.7000", "none=5", "n=100"} {
+		if !contains(s, frag) {
+			t.Errorf("Result.String() = %q lacks %q", s, frag)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

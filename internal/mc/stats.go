@@ -1,0 +1,125 @@
+package mc
+
+import "math"
+
+// Proportion is a binomial proportion estimator: Successes out of Trials.
+type Proportion struct {
+	Successes int64
+	Trials    int64
+}
+
+// Estimate returns the point estimate Successes/Trials (0 for zero trials).
+func (p Proportion) Estimate() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// StdErr returns the plug-in standard error sqrt(p̂(1−p̂)/n).
+func (p Proportion) StdErr() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	est := p.Estimate()
+	return math.Sqrt(est * (1 - est) / float64(p.Trials))
+}
+
+// Wilson returns the Wilson score interval at the given z value (1.96 for
+// 95%). Unlike the Wald interval it behaves sensibly at proportions near 0
+// and 1, which is exactly the regime of the paper's Figure 3 (error rates
+// down to 0.001%).
+func (p Proportion) Wilson(z float64) (lo, hi float64) {
+	if p.Trials == 0 {
+		return 0, 1
+	}
+	n := float64(p.Trials)
+	phat := p.Estimate()
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (phat + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(phat*(1-phat)/n+z2/(4*n*n))
+	lo = center - half
+	hi = center + half
+	// At the boundaries the exact interval endpoints are 0 and 1; clamp away
+	// the floating-point residue so ordering invariants hold exactly.
+	if lo < 0 || p.Successes == 0 {
+		lo = 0
+	}
+	if hi > 1 || p.Successes == p.Trials {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Z95 is the normal quantile for 95% two-sided intervals.
+const Z95 = 1.959963984540054
+
+// Hist is an integer-valued histogram with dynamic bounds, used to inspect
+// output-count distributions of deterministic modules.
+type Hist struct {
+	counts map[int64]int64
+	n      int64
+	min    int64
+	max    int64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist {
+	return &Hist{counts: make(map[int64]int64)}
+}
+
+// Add records one observation.
+func (h *Hist) Add(v int64) {
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.counts[v]++
+	h.n++
+}
+
+// N returns the number of observations.
+func (h *Hist) N() int64 { return h.n }
+
+// Count returns the number of observations equal to v.
+func (h *Hist) Count(v int64) int64 { return h.counts[v] }
+
+// Bounds returns the minimum and maximum observed values. It is only
+// meaningful when N > 0.
+func (h *Hist) Bounds() (min, max int64) { return h.min, h.max }
+
+// Mean returns the sample mean.
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.n)
+}
+
+// Mode returns the most frequent value (smallest such value on ties). It is
+// only meaningful when N > 0.
+func (h *Hist) Mode() int64 {
+	var best int64
+	var bestCount int64 = -1
+	for v := h.min; v <= h.max; v++ {
+		if c := h.counts[v]; c > bestCount {
+			best, bestCount = v, c
+		}
+	}
+	return best
+}
+
+// FractionAt returns the fraction of observations equal to v.
+func (h *Hist) FractionAt(v int64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.n)
+}

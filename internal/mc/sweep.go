@@ -1,0 +1,39 @@
+package mc
+
+// SweepPoint pairs one parameter value with the Monte Carlo result at that
+// value.
+type SweepPoint struct {
+	Param  float64
+	Result Result
+}
+
+// Sweep runs one Monte Carlo batch per parameter value. The mkTrial callback
+// builds the per-value Trial (typically by synthesising a network for the
+// parameter and closing over it); each batch gets a distinct seed derived
+// from cfg.Seed and the point index so that sweeps never reuse streams.
+func Sweep(cfg Config, params []float64, mkTrial func(param float64) Trial) []SweepPoint {
+	out := make([]SweepPoint, len(params))
+	for i, p := range params {
+		pointCfg := cfg
+		pointCfg.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+		out[i] = SweepPoint{Param: p, Result: Run(pointCfg, mkTrial(p))}
+	}
+	return out
+}
+
+// NumericSweepPoint pairs one parameter value with a numeric summary.
+type NumericSweepPoint struct {
+	Param   float64
+	Summary Summary
+}
+
+// SweepNumeric runs one numeric Monte Carlo batch per parameter value.
+func SweepNumeric(cfg Config, params []float64, mkTrial func(param float64) NumericTrial) []NumericSweepPoint {
+	out := make([]NumericSweepPoint, len(params))
+	for i, p := range params {
+		pointCfg := cfg
+		pointCfg.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+		out[i] = NumericSweepPoint{Param: p, Summary: RunNumeric(pointCfg, mkTrial(p))}
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+// Package ode provides deterministic mean-field integration of chemical
+// reaction networks.
+//
+// The mean-field rate of reaction j in (real-valued) state x uses the same
+// combinatorial kinetics as the stochastic propensity, a_j(x) =
+// k_j·Π C(x_i, ν_i) with C generalised to real arguments, so that for large
+// counts the ODE trajectory matches the mean of the exact stochastic process
+// to first order. The package is a verification substrate: tests compare SSA
+// ensemble means against the integrated mean field, and module designers can
+// sanity-check functional behaviour before paying for Monte Carlo.
+//
+// Two integrators are provided: fixed-step classical RK4 and adaptive
+// RKF45 (Runge–Kutta–Fehlberg with embedded error control).
+package ode
+
+import (
+	"math"
+
+	"stochsynth/internal/chem"
+)
+
+// System is a mean-field ODE system extracted from a reaction network.
+type System struct {
+	net    *chem.Network
+	deltas [][]int64
+}
+
+// NewSystem builds the mean-field system of net.
+func NewSystem(net *chem.Network) *System {
+	s := &System{net: net}
+	s.deltas = make([][]int64, net.NumReactions())
+	for i := 0; i < net.NumReactions(); i++ {
+		s.deltas[i] = chem.Delta(net.Reaction(i), net.NumSpecies())
+	}
+	return s
+}
+
+// Dim returns the state dimension (number of species).
+func (s *System) Dim() int { return s.net.NumSpecies() }
+
+// InitialState returns the network's default initial counts as floats.
+func (s *System) InitialState() []float64 {
+	st := s.net.InitialState()
+	x := make([]float64, len(st))
+	for i, c := range st {
+		x[i] = float64(c)
+	}
+	return x
+}
+
+// Derivs writes dx/dt into dst for the given state x. Negative intermediate
+// values (possible transiently in stiff systems under a fixed step) are
+// treated as zero concentration for rate evaluation, which keeps the flow
+// field pointing back into the positive orthant.
+func (s *System) Derivs(dst, x []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j := 0; j < s.net.NumReactions(); j++ {
+		r := s.net.Reaction(j)
+		rate := r.Rate
+		for _, term := range r.Reactants {
+			xi := x[term.Species]
+			if xi < 0 {
+				xi = 0
+			}
+			rate *= generalizedBinomial(xi, term.Coeff)
+		}
+		if rate == 0 {
+			continue
+		}
+		for sp, d := range s.deltas[j] {
+			if d != 0 {
+				dst[sp] += rate * float64(d)
+			}
+		}
+	}
+}
+
+// generalizedBinomial evaluates C(x, k) = x(x−1)…(x−k+1)/k! with real x,
+// clamped to zero when x < k (matching the stochastic propensity, which
+// vanishes below the stoichiometric threshold).
+func generalizedBinomial(x float64, k int64) float64 {
+	if x < float64(k) {
+		return 0
+	}
+	v := 1.0
+	for i := int64(0); i < k; i++ {
+		v *= (x - float64(i)) / float64(i+1)
+	}
+	return v
+}
+
+// RK4 integrates the system from x0 at t0 to t1 with fixed step dt using
+// the classical fourth-order Runge–Kutta method, returning the final state.
+// If observe is non-nil it is called after every step with (t, x); the x
+// slice is live and must not be retained.
+func RK4(s *System, x0 []float64, t0, t1, dt float64, observe func(t float64, x []float64)) []float64 {
+	if dt <= 0 {
+		panic("ode: RK4 with non-positive dt")
+	}
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	tmp := make([]float64, n)
+	t := t0
+	for t < t1 {
+		h := dt
+		if t+h > t1 {
+			h = t1 - t
+		}
+		s.Derivs(k1, x)
+		for i := range tmp {
+			tmp[i] = x[i] + h/2*k1[i]
+		}
+		s.Derivs(k2, tmp)
+		for i := range tmp {
+			tmp[i] = x[i] + h/2*k2[i]
+		}
+		s.Derivs(k3, tmp)
+		for i := range tmp {
+			tmp[i] = x[i] + h*k3[i]
+		}
+		s.Derivs(k4, tmp)
+		for i := range x {
+			x[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+			if x[i] < 0 {
+				x[i] = 0
+			}
+		}
+		t += h
+		if observe != nil {
+			observe(t, x)
+		}
+	}
+	return x
+}
+
+// RKF45Options tunes the adaptive integrator.
+type RKF45Options struct {
+	// AbsTol is the per-component absolute error tolerance (default 1e-6).
+	AbsTol float64
+	// RelTol is the per-component relative error tolerance (default 1e-6).
+	RelTol float64
+	// InitialStep seeds the step-size controller (default (t1−t0)/100).
+	InitialStep float64
+	// MaxSteps bounds the total accepted+rejected step count (default 10M).
+	MaxSteps int
+}
+
+// RKF45 integrates the system from x0 at t0 to t1 with the adaptive
+// Runge–Kutta–Fehlberg 4(5) method. It returns the final state and the
+// number of accepted steps. It panics if the step controller fails to make
+// progress (step underflow), which signals an unreasonably stiff system —
+// use more rate-band separation or the stochastic engines instead.
+func RKF45(s *System, x0 []float64, t0, t1 float64, opts RKF45Options) ([]float64, int) {
+	if opts.AbsTol <= 0 {
+		opts.AbsTol = 1e-6
+	}
+	if opts.RelTol <= 0 {
+		opts.RelTol = 1e-6
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 10_000_000
+	}
+	h := opts.InitialStep
+	if h <= 0 {
+		h = (t1 - t0) / 100
+	}
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	var k [6][]float64
+	for i := range k {
+		k[i] = make([]float64, n)
+	}
+	tmp := make([]float64, n)
+	x5 := make([]float64, n)
+
+	t := t0
+	accepted := 0
+	for step := 0; t < t1; step++ {
+		if step >= opts.MaxSteps {
+			panic("ode: RKF45 exceeded MaxSteps")
+		}
+		if t+h > t1 {
+			h = t1 - t
+		}
+		stage := func(dst []float64, coeffs [5]float64) {
+			for i := 0; i < n; i++ {
+				v := x[i]
+				for j, c := range coeffs {
+					if c != 0 {
+						v += h * c * k[j][i]
+					}
+				}
+				tmp[i] = v
+			}
+			s.Derivs(dst, tmp)
+		}
+		s.Derivs(k[0], x)
+		stage(k[1], [5]float64{1.0 / 4})
+		stage(k[2], [5]float64{3.0 / 32, 9.0 / 32})
+		stage(k[3], [5]float64{1932.0 / 2197, -7200.0 / 2197, 7296.0 / 2197})
+		stage(k[4], [5]float64{439.0 / 216, -8, 3680.0 / 513, -845.0 / 4104})
+		stage(k[5], [5]float64{-8.0 / 27, 2, -3544.0 / 2565, 1859.0 / 4104, -11.0 / 40})
+
+		// 4th-order solution and embedded 5th-order solution.
+		errNorm := 0.0
+		for i := 0; i < n; i++ {
+			y4 := x[i] + h*(25.0/216*k[0][i]+1408.0/2565*k[2][i]+2197.0/4104*k[3][i]-1.0/5*k[4][i])
+			y5 := x[i] + h*(16.0/135*k[0][i]+6656.0/12825*k[2][i]+28561.0/56430*k[3][i]-9.0/50*k[4][i]+2.0/55*k[5][i])
+			sc := opts.AbsTol + opts.RelTol*math.Max(math.Abs(x[i]), math.Abs(y5))
+			e := math.Abs(y5-y4) / sc
+			if e > errNorm {
+				errNorm = e
+			}
+			x5[i] = y5
+		}
+		if errNorm <= 1 {
+			t += h
+			for i := range x {
+				x[i] = x5[i]
+				if x[i] < 0 {
+					x[i] = 0
+				}
+			}
+			accepted++
+		}
+		// Standard step-size update with safety factor and clamps.
+		factor := 0.9 * math.Pow(1/math.Max(errNorm, 1e-10), 0.2)
+		if factor < 0.1 {
+			factor = 0.1
+		}
+		if factor > 5 {
+			factor = 5
+		}
+		h *= factor
+		if h <= 0 || (t+h == t && t < t1) {
+			panic("ode: RKF45 step size underflow (system too stiff)")
+		}
+	}
+	return x, accepted
+}

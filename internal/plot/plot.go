@@ -1,0 +1,231 @@
+// Package plot renders experiment results as ASCII line/scatter plots and
+// aligned tables, so the benchmark harness can regenerate recognisable
+// versions of the paper's figures directly in a terminal or log file.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named data series of a plot.
+type Series struct {
+	Name   string
+	Marker rune
+	X, Y   []float64
+}
+
+// Plot is an ASCII chart with linear or logarithmic axes.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height give the interior grid size in characters
+	// (defaults 64×20 when zero).
+	Width, Height int
+	// XLog/YLog select log10 axes; points with non-positive coordinates on
+	// a log axis are dropped.
+	XLog, YLog bool
+	Series     []Series
+}
+
+// Add appends a series.
+func (p *Plot) Add(s Series) { p.Series = append(p.Series, s) }
+
+// Render draws the plot. Overlapping points from different series show the
+// marker of the later series.
+func (p *Plot) Render() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	tx := func(x float64) (float64, bool) {
+		if p.XLog {
+			if x <= 0 {
+				return 0, false
+			}
+			return math.Log10(x), true
+		}
+		return x, true
+	}
+	ty := func(y float64) (float64, bool) {
+		if p.YLog {
+			if y <= 0 {
+				return 0, false
+			}
+			return math.Log10(y), true
+		}
+		return y, true
+	}
+
+	// Transformed bounds across all series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	nPoints := 0
+	for _, s := range p.Series {
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			nPoints++
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	if nPoints == 0 {
+		b.WriteString("(no plottable points)\n")
+		return b.String()
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = make([]rune, w)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for _, s := range p.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			col := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+			row := int(math.Round((y - minY) / (maxY - minY) * float64(h-1)))
+			grid[h-1-row][col] = marker
+		}
+	}
+
+	// Y-axis labels on the left edge (top, middle, bottom).
+	yTick := func(row int) string {
+		frac := float64(h-1-row) / float64(h-1)
+		v := minY + frac*(maxY-minY)
+		if p.YLog {
+			v = math.Pow(10, v)
+		}
+		return fmt.Sprintf("%10.4g", v)
+	}
+	if p.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", p.YLabel)
+	}
+	for row := 0; row < h; row++ {
+		label := strings.Repeat(" ", 10)
+		if row == 0 || row == h-1 || row == h/2 {
+			label = yTick(row)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(grid[row]))
+	}
+	// X-axis line with tick labels at edges and centre.
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", 10), strings.Repeat("-", w))
+	xVal := func(col int) float64 {
+		v := minX + float64(col)/float64(w-1)*(maxX-minX)
+		if p.XLog {
+			v = math.Pow(10, v)
+		}
+		return v
+	}
+	left := fmt.Sprintf("%.4g", xVal(0))
+	mid := fmt.Sprintf("%.4g", xVal(w/2))
+	right := fmt.Sprintf("%.4g", xVal(w-1))
+	axis := make([]rune, w)
+	for i := range axis {
+		axis[i] = ' '
+	}
+	copyAt := func(s string, at int) {
+		for i, r := range s {
+			if at+i >= 0 && at+i < w {
+				axis[at+i] = r
+			}
+		}
+	}
+	copyAt(left, 0)
+	copyAt(mid, w/2-len(mid)/2)
+	copyAt(right, w-len(right))
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 10), string(axis))
+	if p.XLabel != "" {
+		fmt.Fprintf(&b, "%s %s\n", strings.Repeat(" ", 10), p.XLabel)
+	}
+	for _, s := range p.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		fmt.Fprintf(&b, "  %c %s\n", marker, s.Name)
+	}
+	return b.String()
+}
+
+// Table renders aligned text tables for experiment output.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends one row; cells beyond len(Headers) are dropped, missing cells
+// render empty.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render draws the table with a header rule and right-padded columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, hd := range t.Headers {
+		widths[i] = len(hd)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

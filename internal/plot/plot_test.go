@@ -1,0 +1,117 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderContainsMarkersAndLabels(t *testing.T) {
+	p := Plot{
+		Title:  "Error Analysis",
+		XLabel: "gamma",
+		YLabel: "% error",
+	}
+	p.Add(Series{Name: "error", Marker: 'o',
+		X: []float64{1, 10, 100}, Y: []float64{50, 5, 0.5}})
+	out := p.Render()
+	for _, frag := range []string{"Error Analysis", "gamma", "% error", "o error", "o"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render lacks %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	p := Plot{XLog: true, YLog: true}
+	p.Add(Series{Name: "s", X: []float64{1, 10, 100, 1000}, Y: []float64{100, 10, 1, 0.1}})
+	out := p.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no markers in log plot:\n%s", out)
+	}
+	// A perfect power law renders as an anti-diagonal: top-left marker row
+	// should come before bottom-right.
+	lines := strings.Split(out, "\n")
+	firstCol, lastCol := -1, -1
+	for _, ln := range lines {
+		if !strings.Contains(ln, "|") {
+			continue // only grid rows, not the legend
+		}
+		if i := strings.IndexRune(ln, '*'); i >= 0 {
+			if firstCol == -1 {
+				firstCol = i
+			}
+			lastCol = i
+		}
+	}
+	if firstCol >= lastCol {
+		t.Fatalf("log-log power law not rendered as descending line (first %d, last %d)", firstCol, lastCol)
+	}
+}
+
+func TestRenderDropsNonPositiveOnLogAxis(t *testing.T) {
+	p := Plot{XLog: true}
+	p.Add(Series{Name: "s", X: []float64{0, -1}, Y: []float64{1, 2}})
+	out := p.Render()
+	if !strings.Contains(out, "no plottable points") {
+		t.Fatalf("expected empty-plot message:\n%s", out)
+	}
+}
+
+func TestRenderEmptyPlot(t *testing.T) {
+	p := Plot{Title: "empty"}
+	out := p.Render()
+	if !strings.Contains(out, "no plottable points") {
+		t.Fatalf("empty plot message missing:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate bounds (all-equal values) must not divide by zero.
+	p := Plot{}
+	p.Add(Series{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}})
+	out := p.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not rendered:\n%s", out)
+	}
+}
+
+func TestRenderMultipleSeriesLegend(t *testing.T) {
+	p := Plot{}
+	p.Add(Series{Name: "natural", Marker: 'N', X: []float64{1, 2}, Y: []float64{15, 20}})
+	p.Add(Series{Name: "synthetic", Marker: 'S', X: []float64{1, 2}, Y: []float64{16, 21}})
+	out := p.Render()
+	if !strings.Contains(out, "N natural") || !strings.Contains(out, "S synthetic") {
+		t.Fatalf("legend incomplete:\n%s", out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := Table{Headers: []string{"gamma", "error %"}}
+	tab.Add("1", "48.1")
+	tab.Add("100000", "0.001")
+	out := tab.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "gamma") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("rule missing: %q", lines[1])
+	}
+	// Columns align: "error %" starts at the same offset in every row.
+	col := strings.Index(lines[0], "error %")
+	if !strings.HasPrefix(lines[2][col:], "48.1") {
+		t.Fatalf("misaligned row: %q", lines[2])
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tab := Table{Headers: []string{"a", "b", "c"}}
+	tab.Add("1")
+	out := tab.Render()
+	if !strings.Contains(out, "1") {
+		t.Fatalf("short row dropped:\n%s", out)
+	}
+}

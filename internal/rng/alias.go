@@ -1,0 +1,82 @@
+package rng
+
+// Alias is a Walker/Vose alias table for O(1) sampling from a fixed discrete
+// distribution. Construction is O(n); each Sample costs one uniform draw and
+// one comparison, which matters when a Monte Carlo harness classifies
+// millions of outcomes against the same distribution.
+type Alias struct {
+	prob  []float64 // acceptance probability per column
+	alias []int     // fallback index per column
+}
+
+// NewAlias builds an alias table from the given weights. Negative weights are
+// treated as zero. It panics if the total weight is not positive.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("rng: NewAlias with non-positive total weight")
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n)}
+	// Scale so the average column is exactly 1.
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Numerical leftovers land exactly at probability 1.
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// N returns the number of categories in the table.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Sample draws one index from the distribution using generator p.
+func (a *Alias) Sample(p *PCG) int {
+	u := p.Float64() * float64(len(a.prob))
+	i := int(u)
+	if i >= len(a.prob) { // guards the u == n edge from rounding
+		i = len(a.prob) - 1
+	}
+	frac := u - float64(i)
+	if frac < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

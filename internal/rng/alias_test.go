@@ -1,0 +1,110 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAliasMatchesWeights(t *testing.T) {
+	p := New(41)
+	weights := []float64{1, 2, 3, 4}
+	a := NewAlias(weights)
+	const n = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[a.Sample(p)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * n
+		sd := math.Sqrt(want * (1 - w/10))
+		if math.Abs(float64(counts[i])-want) > 6*sd {
+			t.Errorf("outcome %d: %d draws, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	p := New(42)
+	a := NewAlias([]float64{7})
+	for i := 0; i < 1000; i++ {
+		if a.Sample(p) != 0 {
+			t.Fatal("single-category alias returned nonzero index")
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	p := New(43)
+	a := NewAlias([]float64{0, 1, 0, 1, 0})
+	for i := 0; i < 50000; i++ {
+		got := a.Sample(p)
+		if got != 1 && got != 3 {
+			t.Fatalf("sampled zero-weight index %d", got)
+		}
+	}
+}
+
+func TestAliasNegativeTreatedAsZero(t *testing.T) {
+	p := New(44)
+	a := NewAlias([]float64{-5, 1})
+	for i := 0; i < 10000; i++ {
+		if a.Sample(p) != 1 {
+			t.Fatal("sampled negative-weight index")
+		}
+	}
+}
+
+func TestAliasPanicsOnAllZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAlias with all-zero weights did not panic")
+		}
+	}()
+	NewAlias([]float64{0, 0, 0})
+}
+
+func TestAliasN(t *testing.T) {
+	if got := NewAlias([]float64{1, 2, 3}).N(); got != 3 {
+		t.Fatalf("N = %d, want 3", got)
+	}
+}
+
+func TestAliasInRangeProperty(t *testing.T) {
+	p := New(45)
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		total := 0.0
+		for i, r := range raw {
+			weights[i] = float64(r)
+			total += weights[i]
+		}
+		if total == 0 {
+			return true // all-zero would panic by contract
+		}
+		a := NewAlias(weights)
+		for i := 0; i < 100; i++ {
+			idx := a.Sample(p)
+			if idx < 0 || idx >= len(weights) || weights[idx] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	p := New(1)
+	a := NewAlias([]float64{1, 5, 2, 9, 4, 7, 3, 8})
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += a.Sample(p)
+	}
+	_ = sink
+}

@@ -1,0 +1,141 @@
+package rng
+
+import "math"
+
+// Exp returns an exponentially distributed variate with the given rate
+// (mean 1/rate). It panics if rate <= 0. This is the inter-event time
+// distribution of the stochastic simulation algorithm.
+func (p *PCG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with rate <= 0")
+	}
+	return -math.Log(p.Float64Open()) / rate
+}
+
+// Normal returns a normally distributed variate with the given mean and
+// standard deviation, using the Marsaglia polar method.
+func (p *PCG) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*p.Float64() - 1
+		v := 2*p.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Discrete samples an index i with probability weights[i] / sum(weights).
+// Negative weights are treated as zero. It panics if the total weight is not
+// positive. For repeated sampling from the same weights prefer NewAlias.
+func (p *PCG) Discrete(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		panic("rng: Discrete with non-positive or non-finite total weight")
+	}
+	target := p.Float64() * total
+	acc := 0.0
+	last := -1
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		last = i
+		if target < acc {
+			return i
+		}
+	}
+	// Floating-point slack: fall back to the final positive-weight index.
+	return last
+}
+
+// Poisson returns a Poisson-distributed variate with the given mean.
+// It panics if mean < 0. Small means use Knuth's product method; large means
+// use the normal approximation with continuity correction (adequate for the
+// tau-leaping use case where mean >> 1 and exactness is already sacrificed).
+func (p *PCG) Poisson(mean float64) int64 {
+	switch {
+	case mean < 0 || math.IsNaN(mean):
+		panic("rng: Poisson with negative or NaN mean")
+	case mean == 0:
+		return 0
+	case mean < 30:
+		limit := math.Exp(-mean)
+		prod := p.Float64()
+		var n int64
+		for prod > limit {
+			n++
+			prod *= p.Float64()
+		}
+		return n
+	default:
+		n := int64(math.Floor(p.Normal(mean, math.Sqrt(mean)) + 0.5))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+}
+
+// Binomial returns the number of successes in n independent trials each
+// succeeding with probability prob. It panics if n < 0 or prob is outside
+// [0, 1]. Uses inversion for small n and a normal approximation for large n
+// with moderate p.
+func (p *PCG) Binomial(n int64, prob float64) int64 {
+	if n < 0 || prob < 0 || prob > 1 || math.IsNaN(prob) {
+		panic("rng: Binomial with invalid parameters")
+	}
+	if n == 0 || prob == 0 {
+		return 0
+	}
+	if prob == 1 {
+		return n
+	}
+	mean := float64(n) * prob
+	if n <= 64 || mean < 16 || float64(n)*(1-prob) < 16 {
+		var k int64
+		for i := int64(0); i < n; i++ {
+			if p.Float64() < prob {
+				k++
+			}
+		}
+		return k
+	}
+	sd := math.Sqrt(mean * (1 - prob))
+	k := int64(math.Floor(p.Normal(mean, sd) + 0.5))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Shuffle randomises the order of the first n elements using swap, with the
+// Fisher–Yates algorithm. It panics if n < 0.
+func (p *PCG) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("rng: Shuffle with n < 0")
+	}
+	for i := n - 1; i > 0; i-- {
+		j := p.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (p *PCG) Perm(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	p.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

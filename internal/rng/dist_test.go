@@ -1,0 +1,219 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpMean(t *testing.T) {
+	p := New(21)
+	for _, rate := range []float64{0.1, 1, 5, 1000} {
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += p.Exp(rate)
+		}
+		mean := sum / n
+		want := 1 / rate
+		// stderr of exponential mean = want/sqrt(n); allow 6 sigma.
+		if math.Abs(mean-want) > 6*want/math.Sqrt(n) {
+			t.Errorf("Exp(%v) mean = %v, want ~%v", rate, mean, want)
+		}
+	}
+}
+
+func TestExpPositive(t *testing.T) {
+	p := New(22)
+	for i := 0; i < 100000; i++ {
+		if v := p.Exp(3.5); v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("Exp produced invalid value %v", v)
+		}
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	p := New(23)
+	const n = 200000
+	const mean, sd = 3.0, 2.0
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := p.Normal(mean, sd)
+		sum += v
+		sumsq += v * v
+	}
+	m := sum / n
+	variance := sumsq/n - m*m
+	if math.Abs(m-mean) > 6*sd/math.Sqrt(n) {
+		t.Errorf("Normal mean = %v, want ~%v", m, mean)
+	}
+	if math.Abs(variance-sd*sd) > 0.1 {
+		t.Errorf("Normal variance = %v, want ~%v", variance, sd*sd)
+	}
+}
+
+func TestDiscreteDistribution(t *testing.T) {
+	p := New(24)
+	weights := []float64{3, 4, 3}
+	const n = 100000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[p.Discrete(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * n
+		sd := math.Sqrt(want * (1 - w/10))
+		if math.Abs(float64(counts[i])-want) > 6*sd {
+			t.Errorf("outcome %d: %d draws, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestDiscreteSkipsZeroAndNegative(t *testing.T) {
+	p := New(25)
+	weights := []float64{0, 5, -2, 0, 5}
+	for i := 0; i < 10000; i++ {
+		got := p.Discrete(weights)
+		if got != 1 && got != 4 {
+			t.Fatalf("Discrete chose zero/negative-weight index %d", got)
+		}
+	}
+}
+
+func TestDiscretePanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Discrete with zero total did not panic")
+		}
+	}()
+	New(1).Discrete([]float64{0, 0})
+}
+
+func TestPoissonMean(t *testing.T) {
+	p := New(26)
+	for _, mean := range []float64{0.1, 1, 5, 25, 100, 1000} {
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(p.Poisson(mean))
+		}
+		got := sum / n
+		tol := 6 * math.Sqrt(mean/n)
+		if mean >= 30 {
+			tol += 0.5 // continuity correction bias allowance
+		}
+		if math.Abs(got-mean) > tol {
+			t.Errorf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	p := New(27)
+	if v := p.Poisson(0); v != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", v)
+	}
+}
+
+func TestPoissonNonNegativeProperty(t *testing.T) {
+	p := New(28)
+	f := func(mean8 uint8) bool {
+		return p.Poisson(float64(mean8)) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialMean(t *testing.T) {
+	p := New(29)
+	cases := []struct {
+		n    int64
+		prob float64
+	}{{10, 0.5}, {100, 0.3}, {1000, 0.01}, {100000, 0.4}}
+	for _, c := range cases {
+		const trials = 20000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += float64(p.Binomial(c.n, c.prob))
+		}
+		got := sum / trials
+		want := float64(c.n) * c.prob
+		sd := math.Sqrt(want * (1 - c.prob))
+		if math.Abs(got-want) > 6*sd/math.Sqrt(trials)+0.5 {
+			t.Errorf("Binomial(%d,%v) mean = %v, want ~%v", c.n, c.prob, got, want)
+		}
+	}
+}
+
+func TestBinomialBoundsProperty(t *testing.T) {
+	p := New(30)
+	f := func(n16 uint16, probRaw uint8) bool {
+		n := int64(n16 % 2000)
+		prob := float64(probRaw) / 255
+		k := p.Binomial(n, prob)
+		return k >= 0 && k <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	p := New(31)
+	if v := p.Binomial(0, 0.5); v != 0 {
+		t.Errorf("Binomial(0,·) = %d", v)
+	}
+	if v := p.Binomial(50, 0); v != 0 {
+		t.Errorf("Binomial(·,0) = %d", v)
+	}
+	if v := p.Binomial(50, 1); v != 50 {
+		t.Errorf("Binomial(50,1) = %d", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	p := New(32)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		perm := p.Perm(n)
+		if len(perm) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(perm))
+		}
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, perm)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleUniformity(t *testing.T) {
+	p := New(33)
+	// All 6 permutations of 3 elements should be ~equally likely.
+	counts := map[[3]int]int{}
+	const n = 60000
+	for i := 0; i < n; i++ {
+		arr := [3]int{0, 1, 2}
+		p.Shuffle(3, func(i, j int) { arr[i], arr[j] = arr[j], arr[i] })
+		counts[arr]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d permutations, want 6", len(counts))
+	}
+	for perm, c := range counts {
+		if math.Abs(float64(c)-n/6) > 6*math.Sqrt(n/6) {
+			t.Errorf("perm %v: %d draws, want ~%d", perm, c, n/6)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"math"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/rng"
+)
+
+// Direct is Gillespie's direct method: each step draws an exponential
+// waiting time from the total propensity and selects the firing channel in
+// proportion to the individual propensities. All propensities are recomputed
+// from scratch every step, which is exact and, for the narrow networks this
+// library synthesises (tens of channels), usually fastest in practice.
+type Direct struct {
+	net   *chem.Network
+	gen   *rng.PCG
+	state chem.State
+	t     float64
+	prop  []float64 // scratch propensity vector
+}
+
+// NewDirect returns a Direct engine over net, positioned at the network's
+// default initial state at time zero.
+func NewDirect(net *chem.Network, gen *rng.PCG) *Direct {
+	d := &Direct{
+		net:  net,
+		gen:  gen,
+		prop: make([]float64, net.NumReactions()),
+	}
+	d.Reset(net.InitialState(), 0)
+	return d
+}
+
+// Network returns the simulated network.
+func (d *Direct) Network() *chem.Network { return d.net }
+
+// State returns the live state vector (read-only for callers).
+func (d *Direct) State() chem.State { return d.state }
+
+// Time returns the current simulation time.
+func (d *Direct) Time() float64 { return d.t }
+
+// Reset repositions the engine at a copy of state and time t.
+func (d *Direct) Reset(state chem.State, t float64) {
+	if len(state) != d.net.NumSpecies() {
+		panic("sim: state length does not match network species count")
+	}
+	d.state = state.Clone()
+	d.t = t
+}
+
+// Step implements Engine.
+func (d *Direct) Step(horizon float64) (int, StepStatus) {
+	total := 0.0
+	for i := 0; i < d.net.NumReactions(); i++ {
+		a := chem.Propensity(d.net.Reaction(i), d.state)
+		d.prop[i] = a
+		total += a
+	}
+	if total <= 0 {
+		return -1, Quiescent
+	}
+	tNext := d.t + d.gen.Exp(total)
+	if tNext > horizon {
+		d.t = horizon
+		return -1, Horizon
+	}
+	d.t = tNext
+	// Channel selection: linear scan of the cumulative propensities.
+	target := d.gen.Float64() * total
+	acc := 0.0
+	for i, a := range d.prop {
+		acc += a
+		if target < acc {
+			d.state.Apply(d.net.Reaction(i))
+			return i, Fired
+		}
+	}
+	// Floating-point slack: fire the last channel with positive propensity.
+	for i := len(d.prop) - 1; i >= 0; i-- {
+		if d.prop[i] > 0 {
+			d.state.Apply(d.net.Reaction(i))
+			return i, Fired
+		}
+	}
+	return -1, Quiescent // unreachable: total > 0 implies a positive channel
+}
+
+// OptimizedDirect is the direct method with incremental propensity
+// maintenance: a dependency graph restricts recomputation after each firing
+// to the affected channels, and the total propensity is maintained as a
+// running sum (renormalised periodically to bound floating-point drift).
+// It is exact and asymptotically faster than Direct on wide networks.
+type OptimizedDirect struct {
+	net     *chem.Network
+	gen     *rng.PCG
+	deps    [][]int
+	state   chem.State
+	t       float64
+	prop    []float64
+	total   float64
+	stale   int // steps since last full recomputation
+	refresh int // full recomputation period
+}
+
+// NewOptimizedDirect returns an OptimizedDirect engine over net at the
+// default initial state.
+func NewOptimizedDirect(net *chem.Network, gen *rng.PCG) *OptimizedDirect {
+	o := &OptimizedDirect{
+		net:     net,
+		gen:     gen,
+		deps:    chem.DependencyGraph(net),
+		prop:    make([]float64, net.NumReactions()),
+		refresh: 4096,
+	}
+	o.Reset(net.InitialState(), 0)
+	return o
+}
+
+// Network returns the simulated network.
+func (o *OptimizedDirect) Network() *chem.Network { return o.net }
+
+// State returns the live state vector (read-only for callers).
+func (o *OptimizedDirect) State() chem.State { return o.state }
+
+// Time returns the current simulation time.
+func (o *OptimizedDirect) Time() float64 { return o.t }
+
+// Reset repositions the engine at a copy of state and time t and rebuilds
+// the propensity cache.
+func (o *OptimizedDirect) Reset(state chem.State, t float64) {
+	if len(state) != o.net.NumSpecies() {
+		panic("sim: state length does not match network species count")
+	}
+	o.state = state.Clone()
+	o.t = t
+	o.recomputeAll()
+}
+
+func (o *OptimizedDirect) recomputeAll() {
+	o.total = 0
+	for i := 0; i < o.net.NumReactions(); i++ {
+		a := chem.Propensity(o.net.Reaction(i), o.state)
+		o.prop[i] = a
+		o.total += a
+	}
+	o.stale = 0
+}
+
+// Step implements Engine.
+func (o *OptimizedDirect) Step(horizon float64) (int, StepStatus) {
+	if o.total <= 1e-300 { // fully drained (or drifted to noise): recheck exactly
+		o.recomputeAll()
+		if o.total <= 0 {
+			return -1, Quiescent
+		}
+	}
+	tNext := o.t + o.gen.Exp(o.total)
+	if tNext > horizon {
+		o.t = horizon
+		return -1, Horizon
+	}
+	target := o.gen.Float64() * o.total
+	acc := 0.0
+	fired := -1
+	for i, a := range o.prop {
+		acc += a
+		if target < acc {
+			fired = i
+			break
+		}
+	}
+	if fired < 0 {
+		// Drift artifact: the cached total exceeded the true sum. Recompute
+		// and retry once from scratch.
+		o.recomputeAll()
+		if o.total <= 0 {
+			return -1, Quiescent
+		}
+		target = o.gen.Float64() * o.total
+		acc = 0
+		for i, a := range o.prop {
+			acc += a
+			if target < acc {
+				fired = i
+				break
+			}
+		}
+		if fired < 0 {
+			return -1, Quiescent
+		}
+	}
+	o.t = tNext
+	o.state.Apply(o.net.Reaction(fired))
+	for _, j := range o.deps[fired] {
+		a := chem.Propensity(o.net.Reaction(j), o.state)
+		o.total += a - o.prop[j]
+		o.prop[j] = a
+	}
+	o.stale++
+	if o.stale >= o.refresh || o.total < 0 {
+		o.recomputeAll()
+	}
+	return fired, Fired
+}
+
+// FirstReaction is Gillespie's first-reaction method: each step draws a
+// tentative exponential firing time for every channel and fires the
+// earliest. It is exact but consumes M exponentials per event, so it is
+// mostly useful as a cross-validation oracle whose randomness usage is
+// completely different from Direct's.
+type FirstReaction struct {
+	net   *chem.Network
+	gen   *rng.PCG
+	state chem.State
+	t     float64
+}
+
+// NewFirstReaction returns a FirstReaction engine over net at the default
+// initial state.
+func NewFirstReaction(net *chem.Network, gen *rng.PCG) *FirstReaction {
+	f := &FirstReaction{net: net, gen: gen}
+	f.Reset(net.InitialState(), 0)
+	return f
+}
+
+// Network returns the simulated network.
+func (f *FirstReaction) Network() *chem.Network { return f.net }
+
+// State returns the live state vector (read-only for callers).
+func (f *FirstReaction) State() chem.State { return f.state }
+
+// Time returns the current simulation time.
+func (f *FirstReaction) Time() float64 { return f.t }
+
+// Reset repositions the engine at a copy of state and time t.
+func (f *FirstReaction) Reset(state chem.State, t float64) {
+	if len(state) != f.net.NumSpecies() {
+		panic("sim: state length does not match network species count")
+	}
+	f.state = state.Clone()
+	f.t = t
+}
+
+// Step implements Engine.
+func (f *FirstReaction) Step(horizon float64) (int, StepStatus) {
+	best := -1
+	bestTau := math.Inf(1)
+	for i := 0; i < f.net.NumReactions(); i++ {
+		a := chem.Propensity(f.net.Reaction(i), f.state)
+		if a <= 0 {
+			continue
+		}
+		tau := f.gen.Exp(a)
+		if tau < bestTau {
+			bestTau = tau
+			best = i
+		}
+	}
+	if best < 0 {
+		return -1, Quiescent
+	}
+	if f.t+bestTau > horizon {
+		f.t = horizon
+		return -1, Horizon
+	}
+	f.t += bestTau
+	f.state.Apply(f.net.Reaction(best))
+	return best, Fired
+}

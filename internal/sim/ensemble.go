@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"math"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/rng"
+)
+
+// Ensemble holds per-species mean and variance time-courses estimated from
+// many independent trajectories on a fixed time grid.
+type Ensemble struct {
+	// Times is the sampling grid.
+	Times []float64
+	// Mean[k][s] is the ensemble mean count of species s at Times[k].
+	Mean [][]float64
+	// Var[k][s] is the unbiased ensemble variance of species s at Times[k].
+	Var [][]float64
+	// Trials is the number of trajectories aggregated.
+	Trials int
+}
+
+// StdErr returns the standard error of the mean of species s at grid
+// point k.
+func (e *Ensemble) StdErr(k int, s chem.Species) float64 {
+	if e.Trials < 2 {
+		return 0
+	}
+	return math.Sqrt(e.Var[k][s] / float64(e.Trials))
+}
+
+// EnsembleStats runs trials independent exact trajectories of net (from
+// its default initial state) and samples every species' count at the
+// given time grid, which must be strictly increasing and non-empty.
+// Sampling is exact: the engine is stepped with each grid time as the
+// horizon, so the recorded state is the true state at that instant.
+//
+// Randomness is drawn from per-trial streams of seed, so the result is
+// reproducible and independent of scheduling (trials run sequentially;
+// for large ensembles wrap EnsembleStats points in package mc instead).
+func EnsembleStats(net *chem.Network, grid []float64, trials int, seed uint64) *Ensemble {
+	if len(grid) == 0 {
+		panic("sim: EnsembleStats with empty grid")
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] <= grid[i-1] {
+			panic("sim: EnsembleStats grid must be strictly increasing")
+		}
+	}
+	if grid[0] < 0 {
+		panic("sim: EnsembleStats grid must be non-negative")
+	}
+	if trials <= 0 {
+		panic("sim: EnsembleStats needs positive trials")
+	}
+	numSpecies := net.NumSpecies()
+	e := &Ensemble{Times: append([]float64(nil), grid...), Trials: trials}
+	e.Mean = make([][]float64, len(grid))
+	e.Var = make([][]float64, len(grid))
+	m2 := make([][]float64, len(grid)) // Welford accumulators
+	for k := range grid {
+		e.Mean[k] = make([]float64, numSpecies)
+		e.Var[k] = make([]float64, numSpecies)
+		m2[k] = make([]float64, numSpecies)
+	}
+
+	st0 := net.InitialState()
+	for trial := 0; trial < trials; trial++ {
+		eng := NewDirect(net, rng.NewStream(seed, uint64(trial)))
+		eng.Reset(st0, 0)
+		n := float64(trial + 1)
+		for k, t := range grid {
+			for {
+				_, status := eng.Step(t)
+				if status != Fired {
+					break // Horizon or Quiescent: state is exact at t
+				}
+			}
+			for s := 0; s < numSpecies; s++ {
+				x := float64(eng.State()[s])
+				delta := x - e.Mean[k][s]
+				e.Mean[k][s] += delta / n
+				m2[k][s] += delta * (x - e.Mean[k][s])
+			}
+		}
+	}
+	if trials > 1 {
+		for k := range grid {
+			for s := 0; s < numSpecies; s++ {
+				e.Var[k][s] = m2[k][s] / float64(trials-1)
+			}
+		}
+	}
+	return e
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"stochsynth/internal/chem"
+)
+
+func TestEnsembleStatsDecay(t *testing.T) {
+	// Pure decay: E[A(t)] = A0·e^{−kt}, Var[A(t)] = A0·e^{−kt}(1−e^{−kt}).
+	net := chem.MustParseNetwork(`
+a = 200
+a -> 0 @ 1
+`)
+	grid := []float64{0.25, 0.5, 1, 2}
+	const trials = 3000
+	e := EnsembleStats(net, grid, trials, 9)
+	a := net.MustSpecies("a")
+	for k, tm := range grid {
+		p := math.Exp(-tm)
+		wantMean := 200 * p
+		wantVar := 200 * p * (1 - p)
+		se := math.Sqrt(wantVar / trials)
+		if math.Abs(e.Mean[k][a]-wantMean) > 6*se {
+			t.Errorf("t=%v: mean %v, want %v±%v", tm, e.Mean[k][a], wantMean, 6*se)
+		}
+		// Variance of the sample variance ~ 2σ⁴/n: loose 6σ bound.
+		varTol := 6 * math.Sqrt(2/float64(trials)) * wantVar
+		if math.Abs(e.Var[k][a]-wantVar) > varTol+1 {
+			t.Errorf("t=%v: var %v, want %v±%v", tm, e.Var[k][a], wantVar, varTol)
+		}
+		if se2 := e.StdErr(k, a); math.Abs(se2-se) > se {
+			t.Errorf("t=%v: stderr %v, want ≈%v", tm, se2, se)
+		}
+	}
+}
+
+func TestEnsembleStatsExactAtGridPoints(t *testing.T) {
+	// The horizon-stepped sampling must be exact: at t beyond extinction
+	// the mean is exactly 0 and the variance 0.
+	net := chem.MustParseNetwork(`
+a = 3
+a -> 0 @ 100
+`)
+	e := EnsembleStats(net, []float64{10}, 200, 4)
+	if e.Mean[0][0] != 0 || e.Var[0][0] != 0 {
+		t.Fatalf("post-extinction mean/var = %v/%v", e.Mean[0][0], e.Var[0][0])
+	}
+}
+
+func TestEnsembleStatsDeterministic(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 20
+a -> b @ 1
+b -> a @ 1
+`)
+	e1 := EnsembleStats(net, []float64{1}, 100, 77)
+	e2 := EnsembleStats(net, []float64{1}, 100, 77)
+	if e1.Mean[0][0] != e2.Mean[0][0] || e1.Var[0][1] != e2.Var[0][1] {
+		t.Fatal("EnsembleStats not reproducible")
+	}
+}
+
+func TestEnsembleStatsPanics(t *testing.T) {
+	net := chem.MustParseNetwork(`a -> 0 @ 1`)
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"empty grid", func() { EnsembleStats(net, nil, 10, 1) }},
+		{"non-increasing", func() { EnsembleStats(net, []float64{1, 1}, 10, 1) }},
+		{"negative", func() { EnsembleStats(net, []float64{-1, 1}, 10, 1) }},
+		{"zero trials", func() { EnsembleStats(net, []float64{1}, 0, 1) }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			c.f()
+		}()
+	}
+}

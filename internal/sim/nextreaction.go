@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"math"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/rng"
+)
+
+// NextReaction is the Gibson–Bruck next-reaction method: every channel keeps
+// an absolute tentative firing time in an indexed binary min-heap; firing
+// the minimum costs O(log M), and only dependency-affected channels are
+// rescheduled. Unfired channels reuse their random number by rescaling,
+// so the method consumes a single exponential variate per event.
+type NextReaction struct {
+	net   *chem.Network
+	gen   *rng.PCG
+	deps  [][]int
+	state chem.State
+	t     float64
+	prop  []float64
+
+	// Indexed min-heap over absolute firing times.
+	times []float64 // times[r]: tentative absolute firing time of reaction r
+	heap  []int     // heap of reaction indices ordered by times
+	pos   []int     // pos[r]: index of reaction r within heap
+}
+
+// NewNextReaction returns a NextReaction engine over net at the default
+// initial state.
+func NewNextReaction(net *chem.Network, gen *rng.PCG) *NextReaction {
+	n := &NextReaction{
+		net:   net,
+		gen:   gen,
+		deps:  chem.DependencyGraph(net),
+		prop:  make([]float64, net.NumReactions()),
+		times: make([]float64, net.NumReactions()),
+		heap:  make([]int, net.NumReactions()),
+		pos:   make([]int, net.NumReactions()),
+	}
+	n.Reset(net.InitialState(), 0)
+	return n
+}
+
+// Network returns the simulated network.
+func (n *NextReaction) Network() *chem.Network { return n.net }
+
+// State returns the live state vector (read-only for callers).
+func (n *NextReaction) State() chem.State { return n.state }
+
+// Time returns the current simulation time.
+func (n *NextReaction) Time() float64 { return n.t }
+
+// Reset repositions the engine at a copy of state and time t, drawing fresh
+// tentative times for every channel.
+func (n *NextReaction) Reset(state chem.State, t float64) {
+	if len(state) != n.net.NumSpecies() {
+		panic("sim: state length does not match network species count")
+	}
+	n.state = state.Clone()
+	n.t = t
+	for i := 0; i < n.net.NumReactions(); i++ {
+		a := chem.Propensity(n.net.Reaction(i), n.state)
+		n.prop[i] = a
+		if a > 0 {
+			n.times[i] = t + n.gen.Exp(a)
+		} else {
+			n.times[i] = math.Inf(1)
+		}
+		n.heap[i] = i
+		n.pos[i] = i
+	}
+	// Heapify.
+	for i := len(n.heap)/2 - 1; i >= 0; i-- {
+		n.siftDown(i)
+	}
+}
+
+// Step implements Engine.
+func (n *NextReaction) Step(horizon float64) (int, StepStatus) {
+	if len(n.heap) == 0 {
+		return -1, Quiescent
+	}
+	fired := n.heap[0]
+	tNext := n.times[fired]
+	if math.IsInf(tNext, 1) {
+		return -1, Quiescent
+	}
+	if tNext > horizon {
+		n.t = horizon
+		return -1, Horizon
+	}
+	n.t = tNext
+	n.state.Apply(n.net.Reaction(fired))
+	for _, j := range n.deps[fired] {
+		aOld := n.prop[j]
+		aNew := chem.Propensity(n.net.Reaction(j), n.state)
+		n.prop[j] = aNew
+		switch {
+		case j == fired || math.IsInf(n.times[j], 1):
+			// The fired channel — and any channel whose clock was frozen
+			// at infinity — needs a fresh exponential.
+			if aNew > 0 {
+				n.times[j] = n.t + n.gen.Exp(aNew)
+			} else {
+				n.times[j] = math.Inf(1)
+			}
+		case aNew <= 0:
+			n.times[j] = math.Inf(1)
+		case aOld > 0:
+			// Gibson–Bruck rescaling: reuse the remaining wait.
+			n.times[j] = n.t + (aOld/aNew)*(n.times[j]-n.t)
+		default:
+			n.times[j] = n.t + n.gen.Exp(aNew)
+		}
+		n.fix(n.pos[j])
+	}
+	return fired, Fired
+}
+
+// fix restores the heap property at heap position i after times changed.
+func (n *NextReaction) fix(i int) {
+	if !n.siftUp(i) {
+		n.siftDown(i)
+	}
+}
+
+func (n *NextReaction) less(i, j int) bool {
+	return n.times[n.heap[i]] < n.times[n.heap[j]]
+}
+
+func (n *NextReaction) swap(i, j int) {
+	n.heap[i], n.heap[j] = n.heap[j], n.heap[i]
+	n.pos[n.heap[i]] = i
+	n.pos[n.heap[j]] = j
+}
+
+func (n *NextReaction) siftUp(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !n.less(i, parent) {
+			break
+		}
+		n.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (n *NextReaction) siftDown(i int) {
+	for {
+		left := 2*i + 1
+		if left >= len(n.heap) {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < len(n.heap) && n.less(right, left) {
+			smallest = right
+		}
+		if !n.less(smallest, i) {
+			return
+		}
+		n.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// heapInvariant reports whether the internal heap is well-formed. Exposed to
+// the package's property tests.
+func (n *NextReaction) heapInvariant() bool {
+	for i := range n.heap {
+		if n.pos[n.heap[i]] != i {
+			return false
+		}
+		left, right := 2*i+1, 2*i+2
+		if left < len(n.heap) && n.less(left, i) {
+			return false
+		}
+		if right < len(n.heap) && n.less(right, i) {
+			return false
+		}
+	}
+	return true
+}

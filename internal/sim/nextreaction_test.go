@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/rng"
+)
+
+func TestNextReactionHeapInvariantUnderSteps(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 40
+b = 10
+grow: a + b -> 2 b @ 0.05
+die: b -> 0 @ 1
+convert: a -> c @ 0.01
+back: c -> a @ 0.5
+`)
+	eng := NewNextReaction(net, rng.New(5))
+	for i := 0; i < 2000; i++ {
+		if !eng.heapInvariant() {
+			t.Fatalf("heap invariant broken at step %d", i)
+		}
+		if _, status := eng.Step(NoHorizon()); status != Fired {
+			break
+		}
+	}
+}
+
+func TestNextReactionHeapInvariantProperty(t *testing.T) {
+	// Random small networks, random steps: the indexed heap must stay
+	// consistent throughout.
+	f := func(seed uint64, steps uint8) bool {
+		net := chem.MustParseNetwork(`
+a = 20
+b = 20
+c = 1
+a -> b @ 1
+b -> a @ 2
+a + b -> c @ 0.1
+c -> a + b @ 5
+2 c -> c @ 3
+`)
+		eng := NewNextReaction(net, rng.New(seed))
+		for i := 0; i < int(steps); i++ {
+			if !eng.heapInvariant() {
+				return false
+			}
+			if _, status := eng.Step(NoHorizon()); status != Fired {
+				break
+			}
+		}
+		return eng.heapInvariant()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextReactionFrozenChannelThaws(t *testing.T) {
+	// Channel "b -> c" starts with zero propensity (no b); once the first
+	// reaction produces b it must become eligible and eventually fire.
+	net := chem.MustParseNetwork(`
+a = 1
+a -> b @ 1
+b -> c @ 1
+`)
+	eng := NewNextReaction(net, rng.New(9))
+	res := Run(eng, RunOptions{})
+	if res.Reason != StopQuiescent || res.Steps != 2 {
+		t.Fatalf("run = %+v, want 2 steps to quiescence", res)
+	}
+	if eng.State()[net.MustSpecies("c")] != 1 {
+		t.Fatalf("c = %d, want 1", eng.State()[net.MustSpecies("c")])
+	}
+}
+
+func TestNextReactionRescalingKeepsExactness(t *testing.T) {
+	// A channel whose propensity is repeatedly rescaled (b's death rate
+	// changes as b grows) must still fire with the right long-run balance:
+	// compare the mean of B at a fixed time against the Direct engine.
+	net := chem.MustParseNetwork(`
+a = 200
+grow: a -> a + b @ 0.5
+die: b -> 0 @ 1
+`)
+	b := net.MustSpecies("b")
+	const trials = 3000
+	meanAt := func(mk func() Engine) float64 {
+		sum := 0.0
+		eng := mk()
+		for i := 0; i < trials; i++ {
+			eng.Reset(net.InitialState(), 0)
+			Run(eng, RunOptions{MaxTime: 8})
+			sum += float64(eng.State()[b])
+		}
+		return sum / trials
+	}
+	nr := meanAt(func() Engine { return NewNextReaction(net, rng.New(101)) })
+	dm := meanAt(func() Engine { return NewDirect(net, rng.New(102)) })
+	// Stationary mean is 200·0.5/1 = 100, sd ≈ 10; 6σ over 3000 trials.
+	want := 100.0
+	tol := 6 * 10 / 55.0 // ≈ 6·sd/sqrt(trials)
+	if diff := nr - want; diff > tol || diff < -tol {
+		t.Errorf("next-reaction mean B = %v, want %v±%v", nr, want, tol)
+	}
+	if diff := dm - want; diff > tol || diff < -tol {
+		t.Errorf("direct mean B = %v, want %v±%v", dm, want, tol)
+	}
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/rng"
+)
+
+// randomishNetwork builds a small network whose rates and initial counts
+// are derived from fuzz input — structurally fixed (so it always parses)
+// but kinetically varied.
+func randomishNetwork(r1, r2, r3 uint8, c1, c2 uint8) *chem.Network {
+	b := chem.NewBuilder()
+	b.Init("a", int64(c1%50)+1)
+	b.Init("b", int64(c2%50))
+	b.Rxn("").In("a", 1).Out("b", 1).Rate(float64(r1%40) + 0.5)
+	b.Rxn("").In("b", 2).Out("a", 1).Rate(float64(r2%40) + 0.5)
+	b.Rxn("").In("a", 1).In("b", 1).Out("c", 2).Rate(float64(r3%40) + 0.5)
+	b.Rxn("").In("c", 1).Rate(1)
+	return b.Network()
+}
+
+func TestEnginesKeepCountsNonNegativeProperty(t *testing.T) {
+	for _, e := range engines {
+		e := e
+		f := func(seed uint64, r1, r2, r3, c1, c2 uint8) bool {
+			net := randomishNetwork(r1, r2, r3, c1, c2)
+			eng := e.mk(net, rng.New(seed))
+			for i := 0; i < 300; i++ {
+				if _, status := eng.Step(NoHorizon()); status != Fired {
+					break
+				}
+				if !eng.State().NonNegative() {
+					return false
+				}
+			}
+			return eng.State().NonNegative()
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", e.name, err)
+		}
+	}
+}
+
+func TestEnginesConserveMassProperty(t *testing.T) {
+	// Pure conversion network a <-> b: a+b is invariant under any engine,
+	// any seed, any rates.
+	for _, e := range engines {
+		e := e
+		f := func(seed uint64, ra, rb uint8, c1, c2 uint8) bool {
+			b := chem.NewBuilder()
+			b.Init("a", int64(c1%100))
+			b.Init("b", int64(c2%100)+1)
+			b.Rxn("").In("a", 1).Out("b", 1).Rate(float64(ra%20) + 0.5)
+			b.Rxn("").In("b", 1).Out("a", 1).Rate(float64(rb%20) + 0.5)
+			net := b.Network()
+			total := net.InitialState().Total()
+			eng := e.mk(net, rng.New(seed))
+			for i := 0; i < 200; i++ {
+				if _, status := eng.Step(NoHorizon()); status != Fired {
+					break
+				}
+				if eng.State().Total() != total {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", e.name, err)
+		}
+	}
+}
+
+func TestEnginesTimeMonotoneProperty(t *testing.T) {
+	for _, e := range engines {
+		e := e
+		f := func(seed uint64, r1, r2, r3, c1, c2 uint8) bool {
+			net := randomishNetwork(r1, r2, r3, c1, c2)
+			eng := e.mk(net, rng.New(seed))
+			last := eng.Time()
+			for i := 0; i < 200; i++ {
+				_, status := eng.Step(NoHorizon())
+				if status != Fired {
+					return true
+				}
+				if eng.Time() < last {
+					return false
+				}
+				last = eng.Time()
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Errorf("%s: %v", e.name, err)
+		}
+	}
+}
+
+func TestEnginesAgreePairwiseOnFinalDistribution(t *testing.T) {
+	// Cross-validation oracle: the mean of B at t=4 must agree between all
+	// engine pairs within Monte Carlo error on a nontrivial network.
+	net := chem.MustParseNetwork(`
+a = 60
+b = 5
+a + b -> 2 b @ 0.02
+b -> 0 @ 0.7
+0 -> a @ 3
+`)
+	bIdx := net.MustSpecies("b")
+	const trials = 4000
+	means := map[string]float64{}
+	for _, e := range engines {
+		gen := rng.New(404)
+		eng := e.mk(net, gen)
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			eng.Reset(net.InitialState(), 0)
+			Run(eng, RunOptions{MaxTime: 4})
+			sum += float64(eng.State()[bIdx])
+		}
+		means[e.name] = sum / trials
+	}
+	for a, ma := range means {
+		for b2, mb := range means {
+			if ma-mb > 0.8 || mb-ma > 0.8 {
+				t.Errorf("engines disagree: %s=%.3f vs %s=%.3f", a, ma, b2, mb)
+			}
+		}
+	}
+	t.Logf("cross-engine means of B at t=4: %v", means)
+}

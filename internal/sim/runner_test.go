@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/rng"
+)
+
+func TestRunMaxSteps(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 1000000
+a -> b @ 1
+`)
+	eng := NewDirect(net, rng.New(1))
+	res := Run(eng, RunOptions{MaxSteps: 17})
+	if res.Reason != StopSteps || res.Steps != 17 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunMaxTime(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 10
+a -> b @ 0.0001
+`)
+	eng := NewDirect(net, rng.New(2))
+	res := Run(eng, RunOptions{MaxTime: 0.5})
+	if res.Reason != StopTime {
+		t.Fatalf("reason = %v, want time limit", res.Reason)
+	}
+	if eng.Time() != 0.5 {
+		t.Fatalf("time = %v, want exactly 0.5", eng.Time())
+	}
+}
+
+func TestRunPredicate(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 100
+a -> b @ 1
+`)
+	b := net.MustSpecies("b")
+	eng := NewDirect(net, rng.New(3))
+	res := Run(eng, RunOptions{
+		StopWhen: func(st chem.State, _ float64) bool { return st[b] >= 10 },
+	})
+	if res.Reason != StopPredicate {
+		t.Fatalf("reason = %v", res.Reason)
+	}
+	if res.Steps != 10 {
+		t.Fatalf("steps = %d, want 10", res.Steps)
+	}
+	if eng.State()[b] != 10 {
+		t.Fatalf("b = %d, want 10", eng.State()[b])
+	}
+}
+
+func TestRunPredicateCheckedBeforeFirstStep(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 5
+a -> b @ 1
+`)
+	eng := NewDirect(net, rng.New(4))
+	res := Run(eng, RunOptions{
+		StopWhen: func(st chem.State, _ float64) bool { return st[0] == 5 },
+	})
+	if res.Reason != StopPredicate || res.Steps != 0 {
+		t.Fatalf("res = %+v, want immediate predicate stop", res)
+	}
+}
+
+func TestRunObserverSeesEveryEvent(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 25
+a -> b @ 1
+`)
+	eng := NewDirect(net, rng.New(5))
+	var events int
+	lastT := -1.0
+	res := Run(eng, RunOptions{
+		OnEvent: func(r int, st chem.State, tm float64) {
+			events++
+			if r != 0 {
+				t.Fatalf("unexpected reaction index %d", r)
+			}
+			if tm <= lastT {
+				t.Fatalf("time not strictly increasing: %v after %v", tm, lastT)
+			}
+			lastT = tm
+		},
+	})
+	if res.Reason != StopQuiescent {
+		t.Fatalf("reason = %v", res.Reason)
+	}
+	if events != 25 {
+		t.Fatalf("observer saw %d events, want 25", events)
+	}
+}
+
+func TestRunQuiescentImmediately(t *testing.T) {
+	net := chem.MustParseNetwork(`a -> b @ 1`)
+	eng := NewDirect(net, rng.New(6))
+	res := Run(eng, RunOptions{})
+	if res.Reason != StopQuiescent || res.Steps != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestStopReasonStrings(t *testing.T) {
+	cases := map[StopReason]string{
+		StopQuiescent:  "quiescent",
+		StopTime:       "time limit",
+		StopSteps:      "step limit",
+		StopPredicate:  "predicate",
+		StopReason(99): "unknown",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("StopReason(%d).String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+func TestStepStatusStrings(t *testing.T) {
+	cases := map[StepStatus]string{
+		Fired:          "fired",
+		Quiescent:      "quiescent",
+		Horizon:        "horizon",
+		StepStatus(42): "unknown",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("StepStatus(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

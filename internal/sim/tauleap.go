@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"math"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/rng"
+)
+
+// TauLeap is an explicit tau-leaping accelerator: it advances the trajectory
+// by a leap τ chosen so that no propensity changes by more than a fraction
+// Epsilon (Cao–Gillespie–Petzold step-size control, simplified to bound the
+// relative change of each species used as a reactant), firing a Poisson
+// number of each channel per leap. Leaps that would drive a count negative
+// are rejected and retried at τ/2; when τ collapses below a few exact steps'
+// worth, it falls back to single exact firings.
+//
+// Tau-leaping is approximate: it trades distributional exactness for speed
+// on networks with large counts. The library uses it only for mean-field
+// sanity sweeps and benchmarks; all reported experiment statistics come from
+// exact engines.
+type TauLeap struct {
+	net     *chem.Network
+	gen     *rng.PCG
+	state   chem.State
+	t       float64
+	prop    []float64
+	deltas  [][]int64
+	Epsilon float64 // relative-change bound per leap (default 0.03)
+}
+
+// NewTauLeap returns a TauLeap accelerator over net at the default initial
+// state.
+func NewTauLeap(net *chem.Network, gen *rng.PCG) *TauLeap {
+	tl := &TauLeap{
+		net:     net,
+		gen:     gen,
+		prop:    make([]float64, net.NumReactions()),
+		Epsilon: 0.03,
+	}
+	tl.deltas = make([][]int64, net.NumReactions())
+	for i := 0; i < net.NumReactions(); i++ {
+		tl.deltas[i] = chem.Delta(net.Reaction(i), net.NumSpecies())
+	}
+	tl.Reset(net.InitialState(), 0)
+	return tl
+}
+
+// Network returns the simulated network.
+func (tl *TauLeap) Network() *chem.Network { return tl.net }
+
+// State returns the live state vector (read-only for callers).
+func (tl *TauLeap) State() chem.State { return tl.state }
+
+// Time returns the current simulation time.
+func (tl *TauLeap) Time() float64 { return tl.t }
+
+// Reset repositions the accelerator at a copy of state and time t.
+func (tl *TauLeap) Reset(state chem.State, t float64) {
+	if len(state) != tl.net.NumSpecies() {
+		panic("sim: state length does not match network species count")
+	}
+	tl.state = state.Clone()
+	tl.t = t
+}
+
+// Leap advances by one leap (or one exact event when leaping is not
+// profitable), returning the number of reaction firings applied and a step
+// status. On Horizon the state is unchanged and time is clamped to horizon.
+func (tl *TauLeap) Leap(horizon float64) (events int64, status StepStatus) {
+	total := 0.0
+	for i := 0; i < tl.net.NumReactions(); i++ {
+		a := chem.Propensity(tl.net.Reaction(i), tl.state)
+		tl.prop[i] = a
+		total += a
+	}
+	if total <= 0 {
+		return 0, Quiescent
+	}
+	tau := tl.selectTau(total)
+	if tau*total < 10 {
+		// Leaping would batch fewer than ~10 events: do one exact step.
+		return tl.exactStep(total, horizon)
+	}
+	if tl.t+tau > horizon {
+		tau = horizon - tl.t
+		if tau <= 0 {
+			tl.t = horizon
+			return 0, Horizon
+		}
+	}
+	// Try the leap, halving tau on any negative excursion.
+	for attempt := 0; attempt < 30; attempt++ {
+		counts := make([]int64, tl.net.NumReactions())
+		var n int64
+		for i, a := range tl.prop {
+			if a > 0 {
+				counts[i] = tl.gen.Poisson(a * tau)
+				n += counts[i]
+			}
+		}
+		if tl.applyIfNonNegative(counts) {
+			tl.t += tau
+			return n, Fired
+		}
+		tau /= 2
+		if tau*total < 10 {
+			return tl.exactStep(total, horizon)
+		}
+	}
+	return tl.exactStep(total, horizon)
+}
+
+// selectTau bounds the expected relative change of every reactant species.
+func (tl *TauLeap) selectTau(total float64) float64 {
+	numSpecies := tl.net.NumSpecies()
+	drift := make([]float64, numSpecies)
+	for i, a := range tl.prop {
+		if a <= 0 {
+			continue
+		}
+		for s, d := range tl.deltas[i] {
+			drift[s] += a * float64(d)
+		}
+	}
+	tau := math.Inf(1)
+	for i := 0; i < tl.net.NumReactions(); i++ {
+		for _, term := range tl.net.Reaction(i).Reactants {
+			s := term.Species
+			if drift[s] == 0 {
+				continue
+			}
+			x := float64(tl.state[s])
+			bound := math.Max(tl.Epsilon*x, 1)
+			if cand := bound / math.Abs(drift[s]); cand < tau {
+				tau = cand
+			}
+		}
+	}
+	if math.IsInf(tau, 1) {
+		tau = 1 / total
+	}
+	return tau
+}
+
+func (tl *TauLeap) applyIfNonNegative(counts []int64) bool {
+	next := tl.state.Clone()
+	for i, k := range counts {
+		if k == 0 {
+			continue
+		}
+		for s, d := range tl.deltas[i] {
+			next[s] += d * k
+		}
+	}
+	if !next.NonNegative() {
+		return false
+	}
+	copy(tl.state, next)
+	return true
+}
+
+func (tl *TauLeap) exactStep(total, horizon float64) (int64, StepStatus) {
+	tNext := tl.t + tl.gen.Exp(total)
+	if tNext > horizon {
+		tl.t = horizon
+		return 0, Horizon
+	}
+	target := tl.gen.Float64() * total
+	acc := 0.0
+	for i, a := range tl.prop {
+		acc += a
+		if target < acc {
+			tl.t = tNext
+			tl.state.Apply(tl.net.Reaction(i))
+			return 1, Fired
+		}
+	}
+	for i := len(tl.prop) - 1; i >= 0; i-- {
+		if tl.prop[i] > 0 {
+			tl.t = tNext
+			tl.state.Apply(tl.net.Reaction(i))
+			return 1, Fired
+		}
+	}
+	return 0, Quiescent
+}
+
+// RunTau drives the accelerator until a time horizon or quiescence and
+// returns the total number of reaction firings applied.
+func RunTau(tl *TauLeap, maxTime float64) int64 {
+	var events int64
+	for {
+		n, status := tl.Leap(maxTime)
+		events += n
+		if status != Fired {
+			return events
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/rng"
+)
+
+func TestTauLeapDecayMean(t *testing.T) {
+	// Pure decay from a large count: E[A(t)] = A0·exp(-k·t).
+	net := chem.MustParseNetwork(`
+a = 100000
+a -> 0 @ 1
+`)
+	tl := NewTauLeap(net, rng.New(61))
+	const trials = 50
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		tl.Reset(net.InitialState(), 0)
+		RunTau(tl, 1.0)
+		sum += float64(tl.State()[0])
+	}
+	mean := sum / trials
+	want := 100000 * math.Exp(-1)
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("tau-leap decay mean = %v, want ~%v (±2%%)", mean, want)
+	}
+}
+
+func TestTauLeapMatchesExactOnEquilibrium(t *testing.T) {
+	// a <-> b: stationary E[A] = N·k2/(k1+k2) = 4000·1/3.
+	net := chem.MustParseNetwork(`
+a = 4000
+a -> b @ 2
+b -> a @ 1
+`)
+	tl := NewTauLeap(net, rng.New(67))
+	const trials = 40
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		tl.Reset(net.InitialState(), 0)
+		RunTau(tl, 10)
+		sum += float64(tl.State()[0])
+	}
+	mean := sum / trials
+	want := 4000.0 / 3
+	if math.Abs(mean-want)/want > 0.03 {
+		t.Fatalf("tau-leap equilibrium mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestTauLeapNeverGoesNegative(t *testing.T) {
+	// Aggressive consumption with a rate cliff: counts must stay >= 0
+	// thanks to leap rejection.
+	net := chem.MustParseNetwork(`
+a = 50
+b = 50
+a + b -> c @ 10
+c -> 0 @ 0.1
+`)
+	tl := NewTauLeap(net, rng.New(71))
+	for i := 0; i < 20; i++ {
+		tl.Reset(net.InitialState(), 0)
+		for {
+			_, status := tl.Leap(NoHorizon())
+			if !tl.State().NonNegative() {
+				t.Fatalf("negative count: %v", tl.State())
+			}
+			if status != Fired {
+				break
+			}
+		}
+	}
+}
+
+func TestTauLeapQuiescent(t *testing.T) {
+	net := chem.MustParseNetwork(`a -> b @ 1`)
+	tl := NewTauLeap(net, rng.New(73))
+	tl.Reset(chem.State{0, 0}, 0)
+	if n, status := tl.Leap(NoHorizon()); status != Quiescent || n != 0 {
+		t.Fatalf("Leap on empty state = (%d, %v)", n, status)
+	}
+}
+
+func TestTauLeapHorizon(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 10
+a -> b @ 0.0001
+`)
+	tl := NewTauLeap(net, rng.New(79))
+	events := RunTau(tl, 0.001)
+	if tl.Time() != 0.001 {
+		t.Fatalf("time = %v, want clamped to horizon", tl.Time())
+	}
+	if events != 0 && tl.State()[0] == 10 {
+		t.Fatalf("events=%d but state unchanged", events)
+	}
+}
+
+func TestTauLeapFallsBackToExactOnSmallCounts(t *testing.T) {
+	// With tiny counts every leap is unprofitable; behaviour must reduce
+	// to exact stepping and still drain the system fully.
+	net := chem.MustParseNetwork(`
+a = 3
+a -> 0 @ 1
+`)
+	tl := NewTauLeap(net, rng.New(83))
+	total := RunTau(tl, NoHorizon())
+	if total != 3 {
+		t.Fatalf("total events = %d, want 3", total)
+	}
+	if tl.State()[0] != 0 {
+		t.Fatalf("a = %d, want 0", tl.State()[0])
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"stochsynth/internal/chem"
+)
+
+// Trajectory is a recorded sequence of (time, state) samples from one
+// simulation run.
+type Trajectory struct {
+	Times  []float64
+	States []chem.State
+}
+
+// Len returns the number of recorded samples.
+func (tr *Trajectory) Len() int { return len(tr.Times) }
+
+// Append records a sample (the state is copied).
+func (tr *Trajectory) Append(t float64, st chem.State) {
+	tr.Times = append(tr.Times, t)
+	tr.States = append(tr.States, st.Clone())
+}
+
+// At returns the state in effect at time t (the most recent sample with
+// sample time <= t). It panics if the trajectory is empty or t precedes the
+// first sample.
+func (tr *Trajectory) At(t float64) chem.State {
+	if len(tr.Times) == 0 || t < tr.Times[0] {
+		panic("sim: Trajectory.At before first sample")
+	}
+	lo, hi := 0, len(tr.Times)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if tr.Times[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return tr.States[lo]
+}
+
+// Series extracts the count series of one species across all samples.
+func (tr *Trajectory) Series(sp chem.Species) []int64 {
+	out := make([]int64, len(tr.States))
+	for i, st := range tr.States {
+		out[i] = st[sp]
+	}
+	return out
+}
+
+// CSV renders the trajectory as comma-separated values with a header, one
+// row per sample, for offline plotting.
+func (tr *Trajectory) CSV(net *chem.Network) string {
+	var b strings.Builder
+	b.WriteString("t")
+	for s := 0; s < net.NumSpecies(); s++ {
+		b.WriteByte(',')
+		b.WriteString(net.Name(chem.Species(s)))
+	}
+	b.WriteByte('\n')
+	for i, t := range tr.Times {
+		fmt.Fprintf(&b, "%g", t)
+		for _, c := range tr.States[i] {
+			fmt.Fprintf(&b, ",%d", c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RecordAll returns an OnEvent observer that appends every event (plus the
+// state at observer creation if eng is non-nil) to the trajectory.
+func (tr *Trajectory) RecordAll(eng Engine) func(int, chem.State, float64) {
+	if eng != nil {
+		tr.Append(eng.Time(), eng.State())
+	}
+	return func(_ int, st chem.State, t float64) {
+		tr.Append(t, st)
+	}
+}
+
+// RecordEvery returns an OnEvent observer that samples the state whenever
+// simulated time crosses the next multiple of dt (recording one sample per
+// crossed boundary, carrying the pre-event state forward for skipped
+// boundaries is not attempted: the post-event state is recorded, which is
+// what plotting wants).
+func (tr *Trajectory) RecordEvery(dt float64, eng Engine) func(int, chem.State, float64) {
+	if dt <= 0 {
+		panic("sim: RecordEvery with non-positive dt")
+	}
+	next := 0.0
+	if eng != nil {
+		tr.Append(eng.Time(), eng.State())
+		next = eng.Time() + dt
+	}
+	return func(_ int, st chem.State, t float64) {
+		if t >= next {
+			tr.Append(t, st)
+			for next <= t {
+				next += dt
+			}
+		}
+	}
+}

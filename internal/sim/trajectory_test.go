@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/rng"
+)
+
+func TestTrajectoryRecordAll(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 10
+a -> b @ 1
+`)
+	eng := NewDirect(net, rng.New(91))
+	var tr Trajectory
+	res := Run(eng, RunOptions{OnEvent: tr.RecordAll(eng)})
+	if res.Reason != StopQuiescent {
+		t.Fatalf("reason = %v", res.Reason)
+	}
+	// Initial sample + 10 events.
+	if tr.Len() != 11 {
+		t.Fatalf("trajectory length = %d, want 11", tr.Len())
+	}
+	if tr.States[0][0] != 10 || tr.States[10][0] != 0 {
+		t.Fatalf("endpoints wrong: %v ... %v", tr.States[0], tr.States[10])
+	}
+	// Samples are copies, not views of the live state.
+	if &tr.States[0][0] == &tr.States[1][0] {
+		t.Fatal("states alias each other")
+	}
+}
+
+func TestTrajectoryAt(t *testing.T) {
+	tr := Trajectory{}
+	tr.Append(0, chem.State{10})
+	tr.Append(1, chem.State{5})
+	tr.Append(2, chem.State{0})
+	if got := tr.At(0.5)[0]; got != 10 {
+		t.Fatalf("At(0.5) = %d, want 10", got)
+	}
+	if got := tr.At(1)[0]; got != 5 {
+		t.Fatalf("At(1) = %d, want 5", got)
+	}
+	if got := tr.At(99)[0]; got != 0 {
+		t.Fatalf("At(99) = %d, want 0", got)
+	}
+}
+
+func TestTrajectoryAtBeforeFirstPanics(t *testing.T) {
+	tr := Trajectory{}
+	tr.Append(1, chem.State{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At before first sample did not panic")
+		}
+	}()
+	tr.At(0.5)
+}
+
+func TestTrajectorySeries(t *testing.T) {
+	tr := Trajectory{}
+	tr.Append(0, chem.State{3, 7})
+	tr.Append(1, chem.State{2, 8})
+	got := tr.Series(1)
+	if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("Series = %v", got)
+	}
+}
+
+func TestTrajectoryCSV(t *testing.T) {
+	net := chem.MustParseNetwork(`a -> b @ 1`)
+	tr := Trajectory{}
+	tr.Append(0, chem.State{1, 0})
+	tr.Append(0.25, chem.State{0, 1})
+	csv := tr.CSV(net)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3:\n%s", len(lines), csv)
+	}
+	if lines[0] != "t,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "0.25,0,1" {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestTrajectoryRecordEvery(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 1000
+a -> b @ 1
+`)
+	eng := NewDirect(net, rng.New(97))
+	var tr Trajectory
+	Run(eng, RunOptions{MaxTime: 1, OnEvent: tr.RecordEvery(0.1, eng)})
+	if tr.Len() < 5 || tr.Len() > 20 {
+		t.Fatalf("sampled %d points with dt=0.1 over ~1 unit", tr.Len())
+	}
+	// Each sample (after the initial one) crosses a distinct dt boundary:
+	// times strictly increase and no two samples share a boundary bucket.
+	for i := 2; i < tr.Len(); i++ {
+		if tr.Times[i] <= tr.Times[i-1] {
+			t.Fatalf("sample times not increasing: %v then %v", tr.Times[i-1], tr.Times[i])
+		}
+		if int(tr.Times[i]/0.1) == int(tr.Times[i-1]/0.1) {
+			t.Fatalf("samples %d and %d share a dt bucket: %v vs %v",
+				i-1, i, tr.Times[i-1], tr.Times[i])
+		}
+	}
+}
+
+func TestRecordEveryRejectsBadDt(t *testing.T) {
+	var tr Trajectory
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RecordEvery(0) did not panic")
+		}
+	}()
+	tr.RecordEvery(0, nil)
+}

@@ -1,0 +1,192 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"stochsynth/internal/chem"
+)
+
+// AffineSpec programs an affine functional dependence of the outcome
+// distribution on input quantities (the paper's Example 2 "preprocessing"):
+//
+//	p_i = c_i + Σ_j Coeff[i][j]·X_j
+//
+// where the constants c_i come from the underlying stochastic module's
+// weights (c_i = Weight_i / ΣWeight) and each coefficient column must sum
+// to zero (probability is conserved: inputs only shift mass between
+// outcomes). The compiler emits one conversion reaction per input j,
+//
+//	Σ_{i: m_ij<0} |m_ij|·e_i  +  x_j  →  Σ_{i: m_ij>0} m_ij·e_i
+//
+// with m_ij = Coeff[i][j]·ΣWeight required to be integers. For Example 2
+// (weights 30/40/30, so ΣWeight = 100):
+//
+//	p₁ = 0.3 + 0.02X₁ − 0.03X₂   →   2e₃ + x₁ → 2e₁
+//	p₂ = 0.4 + 0.03X₂            →   3e₁ + x₂ → 3e₂
+//	p₃ = 0.3 − 0.02X₁
+type AffineSpec struct {
+	// Stochastic is the underlying module specification; its Weights set
+	// the constant terms.
+	Stochastic StochasticSpec
+	// Inputs names the input species x_j.
+	Inputs []string
+	// Coeff[i][j] is the probability coefficient of input j on outcome i.
+	// len(Coeff) must equal len(Stochastic.Outcomes); each row has
+	// len(Inputs) entries; every column sums to zero.
+	Coeff [][]float64
+	// Rate is the preprocessing reaction rate; zero defaults to
+	// Gamma·BaseRate (one band above initializing, so preprocessing
+	// completes before the race resolves).
+	Rate float64
+}
+
+// AffineModule is a built affine-programmed stochastic module.
+type AffineModule struct {
+	*StochasticModule
+	// InputSpecies[j] is the species index of input x_j.
+	InputSpecies []chem.Species
+	// Transfers[i][j] is the integer weight moved to outcome i per
+	// molecule of input j (negative = donated).
+	Transfers [][]int64
+
+	spec AffineSpec
+}
+
+// Build validates the affine program and compiles it: the stochastic module
+// plus one preprocessing reaction per input.
+func (s AffineSpec) Build() (*AffineModule, error) {
+	if len(s.Inputs) == 0 {
+		return nil, fmt.Errorf("synth: affine spec needs at least one input")
+	}
+	if len(s.Coeff) != len(s.Stochastic.Outcomes) {
+		return nil, fmt.Errorf("synth: Coeff has %d rows, want one per outcome (%d)",
+			len(s.Coeff), len(s.Stochastic.Outcomes))
+	}
+	mod, err := s.Stochastic.Build()
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, o := range mod.Spec.Outcomes {
+		total += o.Weight
+	}
+	for i := range mod.Spec.Outcomes {
+		if sc := mod.Spec.Outcomes[i].RateScale; sc != 1 {
+			return nil, fmt.Errorf("synth: affine programming requires uniform RateScale (outcome %d has %v)", i, sc)
+		}
+	}
+
+	m := len(s.Coeff)
+	n := len(s.Inputs)
+	transfers := make([][]int64, m)
+	for i, row := range s.Coeff {
+		if len(row) != n {
+			return nil, fmt.Errorf("synth: Coeff row %d has %d entries, want %d", i, len(row), n)
+		}
+		transfers[i] = make([]int64, n)
+		for j, a := range row {
+			exact := a * float64(total)
+			rounded := math.Round(exact)
+			if math.Abs(exact-rounded) > 1e-9 {
+				return nil, fmt.Errorf(
+					"synth: coefficient %v on input %d requires transfer %v·%d = %v, not an integer",
+					a, j, a, total, exact)
+			}
+			transfers[i][j] = int64(rounded)
+		}
+	}
+	for j := 0; j < n; j++ {
+		var sum int64
+		for i := 0; i < m; i++ {
+			sum += transfers[i][j]
+		}
+		if sum != 0 {
+			return nil, fmt.Errorf("synth: input %d coefficients do not conserve probability (column sum %d/%d)",
+				j, sum, total)
+		}
+	}
+
+	rate := s.Rate
+	if rate == 0 {
+		base := s.Stochastic.BaseRate
+		if base == 0 {
+			base = 1
+		}
+		rate = s.Stochastic.Gamma * base
+	}
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("synth: invalid preprocessing rate %v", rate)
+	}
+
+	am := &AffineModule{StochasticModule: mod, Transfers: transfers, spec: s}
+	b := chem.WrapBuilder(mod.Net)
+	for j, input := range s.Inputs {
+		if input == "" {
+			return nil, fmt.Errorf("synth: empty input name at index %d", j)
+		}
+		am.InputSpecies = append(am.InputSpecies, b.Species(input))
+		r := b.Rxn(LabelPreprocess)
+		hasDonor, hasRecipient := false, false
+		for i := 0; i < m; i++ {
+			if t := transfers[i][j]; t < 0 {
+				r.In(mod.Net.Name(mod.Inputs[i]), -t)
+				hasDonor = true
+			}
+		}
+		r.In(input, 1)
+		for i := 0; i < m; i++ {
+			if t := transfers[i][j]; t > 0 {
+				r.Out(mod.Net.Name(mod.Inputs[i]), t)
+				hasRecipient = true
+			}
+		}
+		if !hasDonor || !hasRecipient {
+			return nil, fmt.Errorf("synth: input %d moves no probability mass (all-zero column)", j)
+		}
+		r.Rate(rate)
+	}
+	return am, nil
+}
+
+// ProbabilitiesAt returns the programmed distribution for the given input
+// quantities: p_i = c_i + Σ_j Coeff[i][j]·X_j. It returns an error if any
+// probability falls outside [0, 1] (the program is undefined there — the
+// chemistry would run out of donor molecules).
+func (am *AffineModule) ProbabilitiesAt(inputs []int64) ([]float64, error) {
+	if len(inputs) != len(am.InputSpecies) {
+		return nil, fmt.Errorf("synth: %d inputs given, spec has %d", len(inputs), len(am.InputSpecies))
+	}
+	var total int64
+	for _, o := range am.Spec.Outcomes {
+		total += o.Weight
+	}
+	probs := make([]float64, len(am.Spec.Outcomes))
+	for i, o := range am.Spec.Outcomes {
+		w := o.Weight
+		for j, x := range inputs {
+			w += am.Transfers[i][j] * x
+		}
+		probs[i] = float64(w) / float64(total)
+		if probs[i] < 0 || probs[i] > 1 {
+			return nil, fmt.Errorf("synth: inputs %v drive p_%d to %v, outside [0,1]", inputs, i+1, probs[i])
+		}
+	}
+	return probs, nil
+}
+
+// InitialState returns the network's initial state with the given input
+// quantities installed.
+func (am *AffineModule) InitialState(inputs []int64) (chem.State, error) {
+	if len(inputs) != len(am.InputSpecies) {
+		return nil, fmt.Errorf("synth: %d inputs given, spec has %d", len(inputs), len(am.InputSpecies))
+	}
+	st := am.Net.InitialState()
+	for j, x := range inputs {
+		if x < 0 {
+			return nil, fmt.Errorf("synth: negative input quantity %d", x)
+		}
+		st.Set(am.InputSpecies[j], x)
+	}
+	return st, nil
+}

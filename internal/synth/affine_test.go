@@ -1,0 +1,207 @@
+package synth
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/mc"
+	"stochsynth/internal/rng"
+	"stochsynth/internal/sim"
+)
+
+// example2Spec is the paper's Example 2:
+//
+//	p1 = 0.3 + 0.02X1 − 0.03X2
+//	p2 = 0.4 + 0.03X2
+//	p3 = 0.3 − 0.02X1
+func example2Spec() AffineSpec {
+	return AffineSpec{
+		Stochastic: StochasticSpec{
+			Outcomes: []Outcome{{Weight: 30}, {Weight: 40}, {Weight: 30}},
+			Gamma:    1e3,
+		},
+		Inputs: []string{"x1", "x2"},
+		Coeff: [][]float64{
+			{+0.02, -0.03},
+			{0, +0.03},
+			{-0.02, 0},
+		},
+	}
+}
+
+func TestAffineBuildEmitsExample2Reactions(t *testing.T) {
+	am, err := example2Spec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the two preprocessing reactions and compare to the paper's:
+	// 2e3 + x1 → 2e1 and 3e1 + x2 → 3e2.
+	var got []string
+	for i := range am.Net.Reactions() {
+		r := am.Net.Reaction(i)
+		if r.Label == LabelPreprocess {
+			got = append(got, chem.FormatReaction(am.Net, r))
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("preprocess reactions = %v", got)
+	}
+	if !strings.Contains(got[0], "2e3 + x1") || !strings.Contains(got[0], "2e1") {
+		t.Errorf("x1 reaction = %q, want 2e3 + x1 → 2e1", got[0])
+	}
+	if !strings.Contains(got[1], "3e1 + x2") || !strings.Contains(got[1], "3e2") {
+		t.Errorf("x2 reaction = %q, want 3e1 + x2 → 3e2", got[1])
+	}
+}
+
+func TestAffineTransfersMatrix(t *testing.T) {
+	am, err := example2Spec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int64{{2, -3}, {0, 3}, {-2, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if am.Transfers[i][j] != want[i][j] {
+				t.Fatalf("Transfers = %v, want %v", am.Transfers, want)
+			}
+		}
+	}
+}
+
+func TestAffineProbabilitiesAt(t *testing.T) {
+	am, err := example2Spec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := am.ProbabilitiesAt([]int64{5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.3 + 0.02*5 - 0.03*4, 0.4 + 0.03*4, 0.3 - 0.02*5}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Fatalf("p = %v, want %v", p, want)
+		}
+	}
+	// Out-of-range inputs must error (p3 < 0 at X1 = 16).
+	if _, err := am.ProbabilitiesAt([]int64{16, 0}); err == nil {
+		t.Fatal("out-of-range probability accepted")
+	}
+}
+
+func TestAffineValidation(t *testing.T) {
+	base := example2Spec()
+
+	s := base
+	s.Inputs = nil
+	if _, err := s.Build(); err == nil {
+		t.Error("no inputs validated")
+	}
+
+	s = base
+	s.Coeff = s.Coeff[:2]
+	if _, err := s.Build(); err == nil {
+		t.Error("row count mismatch validated")
+	}
+
+	s = base
+	s.Coeff = [][]float64{{0.02}, {0}, {-0.02}}
+	if _, err := s.Build(); err == nil {
+		t.Error("ragged rows validated")
+	}
+
+	// Non-integer transfer: 0.015·100 = 1.5.
+	s = base
+	s.Coeff = [][]float64{{0.015, 0}, {0, 0}, {-0.015, 0}}
+	if _, err := s.Build(); err == nil {
+		t.Error("non-integer transfer validated")
+	}
+
+	// Column not conserving probability.
+	s = base
+	s.Coeff = [][]float64{{0.02, 0}, {0, 0}, {0, 0}}
+	if _, err := s.Build(); err == nil {
+		t.Error("non-conserving column validated")
+	}
+
+	// All-zero column moves nothing.
+	s = base
+	s.Coeff = [][]float64{{0.02, 0}, {0, 0}, {-0.02, 0}}
+	if _, err := s.Build(); err == nil {
+		t.Error("all-zero column validated")
+	}
+
+	// RateScale must be uniform for weight arithmetic to hold.
+	s = base
+	s.Stochastic.Outcomes = []Outcome{{Weight: 30, RateScale: 2}, {Weight: 40}, {Weight: 30}}
+	if _, err := s.Build(); err == nil {
+		t.Error("non-uniform RateScale validated")
+	}
+}
+
+func TestExample2EndToEnd(t *testing.T) {
+	// Simulate the full preprocessing + race at several input points and
+	// compare outcome frequencies with the programmed affine response.
+	am, err := example2Spec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]int64{{0, 0}, {5, 0}, {0, 5}, {10, 10}}
+	const trials = 8000
+	for _, inputs := range cases {
+		want, err := am.ProbabilitiesAt(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st0, err := am.InitialState(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := mc.Run(mc.Config{Trials: trials, Outcomes: 3, Seed: 0xE2}, func(gen *rng.PCG) int {
+			eng := sim.NewDirect(am.Net, gen)
+			eng.Reset(st0, 0)
+			r := sim.Run(eng, sim.RunOptions{
+				StopWhen: am.ThresholdPredicate(10),
+				MaxSteps: 1_000_000,
+			})
+			if r.Reason != sim.StopPredicate {
+				return mc.None
+			}
+			return am.Winner(eng.State(), 10)
+		})
+		if res.None > trials/50 {
+			t.Fatalf("inputs %v: %d unresolved trials", inputs, res.None)
+		}
+		for i, w := range want {
+			got := res.Fraction(i)
+			sd := math.Sqrt(w*(1-w)/trials) + 1e-9
+			if math.Abs(got-w) > 6*sd+0.015 {
+				t.Errorf("inputs %v: p%d = %v, want %v", inputs, i+1, got, w)
+			}
+		}
+		t.Logf("inputs %v: measured %v, programmed %v", inputs, res, want)
+	}
+}
+
+func TestAffineInitialState(t *testing.T) {
+	am, err := example2Spec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := am.InitialState([]int64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st[am.InputSpecies[0]] != 3 || st[am.InputSpecies[1]] != 7 {
+		t.Fatal("inputs not installed")
+	}
+	if _, err := am.InitialState([]int64{1}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := am.InitialState([]int64{-1, 0}); err == nil {
+		t.Error("negative input accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"stochsynth/internal/chem"
+)
+
+// Composer allocates rate-band windows for chained modules and stitches
+// their networks together, mechanising §2.2.2's composition rule: "when
+// combining modules, one might have to choose reactions with appropriate
+// separations in their rates. (In some cases, the slowest reaction in one
+// module might be faster than the fastest reaction in the next.)"
+//
+// Windows are handed out top-down: the first Window call receives the
+// fastest rates, each later call sits entirely below everything allocated
+// before it. A pipeline therefore allocates its *earliest* (upstream)
+// stages first — upstream results must exist before downstream consumers
+// sample them, exactly as the lambda model runs its glue at 10⁹, its
+// logarithm at 10⁻³..10⁶ and its decision race at 10⁻⁹.
+//
+//	c := synth.NewComposer(1e9, 1e3)
+//	glue := c.Window(1)           // 1e9
+//	logBands := c.Window(4)       // 1e-3, 1, 1e3, 1e6
+//	raceBands := c.Window(3)      // 1e-12, 1e-9, 1e-6
+//	...build modules with those bands, then c.Merge each network...
+type Composer struct {
+	net *chem.Network
+	top float64 // fastest rate still unallocated
+	sep float64
+	n   int // modules merged, for prefix generation
+	err error
+}
+
+// NewComposer returns a Composer whose first window's fastest band is top,
+// with multiplicative separation sep (> 1) between adjacent bands.
+func NewComposer(top, sep float64) *Composer {
+	c := &Composer{net: chem.NewNetwork(), top: top, sep: sep}
+	if top <= 0 || math.IsNaN(top) || math.IsInf(top, 0) {
+		c.err = fmt.Errorf("synth: composer top rate must be positive and finite, got %v", top)
+	}
+	if sep <= 1 || math.IsNaN(sep) || math.IsInf(sep, 0) {
+		c.err = fmt.Errorf("synth: composer separation must be > 1 and finite, got %v", sep)
+	}
+	return c
+}
+
+// Window reserves levels adjacent bands below all previous reservations
+// and returns them as RateBands (whose Rate(levels−1) is the window's
+// fastest rate). It panics on a non-positive level count.
+func (c *Composer) Window(levels int) RateBands {
+	if levels <= 0 {
+		panic("synth: Window needs at least one level")
+	}
+	if c.err != nil {
+		return RateBands{Slowest: 1, Sep: 2} // valid placeholder; Err() reports
+	}
+	slowest := c.top / math.Pow(c.sep, float64(levels-1))
+	c.top = slowest / c.sep
+	if slowest <= 0 || c.top == 0 {
+		c.err = fmt.Errorf("synth: composer band underflow after %d-level window; use fewer stages or smaller separation", levels)
+		return RateBands{Slowest: 1, Sep: 2}
+	}
+	return RateBands{Slowest: slowest, Sep: c.sep}
+}
+
+// Prefix returns a fresh namespace prefix for the next module instance
+// ("m1.", "m2.", …), honouring the paper's note that "each x appearing in
+// a different module should be considered a distinct type".
+func (c *Composer) Prefix() string {
+	c.n++
+	return fmt.Sprintf("m%d.", c.n)
+}
+
+// Merge adds a module's network into the composition (species unified by
+// name).
+func (c *Composer) Merge(net *chem.Network) {
+	c.net.Merge(net)
+}
+
+// Network returns the composed network and any allocation error.
+func (c *Composer) Network() (*chem.Network, error) {
+	return c.net, c.err
+}
+
+// Err returns the first allocation error, if any.
+func (c *Composer) Err() error { return c.err }

@@ -1,0 +1,115 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"stochsynth/internal/mc"
+	"stochsynth/internal/rng"
+	"stochsynth/internal/sim"
+)
+
+func TestComposerWindowsDescend(t *testing.T) {
+	c := NewComposer(1e9, 1e3)
+	glue := c.Window(1)
+	if glue.Rate(0) != 1e9 {
+		t.Fatalf("glue rate = %v, want 1e9", glue.Rate(0))
+	}
+	logB := c.Window(4)
+	// Fastest of the 4-level window must sit one separation below glue.
+	if got := logB.Rate(3); math.Abs(got-1e6)/1e6 > 1e-9 {
+		t.Fatalf("log fastest = %v, want 1e6", got)
+	}
+	if got := logB.Rate(0); math.Abs(got-1e-3)/1e-3 > 1e-9 {
+		t.Fatalf("log slowest = %v, want 1e-3", got)
+	}
+	race := c.Window(2)
+	if got := race.Rate(1); math.Abs(got-1e-6)/1e-6 > 1e-9 {
+		t.Fatalf("race fastest = %v, want 1e-6", got)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComposerPrefixesDistinct(t *testing.T) {
+	c := NewComposer(1e6, 10)
+	a, b := c.Prefix(), c.Prefix()
+	if a == b || a == "" {
+		t.Fatalf("prefixes %q %q", a, b)
+	}
+}
+
+func TestComposerUnderflow(t *testing.T) {
+	c := NewComposer(1e-300, 1e3)
+	c.Window(5)
+	c.Window(5)
+	if c.Err() == nil {
+		t.Fatal("no underflow error after draining the float range")
+	}
+	if _, err := c.Network(); err == nil {
+		t.Fatal("Network did not surface the error")
+	}
+}
+
+func TestComposerRejectsBadConfig(t *testing.T) {
+	if NewComposer(0, 10).Err() == nil {
+		t.Error("top=0 accepted")
+	}
+	if NewComposer(10, 1).Err() == nil {
+		t.Error("sep=1 accepted")
+	}
+	if NewComposer(10, math.NaN()).Err() == nil {
+		t.Error("NaN sep accepted")
+	}
+}
+
+func TestComposerWindowPanicsOnZeroLevels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Window(0) did not panic")
+		}
+	}()
+	NewComposer(1, 10).Window(0)
+}
+
+func TestComposedIsolationExp2Pipeline(t *testing.T) {
+	// Rebuild the isolation→exp2 pipeline using the Composer: isolation
+	// (upstream, must finish first) gets the upper window, exp2 the lower.
+	c := NewComposer(1e6, 1e3)
+	isoBands := c.Window(2)
+	expBands := c.Window(4)
+
+	iso, err := IsolationSpec{Y: "y", C: "c", Bands: isoBands}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp2, err := Exp2Spec{X: "x", Y: "y", Prefix: c.Prefix(), Bands: expBands}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Merge(iso)
+	c.Merge(exp2)
+	net, err := c.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetInitialByName("y", 9) // noisy start; isolation must cut to 1
+	net.SetInitialByName("c", 3)
+	net.SetInitialByName("x", 4)
+
+	y := net.MustSpecies("y")
+	hist := mc.NewHist()
+	const trials = 150
+	for seed := uint64(0); seed < trials; seed++ {
+		eng := sim.NewDirect(net, rng.New(seed))
+		res := sim.Run(eng, sim.RunOptions{MaxSteps: 500000})
+		if res.Reason != sim.StopQuiescent {
+			t.Fatalf("pipeline did not quiesce: %v", res.Reason)
+		}
+		hist.Add(eng.State()[y])
+	}
+	if mode := hist.Mode(); mode != 16 {
+		t.Fatalf("composed pipeline mode = %d, want 16 (mean %.2f)", mode, hist.Mean())
+	}
+}

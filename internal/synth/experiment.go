@@ -1,0 +1,90 @@
+package synth
+
+import (
+	"stochsynth/internal/chem"
+	"stochsynth/internal/mc"
+	"stochsynth/internal/rng"
+	"stochsynth/internal/sim"
+)
+
+// RaceResult reports one trial of the stochastic-module race experiment
+// (the paper's Figure 3 setup).
+type RaceResult struct {
+	// FirstInit is the outcome whose initializing reaction fired first
+	// (-1 if none fired before the run ended).
+	FirstInit int
+	// Winner is the outcome declared by the working threshold (-1 if the
+	// system deadlocked or hit the step bound first).
+	Winner int
+	// Steps is the number of reaction events simulated.
+	Steps int64
+}
+
+// Error reports whether the trial is an error in the paper's sense: "the
+// first initializing reaction to fire does not determine the final
+// outcome". Trials with no winner also count as errors (the initial choice
+// certainly did not determine the outcome).
+func (r RaceResult) Error() bool {
+	return r.FirstInit < 0 || r.Winner != r.FirstInit
+}
+
+// RunRace simulates one race of the module until some outcome's outputs
+// reach threshold copies (or maxSteps events pass), recording which
+// initializing reaction fired first. This is the trial underlying Figure 3:
+// the module is declared in error when the first initializing firing does
+// not pick the final winner.
+func RunRace(mod *StochasticModule, threshold, maxSteps int64, gen *rng.PCG) RaceResult {
+	eng := sim.NewDirect(mod.Net, gen)
+	first := -1
+	res := sim.Run(eng, sim.RunOptions{
+		MaxSteps: maxSteps,
+		StopWhen: mod.ThresholdPredicate(threshold),
+		OnEvent: func(reaction int, _ chem.State, _ float64) {
+			if first < 0 {
+				if o := mod.InitializingOutcome(reaction); o >= 0 {
+					first = o
+				}
+			}
+		},
+	})
+	winner := -1
+	if res.Reason == sim.StopPredicate {
+		winner = mod.Winner(eng.State(), threshold)
+	}
+	return RaceResult{FirstInit: first, Winner: winner, Steps: res.Steps}
+}
+
+// Figure3Spec returns the module specification of the paper's Figure 3
+// error experiment: three outcomes, every Eᵢ = 100, every kᵢ = 1, rates per
+// Equation 1 with the given γ.
+func Figure3Spec(gamma float64) StochasticSpec {
+	return StochasticSpec{
+		Outcomes: []Outcome{
+			{Weight: 100, Outputs: []Output{{FoodQuantity: 100}}},
+			{Weight: 100, Outputs: []Output{{FoodQuantity: 100}}},
+			{Weight: 100, Outputs: []Output{{FoodQuantity: 100}}},
+		},
+		Gamma: gamma,
+	}
+}
+
+// Figure3Threshold is the paper's outcome-declaration threshold: "a working
+// reaction needs to fire 10 times for us to declare an outcome".
+const Figure3Threshold = 10
+
+// Figure3ErrorRate runs the Figure 3 experiment at one γ: trials parallel
+// races of the Figure3Spec module, returning the fraction of trials in
+// error.
+func Figure3ErrorRate(gamma float64, trials int, seed uint64) (float64, error) {
+	mod, err := Figure3Spec(gamma).Build()
+	if err != nil {
+		return 0, err
+	}
+	res := mc.Run(mc.Config{Trials: trials, Outcomes: 2, Seed: seed}, func(gen *rng.PCG) int {
+		if RunRace(mod, Figure3Threshold, 2_000_000, gen).Error() {
+			return 1
+		}
+		return 0
+	})
+	return res.Fraction(1), nil
+}

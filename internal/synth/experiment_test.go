@@ -1,0 +1,88 @@
+package synth
+
+import (
+	"testing"
+
+	"stochsynth/internal/rng"
+)
+
+func TestRunRaceRecordsFirstInitializer(t *testing.T) {
+	mod, err := Figure3Spec(1000).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 50; seed++ {
+		r := RunRace(mod, Figure3Threshold, 2_000_000, rng.New(seed))
+		if r.FirstInit < 0 || r.FirstInit > 2 {
+			t.Fatalf("FirstInit = %d", r.FirstInit)
+		}
+		if r.Winner < 0 || r.Winner > 2 {
+			t.Fatalf("Winner = %d (race must resolve at γ=1000)", r.Winner)
+		}
+		if r.Steps <= 0 {
+			t.Fatalf("Steps = %d", r.Steps)
+		}
+	}
+}
+
+func TestRaceResultError(t *testing.T) {
+	cases := []struct {
+		r    RaceResult
+		want bool
+	}{
+		{RaceResult{FirstInit: 0, Winner: 0}, false},
+		{RaceResult{FirstInit: 0, Winner: 1}, true},
+		{RaceResult{FirstInit: -1, Winner: 1}, true},
+		{RaceResult{FirstInit: 2, Winner: -1}, true},
+	}
+	for _, c := range cases {
+		if c.r.Error() != c.want {
+			t.Errorf("Error(%+v) = %v", c.r, c.r.Error())
+		}
+	}
+}
+
+func TestFigure3ErrorDecreasesWithGamma(t *testing.T) {
+	// The headline claim of Figure 3: error shrinks as γ grows. Compare
+	// γ=10 against γ=10⁴ with enough trials to separate them decisively.
+	lo, err := Figure3ErrorRate(10, 1500, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Figure3ErrorRate(1e4, 1500, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 0.02 {
+		t.Errorf("error at γ=10 = %v, expected substantial (paper: ≈10%%)", lo)
+	}
+	if hi > lo/3 {
+		t.Errorf("error at γ=1e4 (%v) not well below γ=10 (%v)", hi, lo)
+	}
+	if hi > 0.02 {
+		t.Errorf("error at γ=1e4 = %v, expected < 2%%", hi)
+	}
+	t.Logf("Figure 3 spot check: err(γ=10)=%.4f err(γ=1e4)=%.4f", lo, hi)
+}
+
+func TestFigure3SpecShape(t *testing.T) {
+	spec := Figure3Spec(100)
+	if len(spec.Outcomes) != 3 {
+		t.Fatal("Figure 3 uses three outcomes")
+	}
+	for i, o := range spec.Outcomes {
+		if o.Weight != 100 {
+			t.Errorf("outcome %d weight = %d, want 100", i, o.Weight)
+		}
+	}
+	mod, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mod.Probabilities()
+	for _, pi := range p {
+		if pi != 1.0/3 {
+			t.Fatalf("Probabilities = %v, want uniform thirds", p)
+		}
+	}
+}

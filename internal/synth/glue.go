@@ -1,0 +1,48 @@
+package synth
+
+import (
+	"fmt"
+
+	"stochsynth/internal/chem"
+)
+
+// FanOut adds the glue reaction in → out₁ + out₂ + … + outₙ (one copy of
+// the input quantity delivered to each consumer), as used by the paper's
+// lambda model ("moi → x1 + x2"). The rate should sit above every consumer
+// band so the copies exist before the consumers need them.
+func FanOut(net *chem.Network, in string, outs []string, rate float64) error {
+	if in == "" || len(outs) < 2 {
+		return fmt.Errorf("synth: fan-out needs an input and at least 2 outputs")
+	}
+	for _, o := range outs {
+		if o == "" || o == in {
+			return fmt.Errorf("synth: fan-out output %q invalid", o)
+		}
+	}
+	if rate <= 0 {
+		return fmt.Errorf("synth: fan-out rate must be positive")
+	}
+	b := chem.WrapBuilder(net)
+	r := b.Rxn(LabelFanOut).In(in, 1)
+	for _, o := range outs {
+		r.Out(o, 1)
+	}
+	r.Rate(rate)
+	return nil
+}
+
+// Assimilation adds the glue reaction y + e_from → e_to: each molecule of
+// the carrier y converts one module input from one outcome type to
+// another, which is how deterministic-module outputs reprogram the
+// stochastic module's initial quantities in the lambda model.
+func Assimilation(net *chem.Network, y, eFrom, eTo string, rate float64) error {
+	if y == "" || eFrom == "" || eTo == "" || eFrom == eTo {
+		return fmt.Errorf("synth: assimilation needs distinct y, eFrom, eTo")
+	}
+	if rate <= 0 {
+		return fmt.Errorf("synth: assimilation rate must be positive")
+	}
+	b := chem.WrapBuilder(net)
+	b.Rxn(LabelAssimilation).In(y, 1).In(eFrom, 1).Out(eTo, 1).Rate(rate)
+	return nil
+}

@@ -1,0 +1,297 @@
+package synth
+
+import (
+	"fmt"
+
+	"stochsynth/internal/chem"
+)
+
+// LinearSpec is the paper's linear module: the single reaction αx → βy
+// computes αY∞ = βX₀ (i.e. Y∞ = (β/α)·X₀, up to the ≤α−1 remainder of
+// integer division).
+type LinearSpec struct {
+	// Alpha and Beta are the positive integer coefficients.
+	Alpha, Beta int64
+	// X and Y name the input and output species.
+	X, Y string
+	// Rate is the reaction rate; zero defaults to 1. The linear module has
+	// no internal race, so its rate only sets how fast it completes.
+	Rate float64
+}
+
+// Build generates the module into a fresh network.
+func (s LinearSpec) Build() (*chem.Network, error) {
+	if s.Alpha <= 0 || s.Beta <= 0 {
+		return nil, fmt.Errorf("synth: linear module needs positive α, β (got %d, %d)", s.Alpha, s.Beta)
+	}
+	if s.X == "" || s.Y == "" {
+		return nil, fmt.Errorf("synth: linear module needs X and Y names")
+	}
+	if s.X == s.Y {
+		return nil, fmt.Errorf("synth: linear module X and Y must differ")
+	}
+	if s.Rate == 0 {
+		s.Rate = 1
+	}
+	if s.Rate < 0 {
+		return nil, fmt.Errorf("synth: negative rate %v", s.Rate)
+	}
+	b := chem.NewBuilder()
+	b.Rxn(LabelLinear).In(s.X, s.Alpha).Out(s.Y, s.Beta).Rate(s.Rate)
+	return b.Network(), nil
+}
+
+// Exp2Spec is the paper's exponentiation module: Y∞ = 2^X₀.
+//
+// Reactions (bands slow < medium < fast < faster):
+//
+//	x        --slow-->   a
+//	a + y    --faster--> a + 2y'
+//	a        --fast-->   ∅
+//	y'       --medium--> y
+//
+// Each consumed x doubles the y population: while the transient a lives
+// (one "faster" beat) it converts every y to two y'; after a dies the y'
+// relax back to y before the next x converts. Requires Y₀ = 1 (use
+// IsolationSpec to enforce it) and all internal species start at zero.
+type Exp2Spec struct {
+	// X and Y name the input and output species.
+	X, Y string
+	// Prefix namespaces the internal species a and y'.
+	Prefix string
+	// Bands supplies the four rate bands; the zero value means
+	// DefaultBands().
+	Bands RateBands
+}
+
+// Build generates the module into a fresh network with Y initialised to 1.
+func (s Exp2Spec) Build() (*chem.Network, error) {
+	if s.X == "" || s.Y == "" {
+		return nil, fmt.Errorf("synth: exp2 module needs X and Y names")
+	}
+	if s.X == s.Y {
+		return nil, fmt.Errorf("synth: exp2 module X and Y must differ")
+	}
+	if s.Bands == (RateBands{}) {
+		s.Bands = DefaultBands()
+	}
+	if err := s.Bands.Validate(); err != nil {
+		return nil, err
+	}
+	const (
+		slow = iota
+		medium
+		fast
+		faster
+	)
+	a := name(s.Prefix, "a")
+	yp := name(s.Prefix, s.Y+"'")
+	b := chem.NewBuilder()
+	b.Rxn(LabelExp).In(s.X, 1).Out(a, 1).Rate(s.Bands.Rate(slow))
+	b.Rxn(LabelExp).In(a, 1).In(s.Y, 1).Out(a, 1).Out(yp, 2).Rate(s.Bands.Rate(faster))
+	b.Rxn(LabelExp).In(a, 1).Rate(s.Bands.Rate(fast))
+	b.Rxn(LabelExp).In(yp, 1).Out(s.Y, 1).Rate(s.Bands.Rate(medium))
+	b.Init(s.Y, 1)
+	return b.Network(), nil
+}
+
+// Log2Spec is the paper's logarithm module: Y∞ = log₂X₀ (more precisely
+// ⌈log₂X₀⌉ under integer halving: each pass maps X → ⌊X/2⌋ + (X mod 2),
+// because the odd leftover molecule rejoins the restored population —
+// exactly what the paper's own reaction list does).
+//
+// Reactions (bands slow < medium < fast < faster):
+//
+//	b         --slow-->   b + a       (pass clock; b persists)
+//	a + 2x    --faster--> c + x' + a  (halve x, one c per pair)
+//	2c        --faster--> c           (collapse the c's to one)
+//	a         --fast-->   ∅
+//	x'        --medium--> x           (restore the halved population)
+//	c         --medium--> y           (Y += 1 per pass)
+//
+// Requires B₀ = 1 (a small non-zero quantity per the paper) and all other
+// internals zero. Note the module never quiesces — the b clock ticks
+// forever — so simulations must stop on a predicate (see DonePredicate).
+type Log2Spec struct {
+	// X and Y name the input and output species.
+	X, Y string
+	// YCount is the number of y molecules produced per pass (the fused
+	// "linear" scaling of the paper's Figure 4, whose c → 6y₂ computes
+	// 6·log₂ in one reaction); zero defaults to 1, making Y∞ = log₂X₀.
+	YCount int64
+	// Prefix namespaces the internal species a, b, c, x'.
+	Prefix string
+	// Bands supplies the four rate bands; zero means DefaultBands().
+	Bands RateBands
+}
+
+// Build generates the module into a fresh network with B initialised to 1.
+func (s Log2Spec) Build() (*chem.Network, error) {
+	if s.X == "" || s.Y == "" {
+		return nil, fmt.Errorf("synth: log2 module needs X and Y names")
+	}
+	if s.X == s.Y {
+		return nil, fmt.Errorf("synth: log2 module X and Y must differ")
+	}
+	if s.YCount == 0 {
+		s.YCount = 1
+	}
+	if s.YCount < 0 {
+		return nil, fmt.Errorf("synth: log2 module YCount must be positive")
+	}
+	if s.Bands == (RateBands{}) {
+		s.Bands = DefaultBands()
+	}
+	if err := s.Bands.Validate(); err != nil {
+		return nil, err
+	}
+	const (
+		slow = iota
+		medium
+		fast
+		faster
+	)
+	a := name(s.Prefix, "a")
+	bb := name(s.Prefix, "b")
+	c := name(s.Prefix, "c")
+	xp := name(s.Prefix, s.X+"'")
+	b := chem.NewBuilder()
+	b.Rxn(LabelLog).In(bb, 1).Out(bb, 1).Out(a, 1).Rate(s.Bands.Rate(slow))
+	b.Rxn(LabelLog).In(a, 1).In(s.X, 2).Out(c, 1).Out(xp, 1).Out(a, 1).Rate(s.Bands.Rate(faster))
+	b.Rxn(LabelLog).In(c, 2).Out(c, 1).Rate(s.Bands.Rate(faster))
+	b.Rxn(LabelLog).In(a, 1).Rate(s.Bands.Rate(fast))
+	b.Rxn(LabelLog).In(xp, 1).Out(s.X, 1).Rate(s.Bands.Rate(medium))
+	b.Rxn(LabelLog).In(c, 1).Out(s.Y, s.YCount).Rate(s.Bands.Rate(medium))
+	b.Init(bb, 1)
+	return b.Network(), nil
+}
+
+// DonePredicate returns a stop predicate for the log2 module: the
+// computation has converged when no halving remains possible and all
+// transients have drained (X ≤ 1 pending restores included).
+func (s Log2Spec) DonePredicate(net *chem.Network) func(chem.State, float64) bool {
+	x := net.MustSpecies(s.X)
+	a := net.MustSpecies(name(s.Prefix, "a"))
+	c := net.MustSpecies(name(s.Prefix, "c"))
+	xp := net.MustSpecies(name(s.Prefix, s.X+"'"))
+	return func(st chem.State, _ float64) bool {
+		return st[x] <= 1 && st[a] == 0 && st[c] == 0 && st[xp] == 0
+	}
+}
+
+// PowerSpec is the paper's raising-to-a-power module: Y∞ = X₀^P₀,
+// implemented as the double loop "for each p { for each x { D += Y };
+// Y = D; D = 0 }" (reactions 2–11 of the paper).
+//
+// Reactions (bands slowest < slower < slow < medium < fast < faster <
+// fastest):
+//
+//	p       --slowest--> a            (outer loop trigger)
+//	a + x   --medium-->  b + a + x'   (inner loop: one b per x)
+//	b + y   --fastest--> y' + d + b   (D += Y)
+//	b       --faster-->  ∅
+//	y'      --fast-->    y
+//	a       --slow-->    e            (outer-loop cleanup trigger)
+//	e + y   --faster-->  e            (Y := 0)
+//	e + x'  --faster-->  e + x        (restore x)
+//	e       --fast-->    ∅
+//	d       --slower-->  y            (Y := D)
+//
+// Requires Y₀ = 1 and all internals zero.
+type PowerSpec struct {
+	// X, P and Y name the base, exponent and output species.
+	X, P, Y string
+	// Prefix namespaces the internal species a, b, d, e, x', y'.
+	Prefix string
+	// Bands supplies the seven rate bands; zero means
+	// RateBands{Slowest: 1e-6, Sep: 100} (seven bands at Sep 10³ would
+	// exceed float range comfortably but make runs needlessly stiff).
+	Bands RateBands
+}
+
+// Build generates the module into a fresh network with Y initialised to 1.
+func (s PowerSpec) Build() (*chem.Network, error) {
+	if s.X == "" || s.P == "" || s.Y == "" {
+		return nil, fmt.Errorf("synth: power module needs X, P and Y names")
+	}
+	if s.X == s.Y || s.X == s.P || s.P == s.Y {
+		return nil, fmt.Errorf("synth: power module species names must be distinct")
+	}
+	if s.Bands == (RateBands{}) {
+		s.Bands = RateBands{Slowest: 1e-6, Sep: 100}
+	}
+	if err := s.Bands.Validate(); err != nil {
+		return nil, err
+	}
+	const (
+		slowest = iota
+		slower
+		slow
+		medium
+		fast
+		faster
+		fastest
+	)
+	a := name(s.Prefix, "a")
+	bb := name(s.Prefix, "b")
+	d := name(s.Prefix, "d")
+	e := name(s.Prefix, "e")
+	xp := name(s.Prefix, s.X+"'")
+	yp := name(s.Prefix, s.Y+"'")
+	b := chem.NewBuilder()
+	b.Rxn(LabelPower).In(s.P, 1).Out(a, 1).Rate(s.Bands.Rate(slowest))                                 // (2)
+	b.Rxn(LabelPower).In(a, 1).In(s.X, 1).Out(bb, 1).Out(a, 1).Out(xp, 1).Rate(s.Bands.Rate(medium))   // (3)
+	b.Rxn(LabelPower).In(bb, 1).In(s.Y, 1).Out(yp, 1).Out(d, 1).Out(bb, 1).Rate(s.Bands.Rate(fastest)) // (4)
+	b.Rxn(LabelPower).In(bb, 1).Rate(s.Bands.Rate(faster))                                             // (5)
+	b.Rxn(LabelPower).In(yp, 1).Out(s.Y, 1).Rate(s.Bands.Rate(fast))                                   // (6)
+	b.Rxn(LabelPower).In(a, 1).Out(e, 1).Rate(s.Bands.Rate(slow))                                      // (7)
+	b.Rxn(LabelPower).In(e, 1).In(s.Y, 1).Out(e, 1).Rate(s.Bands.Rate(faster))                         // (8)
+	b.Rxn(LabelPower).In(e, 1).In(xp, 1).Out(e, 1).Out(s.X, 1).Rate(s.Bands.Rate(faster))              // (9)
+	b.Rxn(LabelPower).In(e, 1).Rate(s.Bands.Rate(fast))                                                // (10)
+	b.Rxn(LabelPower).In(d, 1).Out(s.Y, 1).Rate(s.Bands.Rate(slower))                                  // (11)
+	b.Init(s.Y, 1)
+	return b.Network(), nil
+}
+
+// IsolationSpec is the paper's isolation module: Y∞ = 1, used to establish
+// the single-molecule precondition of Exp2 and Power.
+//
+// Reactions:
+//
+//	c + 2y --fast--> c + y
+//	c      --slow--> ∅
+//
+// Requires Y₀ ≥ 1 and C₀ ≥ 1; on completion exactly one y remains and the
+// c molecules are all consumed (so y can feed other modules, "provided
+// that Reaction 13 completes in time").
+type IsolationSpec struct {
+	// Y and C name the target and catalyst species.
+	Y, C string
+	// Bands supplies the two rate bands (slow, fast); zero means
+	// DefaultBands().
+	Bands RateBands
+}
+
+// Build generates the module into a fresh network.
+func (s IsolationSpec) Build() (*chem.Network, error) {
+	if s.Y == "" || s.C == "" {
+		return nil, fmt.Errorf("synth: isolation module needs Y and C names")
+	}
+	if s.Y == s.C {
+		return nil, fmt.Errorf("synth: isolation module Y and C must differ")
+	}
+	if s.Bands == (RateBands{}) {
+		s.Bands = DefaultBands()
+	}
+	if err := s.Bands.Validate(); err != nil {
+		return nil, err
+	}
+	const (
+		slow = iota
+		fast
+	)
+	b := chem.NewBuilder()
+	b.Rxn(LabelIsolation).In(s.C, 1).In(s.Y, 2).Out(s.C, 1).Out(s.Y, 1).Rate(s.Bands.Rate(fast))
+	b.Rxn(LabelIsolation).In(s.C, 1).Rate(s.Bands.Rate(slow))
+	return b.Network(), nil
+}

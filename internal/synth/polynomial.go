@@ -1,0 +1,156 @@
+package synth
+
+import (
+	"fmt"
+
+	"stochsynth/internal/chem"
+)
+
+// PolynomialSpec compiles a univariate polynomial
+//
+//	Y∞ = c₀ + c₁·X + c₂·X² + … + c_d·X^d
+//
+// into a reaction network, realising the paper's §2.2.2 remark that "with
+// the linear and raising-to-a-power modules, our scheme can be used to
+// implement arbitrary polynomial functions".
+//
+// Construction: the input is fanned out into one private copy per term;
+// term k ≥ 2 runs a Power module computing X^k; each term's result drains
+// into the shared output through a scaling reaction y_k → |c_k|·y. Negative
+// coefficients are supported by draining into an antagonist species
+// y⁻ and annihilating y + y⁻ → ∅ (the purifying gadget reused as a
+// subtractor), so the computed value is max(0, P(X)) — chemistry cannot go
+// negative.
+//
+// The drain reactions sit one band below the Power modules' slowest band
+// and the glue (fan-out) one band above their fastest, preserving the
+// separation discipline of §2.2.2.
+type PolynomialSpec struct {
+	// Coeffs are the coefficients in ascending order: Coeffs[k] is c_k.
+	// At least one must be non-zero.
+	Coeffs []int64
+	// X and Y name the input and output species.
+	X, Y string
+	// Prefix namespaces all internal species.
+	Prefix string
+	// Bands configures the embedded Power modules (7 levels); the zero
+	// value means RateBands{Slowest: 1e-6, Sep: 100}.
+	Bands RateBands
+}
+
+// Build generates the polynomial network.
+func (s PolynomialSpec) Build() (*chem.Network, error) {
+	if s.X == "" || s.Y == "" {
+		return nil, fmt.Errorf("synth: polynomial needs X and Y names")
+	}
+	if s.X == s.Y {
+		return nil, fmt.Errorf("synth: polynomial X and Y must differ")
+	}
+	if s.Bands == (RateBands{}) {
+		s.Bands = RateBands{Slowest: 1e-6, Sep: 100}
+	}
+	if err := s.Bands.Validate(); err != nil {
+		return nil, err
+	}
+	anyNonZero := false
+	for _, c := range s.Coeffs {
+		if c != 0 {
+			anyNonZero = true
+		}
+	}
+	if !anyNonZero {
+		return nil, fmt.Errorf("synth: zero polynomial")
+	}
+
+	const powerLevels = 7
+	drainRate := s.Bands.Slowest / s.Bands.Sep
+	glueRate := s.Bands.Rate(powerLevels-1) * s.Bands.Sep
+
+	net := chem.NewNetwork()
+	b := chem.WrapBuilder(net)
+	yNeg := name(s.Prefix, s.Y+"-")
+
+	// Fan the input out to the terms that need it (k >= 1, c_k != 0).
+	var xUsers []string
+	for k, c := range s.Coeffs {
+		if k >= 1 && c != 0 {
+			xUsers = append(xUsers, name(s.Prefix, fmt.Sprintf("x^%d", k)))
+		}
+	}
+	switch len(xUsers) {
+	case 0:
+		// Constant polynomial: no fan-out needed.
+	case 1:
+		b.Rxn(LabelFanOut).In(s.X, 1).Out(xUsers[0], 1).Rate(glueRate)
+	default:
+		r := b.Rxn(LabelFanOut).In(s.X, 1)
+		for _, u := range xUsers {
+			r.Out(u, 1)
+		}
+		r.Rate(glueRate)
+	}
+
+	// drain emits src → |c|·dst where dst is y or y⁻ by sign.
+	drain := func(src string, c int64) {
+		dst := s.Y
+		if c < 0 {
+			dst = yNeg
+			c = -c
+		}
+		b.Rxn(LabelLinear).In(src, 1).Out(dst, c).Rate(drainRate)
+	}
+
+	haveNeg := false
+	for k, c := range s.Coeffs {
+		if c == 0 {
+			continue
+		}
+		if c < 0 {
+			haveNeg = true
+		}
+		switch {
+		case k == 0:
+			// Constant term: a single seed molecule emits |c₀| outputs.
+			seed := name(s.Prefix, "one")
+			b.Init(seed, 1)
+			drain(seed, c)
+		case k == 1:
+			drain(name(s.Prefix, "x^1"), c)
+		default:
+			termPrefix := name(s.Prefix, fmt.Sprintf("t%d.", k))
+			xk := name(s.Prefix, fmt.Sprintf("x^%d", k))
+			yk := name(s.Prefix, fmt.Sprintf("y^%d", k))
+			pk := termPrefix + "p"
+			pow, err := PowerSpec{X: xk, P: pk, Y: yk, Prefix: termPrefix, Bands: s.Bands}.Build()
+			if err != nil {
+				return nil, err
+			}
+			net.Merge(pow)
+			net.SetInitialByName(pk, int64(k))
+			// The Power module leaves Y_k = X^k; minus the single seed
+			// molecule it starts with, which the module consumes and
+			// regenerates — the final count already equals X^k, so the
+			// drain scales the whole population.
+			drain(yk, c)
+		}
+	}
+	if haveNeg {
+		// Subtractor: annihilate output against the antagonist.
+		b.Rxn(LabelPurifying).In(s.Y, 1).In(yNeg, 1).Rate(glueRate)
+	}
+	return net, nil
+}
+
+// EvalPolynomial returns max(0, Σ c_k·x^k) — the value the synthesised
+// chemistry converges to (chemistry cannot represent negative counts).
+func EvalPolynomial(coeffs []int64, x int64) int64 {
+	var v, pow int64 = 0, 1
+	for _, c := range coeffs {
+		v += c * pow
+		pow *= x
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,99 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/mc"
+	"stochsynth/internal/rng"
+	"stochsynth/internal/sim"
+)
+
+// TestExponentialResponse demonstrates the abstract's "exponential"
+// functional dependence: a two-outcome distribution programmed as
+//
+//	p₂% = A + B·2^X
+//
+// by chaining the Exp2 module (computes 2^X), a slow linear drain
+// (scales by B), an assimilation stage (moves weight from e1 to e2) and
+// the stochastic module — the same composition pattern as the lambda
+// model but with an exponential instead of a logarithmic preprocessor.
+func TestExponentialResponse(t *testing.T) {
+	const (
+		A = 10 // base weight of outcome 2
+		B = 5  // percentage points per unit of 2^X
+	)
+	build := func() (*StochasticModule, *chem.Network) {
+		// Exponentiation: y = 2^X with the default 1e-3..1e6 bands.
+		exp2, err := Exp2Spec{X: "x", Y: "y"}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stochastic module over two outcomes, race starting at 1e-9 so
+		// the preprocessing (which completes by ~3e6 time units) is done
+		// long before the first initializing firing (~1e7).
+		stoch, err := StochasticSpec{
+			Outcomes: []Outcome{
+				{Name: "1", Weight: 100 - A},
+				{Name: "2", Weight: A},
+			},
+			Gamma:    1e3,
+			BaseRate: 1e-9,
+		}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := chem.NewNetwork()
+		net.Merge(exp2)
+		// Drain below the exp2 bands so the computation finishes first:
+		// each y becomes B carriers z.
+		b := chem.WrapBuilder(net)
+		b.Rxn(LabelLinear).In("y", 1).Out("z", int64(B)).Rate(1e-6)
+		if err := Assimilation(net, "z", "e1", "e2", 1e3); err != nil {
+			t.Fatal(err)
+		}
+		net.Merge(stoch.Net)
+		// Rebind the module handles onto the merged network.
+		merged := *stoch
+		merged.Net = net
+		merged.Inputs = []chem.Species{net.MustSpecies("e1"), net.MustSpecies("e2")}
+		merged.Catalysts = []chem.Species{net.MustSpecies("d1"), net.MustSpecies("d2")}
+		merged.Outputs = [][]chem.Species{
+			{net.MustSpecies("o1")}, {net.MustSpecies("o2")},
+		}
+		merged.Foods = [][]chem.Species{
+			{net.MustSpecies("f1")}, {net.MustSpecies("f2")},
+		}
+		return &merged, net
+	}
+
+	const trials = 3000
+	for _, x := range []int64{0, 1, 2, 3} {
+		mod, net := build()
+		st0 := net.InitialState()
+		st0.Set(net.MustSpecies("x"), x)
+		want := (A + B*math.Pow(2, float64(x))) / 100
+		res := mc.Run(mc.Config{Trials: trials, Outcomes: 2, Seed: 0xE0 + uint64(x)},
+			func(gen *rng.PCG) int {
+				eng := sim.NewDirect(net, gen)
+				eng.Reset(st0, 0)
+				r := sim.Run(eng, sim.RunOptions{
+					StopWhen: mod.ThresholdPredicate(10),
+					MaxSteps: 2_000_000,
+				})
+				if r.Reason != sim.StopPredicate {
+					return mc.None
+				}
+				return mod.Winner(eng.State(), 10)
+			})
+		got := res.Fraction(1)
+		sd := math.Sqrt(want * (1 - want) / trials)
+		// Tolerance: sampling noise plus the Exp2 module's own error mass
+		// (a wrong 2^X shifts p₂ by ±B points occasionally).
+		if math.Abs(got-want) > 6*sd+0.02 {
+			t.Errorf("X=%d: p₂ = %.4f, want %.2f (exponential dependence)", x, got, want)
+		}
+		t.Logf("X=%d: programmed %.2f measured %.4f", x, want, got)
+	}
+}

@@ -1,0 +1,98 @@
+// Package synth implements the paper's synthesis method: compiling a
+// specified probabilistic behaviour into a chemical reaction network.
+//
+// It follows the paper's two-module decomposition (Figure 2):
+//
+//   - The stochastic module (§2.1) realises a categorical distribution over
+//     m discrete outcomes via five reaction categories — initializing,
+//     reinforcing, stabilizing, purifying and working — whose rates are
+//     separated by the factor γ of Equation 1. The outcome probabilities
+//     are programmed by the initial quantities of the input types:
+//     p_i = E_i·k_i / Σ_j E_j·k_j (§2.1.2).
+//
+//   - The deterministic modules (§2.2) compute functions of input
+//     quantities: Linear (αY∞ = βX₀), Exp2 (Y∞ = 2^X₀), Log2
+//     (Y∞ = log₂X₀), Power (Y∞ = X₀^P₀) and Isolation (Y∞ = 1), plus the
+//     fan-out / assimilation glue used by the paper's lambda model
+//     (Figure 4) and the affine "preprocessing" of Example 2.
+//
+// Modules compose by species naming: each generator writes into its own
+// network with caller-chosen input/output species names and an internal
+// namespace prefix; chem.Network.Merge unifies species by name. Rate bands
+// within a module are expressed through RateBands so that composition can
+// maintain the separations the paper requires (§2.2.2).
+package synth
+
+import (
+	"fmt"
+	"math"
+)
+
+// RateBands maps a module's relative speed levels ("slow", "medium", …,
+// always band 0 = slowest) to concrete rate constants with a uniform
+// multiplicative separation:
+//
+//	rate(level) = Slowest · Sep^level
+//
+// The paper's lambda model uses Slowest=1e-3, Sep=1e3 for its logarithm
+// module (bands 1e-3, 1, 1e3, 1e6); DefaultBands reproduces that choice.
+// Larger Sep reduces module error at the cost of stiffness (longer
+// simulated time spans); the band-separation ablation bench quantifies the
+// trade-off.
+type RateBands struct {
+	Slowest float64
+	Sep     float64
+}
+
+// DefaultBands returns the paper's band scheme (slowest 1e-3, separation
+// 10³ between adjacent bands).
+func DefaultBands() RateBands { return RateBands{Slowest: 1e-3, Sep: 1e3} }
+
+// Rate returns the concrete rate of the given band level (0 = slowest).
+// It panics on negative levels or an unconfigured (zero) band scheme.
+func (b RateBands) Rate(level int) float64 {
+	if level < 0 {
+		panic("synth: negative band level")
+	}
+	if b.Slowest <= 0 || b.Sep <= 1 {
+		panic("synth: RateBands requires Slowest > 0 and Sep > 1")
+	}
+	return b.Slowest * math.Pow(b.Sep, float64(level))
+}
+
+// Validate returns an error for unusable band schemes.
+func (b RateBands) Validate() error {
+	if b.Slowest <= 0 || math.IsNaN(b.Slowest) || math.IsInf(b.Slowest, 0) {
+		return fmt.Errorf("synth: band Slowest must be positive and finite, got %v", b.Slowest)
+	}
+	if b.Sep <= 1 || math.IsNaN(b.Sep) || math.IsInf(b.Sep, 0) {
+		return fmt.Errorf("synth: band Sep must be > 1 and finite, got %v", b.Sep)
+	}
+	return nil
+}
+
+// Reaction category labels used by every generator in this package. Tests,
+// tools and ablations select categories by these labels.
+const (
+	LabelInitializing = "initializing"
+	LabelReinforcing  = "reinforcing"
+	LabelStabilizing  = "stabilizing"
+	LabelPurifying    = "purifying"
+	LabelWorking      = "working"
+	LabelPreprocess   = "preprocess"
+	LabelFanOut       = "fan-out"
+	LabelAssimilation = "assimilation"
+	LabelLinear       = "linear"
+	LabelExp          = "exponentiation"
+	LabelLog          = "logarithm"
+	LabelPower        = "power"
+	LabelIsolation    = "isolation"
+)
+
+// name joins a prefix and a base name ("" prefix passes through).
+func name(prefix, base string) string {
+	if prefix == "" {
+		return base
+	}
+	return prefix + base
+}
