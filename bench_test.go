@@ -177,6 +177,62 @@ func BenchmarkEngineFirstReactionLambda(b *testing.B) {
 	lambdaEventBench(b, func(n *chem.Network, g *rng.PCG) sim.Engine { return sim.NewFirstReaction(n, g) })
 }
 
+// lambdaTrialsBench measures Monte Carlo throughput in trials/sec for one
+// lambda model: the quantity the paper's "100,000 trials" characterisation
+// is bottlenecked on. The reuse variant runs the engine-factory path
+// (mc.RunWith: one engine per worker, Reset per trial); the fresh variant
+// builds an engine per trial like mc.Run.
+func lambdaTrialsBench(b *testing.B, model *lambda.Model, reuse bool) {
+	const moi = 5
+	const trialsPerOp = 200
+	var lysogeny int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var res mc.Result
+		if reuse {
+			res = model.Characterize(moi, trialsPerOp, 23+uint64(i))
+		} else {
+			res = mc.Run(mc.Config{Trials: trialsPerOp, Outcomes: 2, Seed: 23 + uint64(i)},
+				model.Trial(moi))
+		}
+		lysogeny += res.Counts[lambda.Lysogeny]
+	}
+	b.StopTimer()
+	trials := float64(b.N) * trialsPerOp
+	b.ReportMetric(trials/b.Elapsed().Seconds(), "trials/s")
+	b.ReportMetric(100*float64(lysogeny)/trials, "lysogeny%")
+}
+
+// Narrow network: the paper's 19-reaction Figure 4 synthetic model.
+// Fresh = one Direct engine built per trial (the pre-refactor path);
+// Reuse = Model.Characterize, the mc.RunWith engine-factory hot path with
+// one OptimizedDirect engine per worker.
+func BenchmarkTrialsSyntheticDirectFresh(b *testing.B) {
+	lambdaTrialsBench(b, lambda.SyntheticModel(), false)
+}
+
+func BenchmarkTrialsSyntheticOptimizedReuse(b *testing.B) {
+	lambdaTrialsBench(b, lambda.SyntheticModel(), true)
+}
+
+// Wide network: the natural-model surrogate (the stand-in for the Arkin
+// 117-reaction model the paper characterises).
+func BenchmarkTrialsNaturalDirectFresh(b *testing.B) {
+	model, err := lambda.NaturalModel(lambda.NaturalParams{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lambdaTrialsBench(b, model, false)
+}
+
+func BenchmarkTrialsNaturalOptimizedReuse(b *testing.B) {
+	model, err := lambda.NaturalModel(lambda.NaturalParams{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lambdaTrialsBench(b, model, true)
+}
+
 // wideNetwork builds an N-channel cyclic conversion network — the "many
 // species and many channels" regime where Gibson–Bruck's dependency graph
 // pays off.

@@ -116,13 +116,16 @@ func main() {
 		return
 	}
 
+	st0 := net.InitialState()
 	for _, sp := range report {
 		sp := sp
-		s := mc.RunNumeric(mc.Config{Trials: *trials, Seed: *seed}, func(gen *rng.PCG) float64 {
-			eng := mk(net, gen)
-			sim.Run(eng, opts)
-			return float64(eng.State()[sp])
-		})
+		s := mc.RunNumericWith(mc.Config{Trials: *trials, Seed: *seed},
+			func(gen *rng.PCG) sim.Engine { return mk(net, gen) },
+			func(eng sim.Engine) float64 {
+				eng.Reset(st0, 0)
+				sim.Run(eng, opts)
+				return float64(eng.State()[sp])
+			})
 		fmt.Printf("%-12s mean=%.4f stderr=%.4f min=%g max=%g (n=%d)\n",
 			net.Name(sp), s.Mean, s.StdErr(), s.Min, s.Max, s.N)
 	}

@@ -186,9 +186,11 @@ func example1(trials int, seed uint64) {
 		fmt.Println("error:", err)
 		return
 	}
-	res := mc.Run(mc.Config{Trials: trials, Outcomes: 3, Seed: seed}, func(gen *rng.PCG) int {
-		return synth.RunRace(mod, 10, 2_000_000, gen).Winner
-	})
+	res := mc.RunWith(mc.Config{Trials: trials, Outcomes: 3, Seed: seed},
+		func(gen *rng.PCG) sim.Engine { return sim.NewOptimizedDirect(mod.Net, gen) },
+		func(eng sim.Engine) int {
+			return synth.RunRaceWith(mod, eng, 10, 2_000_000).Winner
+		})
 	tab := plot.Table{Headers: []string{"outcome", "programmed", "measured", "95% Wilson"}}
 	for i, want := range mod.Probabilities() {
 		p := res.Proportion(i)
@@ -240,9 +242,9 @@ func example2(trials int, seed uint64) {
 			fmt.Println("error:", err)
 			return
 		}
-		res := mc.Run(mc.Config{Trials: trials, Outcomes: 3, Seed: seed + uint64(inputs[0]*31+inputs[1])},
-			func(gen *rng.PCG) int {
-				eng := sim.NewDirect(am.Net, gen)
+		res := mc.RunWith(mc.Config{Trials: trials, Outcomes: 3, Seed: seed + uint64(inputs[0]*31+inputs[1])},
+			func(gen *rng.PCG) sim.Engine { return sim.NewOptimizedDirect(am.Net, gen) },
+			func(eng sim.Engine) int {
 				eng.Reset(st0, 0)
 				r := sim.Run(eng, sim.RunOptions{
 					StopWhen: am.ThresholdPredicate(10), MaxSteps: 2_000_000,
@@ -378,8 +380,14 @@ func pipeline(trials int, seed uint64) {
 
 func moduleHist(net *chem.Network, out chem.Species, done func(chem.State, float64) bool, trials int, seed uint64) *mc.Hist {
 	h := mc.NewHist()
+	// Sequential engine reuse: one engine, reseeded onto stream (seed, i)
+	// per trial — same trajectories as a fresh engine per trial.
+	gen := rng.NewStream(seed, 0)
+	eng := sim.NewDirect(net, gen)
+	st0 := net.InitialState()
 	for i := 0; i < trials; i++ {
-		eng := sim.NewDirect(net, rng.NewStream(seed, uint64(i)))
+		gen.Reseed(seed, uint64(i))
+		eng.Reset(st0, 0)
 		sim.Run(eng, sim.RunOptions{StopWhen: done, MaxSteps: 2_000_000})
 		h.Add(eng.State()[out])
 	}

@@ -1,0 +1,3 @@
+module stochsynth
+
+go 1.24

@@ -2,11 +2,12 @@ package chem
 
 // DependencyGraph computes, for each reaction, the set of reactions whose
 // propensity may change when it fires. Reaction j depends on reaction i when
-// some species whose count i changes appears among j's reactants. Every
-// reaction is included in its own dependency set (its reactant counts change
-// when it fires, except for pure catalysts — we keep it anyway; recomputing
-// an unchanged propensity is cheap and the conservative set is always
-// correct).
+// some species whose count i changes appears among j's reactants. A
+// reaction whose firing changes one of its own reactants is thereby in its
+// own set; a pure catalyst (every reactant count restored by the products,
+// like the paper's working reactions' d species or a b → b + a clock) is
+// not — its own propensity provably cannot change, and the synthesised
+// networks fire such channels on their hottest paths.
 //
 // The result is indexed by firing reaction: deps[i] lists the reactions to
 // refresh after reaction i fires, in increasing order.
@@ -32,7 +33,6 @@ func DependencyGraph(net *Network) [][]int {
 				set = append(set, j)
 			}
 		}
-		add(i)
 		for _, s := range changedSpecies(net.Reaction(i)) {
 			for _, j := range consumers[s] {
 				add(j)

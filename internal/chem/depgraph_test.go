@@ -27,14 +27,15 @@ c -> a @ 1
 }
 
 func TestDependencyGraphCatalyst(t *testing.T) {
-	// A pure catalyst reaction still includes itself (conservative set).
+	// Reaction 0 catalyses via d1 but consumes f1, so its own propensity
+	// changes when it fires: it must appear in its own set.
 	net := MustParseNetwork(`
 d1 + f1 -> d1 + cro2 @ 1
 cro2 -> 0 @ 1
 `)
 	deps := DependencyGraph(net)
 	if !containsInt(deps[0], 0) {
-		t.Errorf("deps[0] = %v should contain itself", deps[0])
+		t.Errorf("deps[0] = %v should contain itself (consumes f1)", deps[0])
 	}
 	if !containsInt(deps[0], 1) {
 		t.Errorf("deps[0] = %v should contain consumer of cro2", deps[0])
@@ -42,6 +43,28 @@ cro2 -> 0 @ 1
 	// Firing cro2 decay changes only cro2, which reaction 0 does not consume.
 	if containsInt(deps[1], 0) {
 		t.Errorf("deps[1] = %v should not contain reaction 0", deps[1])
+	}
+}
+
+func TestDependencyGraphPureCatalyst(t *testing.T) {
+	// A pure catalyst (the logarithm module's b → b + a clock) restores
+	// every reactant it consumes: its own propensity cannot change, so it
+	// is excluded from its own dependency set — this keeps the hottest
+	// synthesised channels at their minimal refresh cost.
+	net := MustParseNetwork(`
+b -> b + a @ 1
+a -> 0 @ 1
+`)
+	deps := DependencyGraph(net)
+	if containsInt(deps[0], 0) {
+		t.Errorf("deps[0] = %v should not contain the pure catalyst itself", deps[0])
+	}
+	if !containsInt(deps[0], 1) {
+		t.Errorf("deps[0] = %v should contain the consumer of a", deps[0])
+	}
+	// The decay consumes a, so it depends on itself.
+	if !containsInt(deps[1], 1) {
+		t.Errorf("deps[1] = %v should contain itself", deps[1])
 	}
 }
 

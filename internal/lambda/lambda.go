@@ -72,23 +72,34 @@ type Model struct {
 }
 
 // Trial returns an mc.Trial that runs one infection at the given MOI and
-// classifies the outcome (Lysis, Lysogeny, or mc.None on deadlock).
+// classifies the outcome (Lysis, Lysogeny, or mc.None on deadlock). It
+// builds a fresh engine per trial; the Monte Carlo hot path goes through
+// Characterize, which reuses one engine per worker instead.
 func (m *Model) Trial(moi int64) mc.Trial {
+	classify := m.classifier(moi)
+	return func(gen *rng.PCG) int {
+		return classify(sim.NewDirect(m.Net, gen))
+	}
+}
+
+// classifier returns the per-trial body shared by Trial and Characterize:
+// reset eng to the MOI-dosed initial state, race to a threshold, classify.
+func (m *Model) classifier(moi int64) func(eng sim.Engine) int {
 	st0 := m.Net.InitialState()
 	st0.Set(m.MOI, moi)
 	maxSteps := m.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = 5_000_000
 	}
-	return func(gen *rng.PCG) int {
-		eng := sim.NewDirect(m.Net, gen)
+	opts := sim.RunOptions{
+		MaxSteps: maxSteps,
+		StopWhen: func(st chem.State, _ float64) bool {
+			return st[m.Cro2] >= m.Thresholds.Cro2 || st[m.CI2] >= m.Thresholds.CI2
+		},
+	}
+	return func(eng sim.Engine) int {
 		eng.Reset(st0, 0)
-		res := sim.Run(eng, sim.RunOptions{
-			MaxSteps: maxSteps,
-			StopWhen: func(st chem.State, _ float64) bool {
-				return st[m.Cro2] >= m.Thresholds.Cro2 || st[m.CI2] >= m.Thresholds.CI2
-			},
-		})
+		res := sim.Run(eng, opts)
 		if res.Reason != sim.StopPredicate {
 			return mc.None
 		}
@@ -97,6 +108,20 @@ func (m *Model) Trial(moi int64) mc.Trial {
 		}
 		return Lysis
 	}
+}
+
+// Characterize runs the Monte Carlo characterisation of one MOI point on
+// the engine-reuse path: each worker builds one OptimizedDirect engine
+// (dependency graph and propensity vectors allocated once) and Resets it
+// per trial. This is the paper's "100,000 trials" measurement loop and the
+// package's hot path.
+func (m *Model) Characterize(moi int64, trials int, seed uint64) mc.Result {
+	classify := m.classifier(moi)
+	return mc.RunWith(
+		mc.Config{Trials: trials, Outcomes: 2, Seed: seed},
+		func(gen *rng.PCG) sim.Engine { return sim.NewOptimizedDirect(m.Net, gen) },
+		classify,
+	)
 }
 
 // Point is one MOI sweep sample: the measured lysogeny percentage with its
@@ -115,11 +140,7 @@ type Point struct {
 func SweepMOI(m *Model, mois []int64, trials int, seed uint64) []Point {
 	points := make([]Point, len(mois))
 	for i, moi := range mois {
-		res := mc.Run(mc.Config{
-			Trials:   trials,
-			Outcomes: 2,
-			Seed:     seed + uint64(i)*0x9e3779b97f4a7c15,
-		}, m.Trial(moi))
+		res := m.Characterize(moi, trials, seed+uint64(i)*0x9e3779b97f4a7c15)
 		p := res.Proportion(Lysogeny)
 		lo, hi := p.Wilson(mc.Z95)
 		points[i] = Point{

@@ -62,6 +62,9 @@ func TestSyntheticModelTracksProgrammedResponse(t *testing.T) {
 	// The synthesised network's measured lysogeny probability must match
 	// the programmed staircase at every swept MOI (Figure 5's "Synthetic
 	// System" series).
+	if testing.Short() {
+		t.Skip("synthetic-model sweep is seconds of Monte Carlo")
+	}
 	m := SyntheticModel()
 	params := SynthesisParams{A: 15, B: 6, CInv: 6}
 	const trials = 1200
@@ -80,6 +83,9 @@ func TestSyntheticModelTracksProgrammedResponse(t *testing.T) {
 }
 
 func TestSyntheticModelMonotoneInMOI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthetic-model sweep is seconds of Monte Carlo")
+	}
 	m := SyntheticModel()
 	points := SweepMOI(m, []int64{1, 4, 10}, 800, 7)
 	if !(points[0].PctLysogeny < points[1].PctLysogeny &&
@@ -157,6 +163,9 @@ func TestTrialClassifiesBothOutcomes(t *testing.T) {
 func TestSynthesizeCustomResponse(t *testing.T) {
 	// A different programmed response (A=30, B=3, CInv=2) must also track
 	// its staircase — the method is general, not a Figure 4 one-off.
+	if testing.Short() {
+		t.Skip("synthetic-model sweep is seconds of Monte Carlo")
+	}
 	params := SynthesisParams{A: 30, B: 3, CInv: 2}
 	m, err := Synthesize(params)
 	if err != nil {

@@ -52,6 +52,9 @@ func TestRoundToParamsRejectsUnrealisable(t *testing.T) {
 //  5. characterise the synthetic system and check it reproduces the
 //     natural response.
 func TestEndToEndMethodology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full methodology round trip runs tens of thousands of trials")
+	}
 	mois := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	natural, err := NaturalModel(NaturalParams{})
 	if err != nil {

@@ -8,13 +8,23 @@
 // count. Outcome tallies come with Wilson confidence intervals, and Sweep
 // drives a family of runs across a parameter range (the paper's γ and MOI
 // sweeps).
+//
+// # Engine reuse
+//
+// Run and RunNumeric hand each trial a fresh generator and leave engine
+// construction to the trial closure, which is simple but allocates the
+// engine's propensity vectors, dependency graph and state clones once per
+// trial. For hot paths, RunWith and RunNumericWith amortise that setup:
+// each worker builds one engine via a factory and reuses it across its
+// whole stripe of trials, repositioning its generator in place
+// (rng.PCG.Reseed) so the trial→stream mapping — and hence every tallied
+// result — is bit-for-bit identical to the per-trial-engine path. Run and
+// RunNumeric are themselves thin wrappers over the *With variants.
 package mc
 
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"stochsynth/internal/rng"
 )
@@ -78,70 +88,14 @@ func (r Result) String() string {
 
 // Run executes cfg.Trials independent trials of trial and tallies outcomes.
 // It panics on invalid configuration or on out-of-range outcome indices
-// (a classifier bug).
+// (a classifier bug). Trials that build a simulation engine per call should
+// prefer RunWith, which reuses one engine per worker.
 func Run(cfg Config, trial Trial) Result {
-	if cfg.Trials <= 0 {
-		panic("mc: Config.Trials must be positive")
-	}
-	if cfg.Outcomes <= 0 {
-		panic("mc: Config.Outcomes must be positive")
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
-	}
-
-	type tally struct {
-		counts []int64
-		none   int64
-		err    string
-	}
-	tallies := make([]tally, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		tallies[w].counts = make([]int64, cfg.Outcomes)
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Static striping keeps the trial→stream mapping fixed, so
-			// the aggregate is independent of scheduling.
-			for i := w; i < cfg.Trials; i += workers {
-				gen := rng.NewStream(cfg.Seed, uint64(i))
-				outcome := trial(gen)
-				switch {
-				case outcome == None:
-					tallies[w].none++
-				case outcome >= 0 && outcome < cfg.Outcomes:
-					tallies[w].counts[outcome]++
-				default:
-					// Record the bug and stop this worker; panicking here
-					// would crash the process from a non-caller goroutine.
-					tallies[w].err = fmt.Sprintf(
-						"mc: classifier returned %d for trial %d, want [0,%d) or None",
-						outcome, i, cfg.Outcomes)
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, t := range tallies {
-		if t.err != "" {
-			panic(t.err)
-		}
-	}
-
-	res := Result{Counts: make([]int64, cfg.Outcomes), Trials: int64(cfg.Trials)}
-	for _, t := range tallies {
-		for i, c := range t.counts {
-			res.Counts[i] += c
-		}
-		res.None += t.none
-	}
-	return res
+	// The per-worker "engine" is just the worker's generator: classify sees
+	// it already reseeded onto the trial's stream.
+	return RunWith(cfg,
+		func(gen *rng.PCG) *rng.PCG { return gen },
+		func(gen *rng.PCG) int { return trial(gen) })
 }
 
 // NumericTrial runs one independent simulation and returns a numeric
@@ -166,50 +120,10 @@ func (s Summary) StdErr() float64 {
 }
 
 // RunNumeric executes cfg.Trials independent numeric trials and summarises
-// them. cfg.Outcomes is ignored.
+// them. cfg.Outcomes is ignored. Trials that build a simulation engine per
+// call should prefer RunNumericWith, which reuses one engine per worker.
 func RunNumeric(cfg Config, trial NumericTrial) Summary {
-	if cfg.Trials <= 0 {
-		panic("mc: Config.Trials must be positive")
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
-	}
-	values := make([]float64, cfg.Trials)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < cfg.Trials; i += workers {
-				values[i] = trial(rng.NewStream(cfg.Seed, uint64(i)))
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	s := Summary{N: int64(cfg.Trials), Min: values[0], Max: values[0]}
-	sum := 0.0
-	for _, v := range values {
-		sum += v
-		if v < s.Min {
-			s.Min = v
-		}
-		if v > s.Max {
-			s.Max = v
-		}
-	}
-	s.Mean = sum / float64(cfg.Trials)
-	if cfg.Trials > 1 {
-		ss := 0.0
-		for _, v := range values {
-			d := v - s.Mean
-			ss += d * d
-		}
-		s.Var = ss / float64(cfg.Trials-1)
-	}
-	return s
+	return RunNumericWith(cfg,
+		func(gen *rng.PCG) *rng.PCG { return gen },
+		func(gen *rng.PCG) float64 { return trial(gen) })
 }

@@ -1,0 +1,145 @@
+package mc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"stochsynth/internal/rng"
+)
+
+// RunWith executes cfg.Trials independent trials with per-worker engine
+// reuse: each worker calls newEngine once to build its simulation engine
+// (or any other per-worker resource) and then runs its whole stripe of
+// trials through classify on that one engine, instead of allocating
+// propensity vectors, dependency graphs and state clones on every trial.
+//
+// The generator handed to newEngine is owned by the worker; before each
+// trial it is repositioned in place (rng.PCG.Reseed) onto the stream
+// (cfg.Seed, trial index), so results are bit-for-bit identical to building
+// a fresh engine per trial with rng.NewStream — and therefore identical
+// across worker counts and scheduling.
+//
+// classify must reinitialise per-trial state itself (typically by calling
+// the engine's Reset with the trial's initial state) and return an outcome
+// index in [0, cfg.Outcomes) or None. RunWith panics on invalid
+// configuration or out-of-range outcomes, like Run.
+func RunWith[E any](cfg Config, newEngine func(gen *rng.PCG) E, classify func(eng E) int) Result {
+	if cfg.Trials <= 0 {
+		panic("mc: Config.Trials must be positive")
+	}
+	if cfg.Outcomes <= 0 {
+		panic("mc: Config.Outcomes must be positive")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+
+	type tally struct {
+		counts []int64
+		none   int64
+		err    string
+	}
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		tallies[w].counts = make([]int64, cfg.Outcomes)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen := rng.NewStream(cfg.Seed, uint64(w))
+			eng := newEngine(gen)
+			// Static striping keeps the trial→stream mapping fixed, so
+			// the aggregate is independent of scheduling.
+			for i := w; i < cfg.Trials; i += workers {
+				gen.Reseed(cfg.Seed, uint64(i))
+				outcome := classify(eng)
+				switch {
+				case outcome == None:
+					tallies[w].none++
+				case outcome >= 0 && outcome < cfg.Outcomes:
+					tallies[w].counts[outcome]++
+				default:
+					// Record the bug and stop this worker; panicking here
+					// would crash the process from a non-caller goroutine.
+					tallies[w].err = fmt.Sprintf(
+						"mc: classifier returned %d for trial %d, want [0,%d) or None",
+						outcome, i, cfg.Outcomes)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, t := range tallies {
+		if t.err != "" {
+			panic(t.err)
+		}
+	}
+
+	res := Result{Counts: make([]int64, cfg.Outcomes), Trials: int64(cfg.Trials)}
+	for _, t := range tallies {
+		for i, c := range t.counts {
+			res.Counts[i] += c
+		}
+		res.None += t.none
+	}
+	return res
+}
+
+// RunNumericWith is RunWith for numeric trials: per-worker engine reuse
+// with the same trial→stream mapping as RunNumeric. cfg.Outcomes is
+// ignored.
+func RunNumericWith[E any](cfg Config, newEngine func(gen *rng.PCG) E, measure func(eng E) float64) Summary {
+	if cfg.Trials <= 0 {
+		panic("mc: Config.Trials must be positive")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	values := make([]float64, cfg.Trials)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen := rng.NewStream(cfg.Seed, uint64(w))
+			eng := newEngine(gen)
+			for i := w; i < cfg.Trials; i += workers {
+				gen.Reseed(cfg.Seed, uint64(i))
+				values[i] = measure(eng)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := Summary{N: int64(cfg.Trials), Min: values[0], Max: values[0]}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(cfg.Trials)
+	if cfg.Trials > 1 {
+		ss := 0.0
+		for _, v := range values {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Var = ss / float64(cfg.Trials-1)
+	}
+	return s
+}

@@ -1,0 +1,83 @@
+package mc
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"stochsynth/internal/rng"
+)
+
+// countingEngine stands in for a simulation engine: construction is the
+// expensive step whose amortisation RunWith exists for.
+type countingEngine struct {
+	gen *rng.PCG
+}
+
+var engineBuilds atomic.Int64
+
+func newCountingEngine(gen *rng.PCG) *countingEngine {
+	engineBuilds.Add(1)
+	return &countingEngine{gen: gen}
+}
+
+func TestRunWithBuildsOneEnginePerWorker(t *testing.T) {
+	engineBuilds.Store(0)
+	const workers = 3
+	RunWith(Config{Trials: 100, Outcomes: 2, Seed: 1, Workers: workers},
+		newCountingEngine,
+		func(e *countingEngine) int { return int(e.gen.Uint64() & 1) })
+	if got := engineBuilds.Load(); got != workers {
+		t.Fatalf("built %d engines for %d workers, want one each", got, workers)
+	}
+}
+
+func TestRunWithMatchesRunBitForBit(t *testing.T) {
+	// The reused-generator path must reproduce Run's trial→stream mapping
+	// exactly: identical counts for an outcome function of the stream.
+	trial := func(gen *rng.PCG) int { return int(gen.Uint64() % 3) }
+	cfg := Config{Trials: 999, Outcomes: 3, Seed: 42}
+	direct := Run(cfg, trial)
+	reused := RunWith(cfg,
+		func(gen *rng.PCG) *countingEngine { return &countingEngine{gen: gen} },
+		func(e *countingEngine) int { return trial(e.gen) })
+	for i := range direct.Counts {
+		if direct.Counts[i] != reused.Counts[i] {
+			t.Fatalf("outcome %d: Run %d, RunWith %d", i, direct.Counts[i], reused.Counts[i])
+		}
+	}
+}
+
+func TestRunWithDeterministicAcrossWorkerCounts(t *testing.T) {
+	trial := func(e *countingEngine) int { return int(e.gen.Uint64() & 1) }
+	mk := func(gen *rng.PCG) *countingEngine { return &countingEngine{gen: gen} }
+	base := RunWith(Config{Trials: 500, Outcomes: 2, Seed: 7, Workers: 1}, mk, trial)
+	for _, workers := range []int{2, 5, 16} {
+		got := RunWith(Config{Trials: 500, Outcomes: 2, Seed: 7, Workers: workers}, mk, trial)
+		if got.Counts[0] != base.Counts[0] || got.Counts[1] != base.Counts[1] {
+			t.Fatalf("workers=%d: %v, want %v", workers, got, base)
+		}
+	}
+}
+
+func TestRunWithPanicsOnOutOfRangeOutcome(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range outcome did not panic")
+		}
+	}()
+	RunWith(Config{Trials: 10, Outcomes: 2, Seed: 1},
+		func(gen *rng.PCG) *countingEngine { return &countingEngine{gen: gen} },
+		func(*countingEngine) int { return 5 })
+}
+
+func TestRunNumericWithMatchesRunNumeric(t *testing.T) {
+	trial := func(gen *rng.PCG) float64 { return gen.Float64() }
+	cfg := Config{Trials: 777, Seed: 13}
+	a := RunNumeric(cfg, trial)
+	b := RunNumericWith(cfg,
+		func(gen *rng.PCG) *countingEngine { return &countingEngine{gen: gen} },
+		func(e *countingEngine) float64 { return trial(e.gen) })
+	if a.Mean != b.Mean || a.Var != b.Var || a.Min != b.Min || a.Max != b.Max {
+		t.Fatalf("RunNumericWith diverged: %+v vs %+v", a, b)
+	}
+}

@@ -4,12 +4,14 @@ import "math"
 
 // Exp returns an exponentially distributed variate with the given rate
 // (mean 1/rate). It panics if rate <= 0. This is the inter-event time
-// distribution of the stochastic simulation algorithm.
+// distribution of the stochastic simulation algorithm; it is sampled by the
+// ziggurat method (see ziggurat.go), which avoids a logarithm on ~99% of
+// draws.
 func (p *PCG) Exp(rate float64) float64 {
 	if rate <= 0 {
 		panic("rng: Exp with rate <= 0")
 	}
-	return -math.Log(p.Float64Open()) / rate
+	return p.expZig() / rate
 }
 
 // Normal returns a normally distributed variate with the given mean and

@@ -45,23 +45,31 @@ func New(seed uint64) *PCG {
 // same seed, which is how parallel Monte Carlo trials obtain per-worker
 // generators without correlation.
 func NewStream(seed, stream uint64) *PCG {
+	p := &PCG{}
+	p.Reseed(seed, stream)
+	return p
+}
+
+// Reseed reinitialises p in place to the exact starting state of
+// NewStream(seed, stream). Worker loops that run many trials reposition one
+// generator per trial this way instead of allocating a fresh PCG each time;
+// the trial→stream mapping (and therefore every result) is identical.
+func (p *PCG) Reseed(seed, stream uint64) {
 	// Expand seed and stream through SplitMix64 so that closely related
 	// inputs (0, 1, 2, ...) land far apart in state space.
 	sm := seed
 	s0 := splitmix64(&sm)
 	s1 := splitmix64(&sm)
 	sm = stream ^ 0x9e3779b97f4a7c15
-	i0 := splitmix64(&sm)
-	i1 := splitmix64(&sm) | 1 // increment must be odd
+	p.incHi = splitmix64(&sm)
+	p.incLo = splitmix64(&sm) | 1 // increment must be odd
 
-	p := &PCG{incHi: i0, incLo: i1}
 	// Standard PCG initialisation: advance once from zero state, add seed,
 	// advance again.
 	p.hi, p.lo = 0, 0
 	p.step()
 	p.lo, p.hi = add128(p.lo, p.hi, s1, s0)
 	p.step()
-	return p
 }
 
 // splitmix64 advances *x and returns the next SplitMix64 output.

@@ -1,0 +1,88 @@
+package rng
+
+import "math"
+
+// Ziggurat sampler for the standard exponential distribution (Marsaglia &
+// Tsang, "The Ziggurat Method for Generating Random Variables", 2000),
+// widened to 64-bit draws: the low 8 bits of one Uint64 pick a layer, the
+// high 56 bits supply the magnitude. The fast path — about 98.9% of draws —
+// costs one Uint64, one multiply and one compare, with no transcendental
+// call. Exp is the stochastic simulation algorithm's waiting-time sampler,
+// consumed once per reaction event, so this is one of the hottest functions
+// in the module.
+//
+// Layer construction: with N = 256 layers of common area v under
+// f(x) = e^{-x}, x_255 = r is chosen so that r·f(r) plus the tail area
+// e^{-r} equals v, and successive edges satisfy
+// x_{i-1} = -ln(f(x_i) + v/x_i). Layer 0 is the base strip of width
+// q = v/f(r), whose portion beyond r maps to the analytic tail
+// r + Exp(1).
+
+const (
+	zigExpR = 7.69711747013104972      // x_255: right edge of the top table layer
+	zigExpV = 3.9496598225815571993e-3 // common layer area: r·e^{-r} + e^{-r}
+	zigExpM = 1 << 56                  // magnitude resolution (high 56 bits)
+)
+
+var (
+	zigExpK [256]uint64  // accept magnitude j immediately when j < zigExpK[i]
+	zigExpW [256]float64 // candidate x = j·zigExpW[i]
+	zigExpF [256]float64 // f(x_i) = e^{-x_i}, for the rejection test
+)
+
+func init() {
+	f := math.Exp(-zigExpR)
+	q := zigExpV / f // width of the base strip
+
+	zigExpK[0] = uint64(zigExpR / q * zigExpM)
+	zigExpK[1] = 0 // layer 1 always takes the rejection test (x_0 ≈ 0)
+	zigExpW[0] = q / zigExpM
+	zigExpW[255] = zigExpR / zigExpM
+	zigExpF[0] = 1
+	zigExpF[255] = f
+
+	x, prev := zigExpR, zigExpR
+	for i := 254; i >= 1; i-- {
+		x = -math.Log(zigExpV/x + math.Exp(-x))
+		zigExpK[i+1] = uint64(x / prev * zigExpM)
+		prev = x
+		zigExpF[i] = math.Exp(-x)
+		zigExpW[i] = x / zigExpM
+	}
+
+	// Construction self-check (mirrors the binomialFloat init check in
+	// package chem): the recurrence must close — the bottom layer
+	// [0, x_1] × [f(x_1), 1] must itself have area v, which pins r.
+	if math.Abs(x*(1-math.Exp(-x))-zigExpV) > 1e-8 {
+		panic("rng: ziggurat exponential table construction failed")
+	}
+	for i := 1; i < 256; i++ {
+		if zigExpF[i] >= zigExpF[i-1] || zigExpW[i] <= 0 {
+			panic("rng: ziggurat exponential table not monotone")
+		}
+	}
+}
+
+// expZig returns a standard (rate 1) exponential variate by the ziggurat
+// method.
+func (p *PCG) expZig() float64 {
+	for {
+		u := p.Uint64()
+		i := u & 255
+		j := u >> 8
+		x := float64(j) * zigExpW[i]
+		if j < zigExpK[i] {
+			return x // inside the sure-accept rectangle
+		}
+		if i == 0 {
+			// Base strip beyond r: the exponential tail is itself
+			// exponential (memorylessness), shifted by r.
+			return zigExpR - math.Log(p.Float64Open())
+		}
+		// Wedge between the rectangle and the curve: accept against the
+		// true density.
+		if zigExpF[i]+p.Float64()*(zigExpF[i-1]-zigExpF[i]) < math.Exp(-x) {
+			return x
+		}
+	}
+}

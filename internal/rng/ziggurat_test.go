@@ -1,0 +1,100 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestExpDistributionKS checks the full shape of the ziggurat exponential
+// against the analytic CDF 1−e^{−x} with a Kolmogorov–Smirnov test, so a
+// table-construction bug anywhere along the curve (not just in the mean)
+// would be caught.
+func TestExpDistributionKS(t *testing.T) {
+	const n = 200000
+	p := New(31)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = p.Exp(1)
+	}
+	sort.Float64s(xs)
+	d := 0.0
+	for i, x := range xs {
+		cdf := 1 - math.Exp(-x)
+		lo := cdf - float64(i)/n
+		hi := float64(i+1)/n - cdf
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	// KS critical value at alpha=0.001: 1.95/sqrt(n).
+	if crit := 1.95 / math.Sqrt(n); d > crit {
+		t.Errorf("KS statistic %v exceeds %v: exponential shape is off", d, crit)
+	}
+}
+
+// TestExpTail exercises the analytic-tail branch (x > r ≈ 7.7), which the
+// fast path never reaches: tail mass must match e^{−r} and tail samples must
+// themselves be exponential (memorylessness).
+func TestExpTail(t *testing.T) {
+	const n = 4000000
+	p := New(32)
+	var tail int
+	var tailSum float64
+	for i := 0; i < n; i++ {
+		if v := p.Exp(1); v > zigExpR {
+			tail++
+			tailSum += v - zigExpR
+		}
+	}
+	wantFrac := math.Exp(-zigExpR) // ≈ 4.54e-4
+	frac := float64(tail) / n
+	se := math.Sqrt(wantFrac * (1 - wantFrac) / n)
+	if math.Abs(frac-wantFrac) > 6*se {
+		t.Errorf("tail mass %v, want %v±%v", frac, wantFrac, 6*se)
+	}
+	if tail > 100 {
+		mean := tailSum / float64(tail)
+		if math.Abs(mean-1) > 6/math.Sqrt(float64(tail)) {
+			t.Errorf("tail excess mean %v, want ~1 (memorylessness)", mean)
+		}
+	}
+}
+
+// TestExpVariance: Var[Exp(rate)] = 1/rate².
+func TestExpVariance(t *testing.T) {
+	const n = 200000
+	p := New(33)
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := p.Exp(2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if want := 0.25; math.Abs(variance-want) > 0.01 {
+		t.Errorf("variance %v, want %v", variance, want)
+	}
+}
+
+// TestReseedMatchesNewStream: Reseed must reproduce NewStream bit for bit —
+// the property worker pools rely on to reuse one generator across trials.
+func TestReseedMatchesNewStream(t *testing.T) {
+	reused := New(0)
+	for _, c := range []struct{ seed, stream uint64 }{
+		{0, 0}, {1, 0}, {0, 1}, {12345, 678}, {math.MaxUint64, math.MaxUint64},
+	} {
+		fresh := NewStream(c.seed, c.stream)
+		reused.Reseed(c.seed, c.stream)
+		for i := 0; i < 64; i++ {
+			if a, b := fresh.Uint64(), reused.Uint64(); a != b {
+				t.Fatalf("seed=%d stream=%d draw %d: fresh %x, reseeded %x",
+					c.seed, c.stream, i, a, b)
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 // library synthesises (tens of channels), usually fastest in practice.
 type Direct struct {
 	net   *chem.Network
+	rxns  []chem.Reaction // cached net.Reactions() to keep Step call-free
 	gen   *rng.PCG
 	state chem.State
 	t     float64
@@ -25,6 +26,7 @@ type Direct struct {
 func NewDirect(net *chem.Network, gen *rng.PCG) *Direct {
 	d := &Direct{
 		net:  net,
+		rxns: net.Reactions(),
 		gen:  gen,
 		prop: make([]float64, net.NumReactions()),
 	}
@@ -53,8 +55,8 @@ func (d *Direct) Reset(state chem.State, t float64) {
 // Step implements Engine.
 func (d *Direct) Step(horizon float64) (int, StepStatus) {
 	total := 0.0
-	for i := 0; i < d.net.NumReactions(); i++ {
-		a := chem.Propensity(d.net.Reaction(i), d.state)
+	for i := range d.rxns {
+		a := chem.Propensity(&d.rxns[i], d.state)
 		d.prop[i] = a
 		total += a
 	}
@@ -73,14 +75,14 @@ func (d *Direct) Step(horizon float64) (int, StepStatus) {
 	for i, a := range d.prop {
 		acc += a
 		if target < acc {
-			d.state.Apply(d.net.Reaction(i))
+			d.state.Apply(&d.rxns[i])
 			return i, Fired
 		}
 	}
 	// Floating-point slack: fire the last channel with positive propensity.
 	for i := len(d.prop) - 1; i >= 0; i-- {
 		if d.prop[i] > 0 {
-			d.state.Apply(d.net.Reaction(i))
+			d.state.Apply(&d.rxns[i])
 			return i, Fired
 		}
 	}
@@ -94,6 +96,7 @@ func (d *Direct) Step(horizon float64) (int, StepStatus) {
 // It is exact and asymptotically faster than Direct on wide networks.
 type OptimizedDirect struct {
 	net     *chem.Network
+	rxns    []chem.Reaction // cached net.Reactions() to keep Step call-free
 	gen     *rng.PCG
 	deps    [][]int
 	state   chem.State
@@ -106,9 +109,14 @@ type OptimizedDirect struct {
 
 // NewOptimizedDirect returns an OptimizedDirect engine over net at the
 // default initial state.
+//
+// Construction pays for the dependency graph once; Reset does not rebuild
+// it, so one engine can be reused across many Monte Carlo trials (see
+// mc.RunWith) with only an O(reactions) propensity refresh per trial.
 func NewOptimizedDirect(net *chem.Network, gen *rng.PCG) *OptimizedDirect {
 	o := &OptimizedDirect{
 		net:     net,
+		rxns:    net.Reactions(),
 		gen:     gen,
 		deps:    chem.DependencyGraph(net),
 		prop:    make([]float64, net.NumReactions()),
@@ -140,8 +148,8 @@ func (o *OptimizedDirect) Reset(state chem.State, t float64) {
 
 func (o *OptimizedDirect) recomputeAll() {
 	o.total = 0
-	for i := 0; i < o.net.NumReactions(); i++ {
-		a := chem.Propensity(o.net.Reaction(i), o.state)
+	for i := range o.rxns {
+		a := chem.Propensity(&o.rxns[i], o.state)
 		o.prop[i] = a
 		o.total += a
 	}
@@ -173,10 +181,19 @@ func (o *OptimizedDirect) Step(horizon float64) (int, StepStatus) {
 	}
 	if fired < 0 {
 		// Drift artifact: the cached total exceeded the true sum. Recompute
-		// and retry once from scratch.
+		// from scratch and retry once. The waiting time must be redrawn
+		// too: the stale draw came from an inflated total propensity, so
+		// keeping it would bias this step's holding time short and break
+		// exactness. (Discarding the stale draw is sound — an Exp sample
+		// from the wrong rate carries no information about the right one.)
 		o.recomputeAll()
 		if o.total <= 0 {
 			return -1, Quiescent
+		}
+		tNext = o.t + o.gen.Exp(o.total)
+		if tNext > horizon {
+			o.t = horizon
+			return -1, Horizon
 		}
 		target = o.gen.Float64() * o.total
 		acc = 0
@@ -192,9 +209,9 @@ func (o *OptimizedDirect) Step(horizon float64) (int, StepStatus) {
 		}
 	}
 	o.t = tNext
-	o.state.Apply(o.net.Reaction(fired))
+	o.state.Apply(&o.rxns[fired])
 	for _, j := range o.deps[fired] {
-		a := chem.Propensity(o.net.Reaction(j), o.state)
+		a := chem.Propensity(&o.rxns[j], o.state)
 		o.total += a - o.prop[j]
 		o.prop[j] = a
 	}

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"math"
+	"runtime"
+	"sync"
 
 	"stochsynth/internal/chem"
 	"stochsynth/internal/rng"
@@ -29,16 +31,94 @@ func (e *Ensemble) StdErr(k int, s chem.Species) float64 {
 	return math.Sqrt(e.Var[k][s] / float64(e.Trials))
 }
 
+// EnsembleOptions tunes EnsembleStatsOpts.
+type EnsembleOptions struct {
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// NewEngine builds each worker's engine; nil means NewDirect. Pass
+	// NewOptimizedDirect for wide networks — any exact Engine gives the
+	// same distribution, though floating-point accumulation order may
+	// differ in the last bits.
+	NewEngine func(*chem.Network, *rng.PCG) Engine
+}
+
 // EnsembleStats runs trials independent exact trajectories of net (from
 // its default initial state) and samples every species' count at the
 // given time grid, which must be strictly increasing and non-empty.
 // Sampling is exact: the engine is stepped with each grid time as the
 // horizon, so the recorded state is the true state at that instant.
 //
-// Randomness is drawn from per-trial streams of seed, so the result is
-// reproducible and independent of scheduling (trials run sequentially;
-// for large ensembles wrap EnsembleStats points in package mc instead).
+// Trials run on a worker pool. Randomness is drawn from per-trial streams
+// of seed and workers keep static stripes of the trial index space, so the
+// set of trajectories — and therefore the sampled distribution — is
+// independent of scheduling; per-worker Welford accumulators are merged in
+// worker order, so the result is bit-for-bit reproducible for a fixed
+// worker count (across worker counts only float rounding differs). Each
+// worker builds one engine and Resets it per trial rather than
+// reallocating.
 func EnsembleStats(net *chem.Network, grid []float64, trials int, seed uint64) *Ensemble {
+	return EnsembleStatsOpts(net, grid, trials, seed, EnsembleOptions{})
+}
+
+// welford is one worker's running mean/M2 accumulator over the grid.
+type welford struct {
+	n    int64
+	mean [][]float64 // [grid][species]
+	m2   [][]float64
+}
+
+func newWelford(gridLen, numSpecies int) *welford {
+	w := &welford{
+		mean: make([][]float64, gridLen),
+		m2:   make([][]float64, gridLen),
+	}
+	for k := range w.mean {
+		w.mean[k] = make([]float64, numSpecies)
+		w.m2[k] = make([]float64, numSpecies)
+	}
+	return w
+}
+
+func (w *welford) add(k int, st chem.State) {
+	if k == 0 {
+		w.n++ // count the trial once, on the first grid point
+	}
+	n := float64(w.n)
+	mean, m2 := w.mean[k], w.m2[k]
+	for s, c := range st {
+		x := float64(c)
+		delta := x - mean[s]
+		mean[s] += delta / n
+		m2[s] += delta * (x - mean[s])
+	}
+}
+
+// merge folds other into w with Chan et al.'s parallel variance update.
+func (w *welford) merge(other *welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		w.n, w.mean, w.m2 = other.n, other.mean, other.m2
+		return
+	}
+	nA, nB := float64(w.n), float64(other.n)
+	nAB := nA + nB
+	for k := range w.mean {
+		meanA, m2A := w.mean[k], w.m2[k]
+		meanB, m2B := other.mean[k], other.m2[k]
+		for s := range meanA {
+			delta := meanB[s] - meanA[s]
+			meanA[s] += delta * nB / nAB
+			m2A[s] += m2B[s] + delta*delta*nA*nB/nAB
+		}
+	}
+	w.n += other.n
+}
+
+// EnsembleStatsOpts is EnsembleStats with explicit worker-pool and engine
+// options.
+func EnsembleStatsOpts(net *chem.Network, grid []float64, trials int, seed uint64, opts EnsembleOptions) *Ensemble {
 	if len(grid) == 0 {
 		panic("sim: EnsembleStats with empty grid")
 	}
@@ -53,41 +133,64 @@ func EnsembleStats(net *chem.Network, grid []float64, trials int, seed uint64) *
 	if trials <= 0 {
 		panic("sim: EnsembleStats needs positive trials")
 	}
-	numSpecies := net.NumSpecies()
-	e := &Ensemble{Times: append([]float64(nil), grid...), Trials: trials}
-	e.Mean = make([][]float64, len(grid))
-	e.Var = make([][]float64, len(grid))
-	m2 := make([][]float64, len(grid)) // Welford accumulators
-	for k := range grid {
-		e.Mean[k] = make([]float64, numSpecies)
-		e.Var[k] = make([]float64, numSpecies)
-		m2[k] = make([]float64, numSpecies)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	newEngine := opts.NewEngine
+	if newEngine == nil {
+		newEngine = func(n *chem.Network, g *rng.PCG) Engine { return NewDirect(n, g) }
 	}
 
-	st0 := net.InitialState()
-	for trial := 0; trial < trials; trial++ {
-		eng := NewDirect(net, rng.NewStream(seed, uint64(trial)))
-		eng.Reset(st0, 0)
-		n := float64(trial + 1)
-		for k, t := range grid {
-			for {
-				_, status := eng.Step(t)
-				if status != Fired {
-					break // Horizon or Quiescent: state is exact at t
+	numSpecies := net.NumSpecies()
+	accs := make([]*welford, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		accs[w] = newWelford(len(grid), numSpecies)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := accs[w]
+			gen := rng.NewStream(seed, uint64(w))
+			eng := newEngine(net, gen)
+			st0 := net.InitialState()
+			for trial := w; trial < trials; trial += workers {
+				gen.Reseed(seed, uint64(trial))
+				eng.Reset(st0, 0)
+				for k, t := range grid {
+					for {
+						_, status := eng.Step(t)
+						if status != Fired {
+							break // Horizon or Quiescent: state is exact at t
+						}
+					}
+					acc.add(k, eng.State())
 				}
 			}
-			for s := 0; s < numSpecies; s++ {
-				x := float64(eng.State()[s])
-				delta := x - e.Mean[k][s]
-				e.Mean[k][s] += delta / n
-				m2[k][s] += delta * (x - e.Mean[k][s])
-			}
-		}
+		}(w)
 	}
-	if trials > 1 {
-		for k := range grid {
+	wg.Wait()
+
+	// Deterministic merge in worker order.
+	total := accs[0]
+	for _, acc := range accs[1:] {
+		total.merge(acc)
+	}
+
+	e := &Ensemble{
+		Times:  append([]float64(nil), grid...),
+		Trials: trials,
+		Mean:   total.mean,
+		Var:    make([][]float64, len(grid)),
+	}
+	for k := range grid {
+		e.Var[k] = make([]float64, numSpecies)
+		if trials > 1 {
 			for s := 0; s < numSpecies; s++ {
-				e.Var[k][s] = m2[k][s] / float64(trials-1)
+				e.Var[k][s] = total.m2[k][s] / float64(trials-1)
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"stochsynth/internal/chem"
+	"stochsynth/internal/rng"
 )
 
 func TestEnsembleStatsDecay(t *testing.T) {
@@ -59,6 +60,61 @@ b -> a @ 1
 	e2 := EnsembleStats(net, []float64{1}, 100, 77)
 	if e1.Mean[0][0] != e2.Mean[0][0] || e1.Var[0][1] != e2.Var[0][1] {
 		t.Fatal("EnsembleStats not reproducible")
+	}
+}
+
+func TestEnsembleStatsWorkerPoolAgrees(t *testing.T) {
+	// The parallel Welford merge must agree with the single-worker
+	// (sequential-order) accumulation. The trajectories are identical by
+	// construction (per-trial streams); only float accumulation order
+	// differs, so means and variances agree to high relative precision,
+	// and each fixed worker count is bit-for-bit reproducible.
+	net := chem.MustParseNetwork(`
+a = 50
+a -> b @ 1
+b -> a @ 0.5
+`)
+	grid := []float64{0.5, 1, 2}
+	seq := EnsembleStatsOpts(net, grid, 400, 5, EnsembleOptions{Workers: 1})
+	for _, workers := range []int{2, 3, 8} {
+		par := EnsembleStatsOpts(net, grid, 400, 5, EnsembleOptions{Workers: workers})
+		for k := range grid {
+			for s := 0; s < net.NumSpecies(); s++ {
+				if d := math.Abs(par.Mean[k][s] - seq.Mean[k][s]); d > 1e-9 {
+					t.Errorf("workers=%d: mean[%d][%d] differs by %v", workers, k, s, d)
+				}
+				if d := math.Abs(par.Var[k][s] - seq.Var[k][s]); d > 1e-9 {
+					t.Errorf("workers=%d: var[%d][%d] differs by %v", workers, k, s, d)
+				}
+			}
+		}
+		again := EnsembleStatsOpts(net, grid, 400, 5, EnsembleOptions{Workers: workers})
+		if again.Mean[0][0] != par.Mean[0][0] || again.Var[2][1] != par.Var[2][1] {
+			t.Errorf("workers=%d: not reproducible run-to-run", workers)
+		}
+	}
+}
+
+func TestEnsembleStatsEngineChoiceAgrees(t *testing.T) {
+	// Any exact engine must produce identical trajectories for the same
+	// per-trial streams when it consumes randomness the same way:
+	// OptimizedDirect draws exactly like Direct, so the ensembles match.
+	net := chem.MustParseNetwork(`
+a = 30
+a -> b @ 2
+`)
+	grid := []float64{0.1, 1}
+	direct := EnsembleStatsOpts(net, grid, 300, 9, EnsembleOptions{Workers: 2})
+	optimized := EnsembleStatsOpts(net, grid, 300, 9, EnsembleOptions{
+		Workers: 2,
+		NewEngine: func(n *chem.Network, g *rng.PCG) Engine {
+			return NewOptimizedDirect(n, g)
+		},
+	})
+	for k := range grid {
+		if d := math.Abs(direct.Mean[k][0] - optimized.Mean[k][0]); d > 1e-9 {
+			t.Errorf("grid %d: Direct vs OptimizedDirect mean differs by %v", k, d)
+		}
 	}
 }
 

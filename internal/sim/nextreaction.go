@@ -92,14 +92,28 @@ func (n *NextReaction) Step(horizon float64) (int, StepStatus) {
 	}
 	n.t = tNext
 	n.state.Apply(n.net.Reaction(fired))
+	// The fired channel consumed its clock: it always needs a fresh
+	// exponential, whether or not its propensity changed (the dependency
+	// graph omits self-edges for pure catalysts).
+	aFired := chem.Propensity(n.net.Reaction(fired), n.state)
+	n.prop[fired] = aFired
+	if aFired > 0 {
+		n.times[fired] = n.t + n.gen.Exp(aFired)
+	} else {
+		n.times[fired] = math.Inf(1)
+	}
+	n.fix(n.pos[fired])
 	for _, j := range n.deps[fired] {
+		if j == fired {
+			continue // already redrawn above
+		}
 		aOld := n.prop[j]
 		aNew := chem.Propensity(n.net.Reaction(j), n.state)
 		n.prop[j] = aNew
 		switch {
-		case j == fired || math.IsInf(n.times[j], 1):
-			// The fired channel — and any channel whose clock was frozen
-			// at infinity — needs a fresh exponential.
+		case math.IsInf(n.times[j], 1):
+			// A channel whose clock was frozen at infinity needs a fresh
+			// exponential.
 			if aNew > 0 {
 				n.times[j] = n.t + n.gen.Exp(aNew)
 			} else {

@@ -32,9 +32,17 @@ func (r RaceResult) Error() bool {
 // reach threshold copies (or maxSteps events pass), recording which
 // initializing reaction fired first. This is the trial underlying Figure 3:
 // the module is declared in error when the first initializing firing does
-// not pick the final winner.
+// not pick the final winner. It builds a fresh engine per call; Monte Carlo
+// loops should build one engine per worker and use RunRaceWith.
 func RunRace(mod *StochasticModule, threshold, maxSteps int64, gen *rng.PCG) RaceResult {
-	eng := sim.NewDirect(mod.Net, gen)
+	return RunRaceWith(mod, sim.NewDirect(mod.Net, gen), threshold, maxSteps)
+}
+
+// RunRaceWith is RunRace on a caller-supplied engine, which it Resets to
+// the module's initial state: the engine-reuse form for mc.RunWith worker
+// loops.
+func RunRaceWith(mod *StochasticModule, eng sim.Engine, threshold, maxSteps int64) RaceResult {
+	eng.Reset(mod.Net.InitialState(), 0)
 	first := -1
 	res := sim.Run(eng, sim.RunOptions{
 		MaxSteps: maxSteps,
@@ -80,11 +88,13 @@ func Figure3ErrorRate(gamma float64, trials int, seed uint64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res := mc.Run(mc.Config{Trials: trials, Outcomes: 2, Seed: seed}, func(gen *rng.PCG) int {
-		if RunRace(mod, Figure3Threshold, 2_000_000, gen).Error() {
-			return 1
-		}
-		return 0
-	})
+	res := mc.RunWith(mc.Config{Trials: trials, Outcomes: 2, Seed: seed},
+		func(gen *rng.PCG) sim.Engine { return sim.NewOptimizedDirect(mod.Net, gen) },
+		func(eng sim.Engine) int {
+			if RunRaceWith(mod, eng, Figure3Threshold, 2_000_000).Error() {
+				return 1
+			}
+			return 0
+		})
 	return res.Fraction(1), nil
 }
