@@ -10,6 +10,8 @@
 //
 //	-trials N   Monte Carlo trials per point (default 20000; paper: 100000)
 //	-seed S     base RNG seed (default 2007)
+//	-shards K   shards for the Figure 3 sweep (default 1; tallies are
+//	            bit-for-bit identical for every K — see docs/sharding.md)
 //
 // The tool prints measured values next to the paper's reported/derived
 // values so deviations are visible at a glance. EXPERIMENTS.md records a
@@ -28,6 +30,7 @@ import (
 	"stochsynth/internal/mc"
 	"stochsynth/internal/plot"
 	"stochsynth/internal/rng"
+	"stochsynth/internal/shard"
 	"stochsynth/internal/sim"
 	"stochsynth/internal/synth"
 )
@@ -38,6 +41,7 @@ func main() {
 		trials = flag.Int("trials", 20000, "Monte Carlo trials per point (paper: 100000)")
 		seed   = flag.Uint64("seed", 2007, "base RNG seed")
 	)
+	flag.IntVar(&fig3Shards, "shards", 1, "shards for the Figure 3 sweep (results identical for any value)")
 	flag.Parse()
 
 	run := func(name string, f func(int, uint64)) {
@@ -76,19 +80,37 @@ func main() {
 	}
 }
 
+// fig3Shards is how many shards the Figure 3 sweep is partitioned into
+// (flag -shards). The tallies are bit-for-bit identical for every value;
+// only the work distribution changes.
+var fig3Shards = 1
+
 // figure3 reproduces the error-vs-γ sweep (Monte Carlo per γ, log-log).
+// It runs on the partition+merge core: the default single-process run is
+// the 1-shard special case of the same sharded sweep cmd/sweepd can
+// spread across worker processes.
 func figure3(trials int, seed uint64) {
 	gammas := []float64{1, 10, 100, 1e3, 1e4, 1e5}
+	spec := shard.SweepSpec{
+		Sweep: shard.SweepFig3Error, Grid: gammas, Trials: trials, Seed: seed, Outcomes: 2,
+	}
+	merged, err := shard.Coordinate(spec, fig3Shards, shard.LocalRunner(shard.Builtin()),
+		shard.Options{Parallel: 1, Retries: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
 	tab := plot.Table{Headers: []string{"gamma", "trials", "errors", "error %", "95% Wilson"}}
 	var xs, ys []float64
 	for i, g := range gammas {
-		rate, err := synth.Figure3ErrorRate(g, trials, seed+uint64(i))
+		res, err := merged.ResultAt(i)
 		if err != nil {
 			fmt.Println("error:", err)
 			return
 		}
-		n := int64(float64(trials) * rate)
-		lo, hi := (mc.Proportion{Successes: n, Trials: int64(trials)}).Wilson(mc.Z95)
+		rate := res.Fraction(1)
+		n := res.Counts[1]
+		lo, hi := res.Proportion(1).Wilson(mc.Z95)
 		tab.Add(
 			fmt.Sprintf("%g", g),
 			fmt.Sprintf("%d", trials),

@@ -1,0 +1,215 @@
+// Command sweepd runs distributed Monte Carlo sweeps over the named trial
+// factories in shard.Builtin (see docs/sharding.md).
+//
+// Worker mode executes exactly one shard, speaking the versioned JSON
+// wire format on its standard streams:
+//
+//	sweepd -worker < shardspec.json > shardresult.json
+//
+// Coordinator mode partitions a sweep, fans the shards out, and merges:
+//
+//	sweepd -sweep lambda/natural -params 1,2,3 -trials 100000 -shards 8
+//
+// By default shards run in-process; with -procs each shard runs in a
+// fresh worker process (this binary re-exec'd with -worker), the same
+// path a multi-machine deployment uses. Either way the merged tallies are
+// bit-for-bit identical to a single-process mc.Sweep run.
+//
+// Flags (coordinator mode):
+//
+//	-sweep NAME    sweep id (see -list; arity/kind come from the registry)
+//	-params LIST   comma-separated parameter grid (MOIs, or γ for fig3)
+//	-trials N      total Monte Carlo trials per grid point
+//	-seed S        base RNG seed (default 2007)
+//	-shards K      number of shards to partition the trials into
+//	-procs         one worker process per shard instead of in-process
+//	-parallel P    concurrent shard dispatches (0 = one at a time; every
+//	               shard already parallelises across the machine's cores)
+//	-retries R     re-dispatch attempts per failing shard (default 1)
+//	-list          print the registered sweep ids and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"stochsynth/internal/mc"
+	"stochsynth/internal/plot"
+	"stochsynth/internal/shard"
+)
+
+func main() {
+	var (
+		worker   = flag.Bool("worker", false, "read one ShardSpec JSON from stdin, write its ShardResult JSON to stdout")
+		sweep    = flag.String("sweep", "", "sweep id to coordinate (see -list)")
+		params   = flag.String("params", "", "comma-separated parameter grid")
+		trials   = flag.Int("trials", 20000, "total Monte Carlo trials per grid point")
+		seed     = flag.Uint64("seed", 2007, "base RNG seed")
+		shards   = flag.Int("shards", 4, "number of shards")
+		procs    = flag.Bool("procs", false, "run each shard in a fresh worker process")
+		parallel = flag.Int("parallel", 0, "concurrent shard dispatches (0 = one at a time)")
+		retries  = flag.Int("retries", 1, "re-dispatch attempts per failing shard")
+		list     = flag.Bool("list", false, "list registered sweep ids and exit")
+	)
+	flag.Parse()
+
+	reg := shard.Builtin()
+	switch {
+	case *list:
+		for _, name := range reg.Names() {
+			fmt.Println(name)
+		}
+	case *worker:
+		if err := runWorker(reg, os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "sweepd:", err)
+			os.Exit(1)
+		}
+	default:
+		if err := coordinate(reg, *sweep, *params, *trials, *seed, *shards, *procs, *parallel, *retries); err != nil {
+			fmt.Fprintln(os.Stderr, "sweepd:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runWorker is the cross-process leg of the protocol: one ShardSpec in,
+// one ShardResult out.
+func runWorker(reg *shard.Registry, in io.Reader, out io.Writer) error {
+	payload, err := io.ReadAll(in)
+	if err != nil {
+		return fmt.Errorf("reading spec: %w", err)
+	}
+	spec, err := shard.DecodeSpec(payload)
+	if err != nil {
+		return err
+	}
+	res, err := shard.Run(spec, reg)
+	if err != nil {
+		return err
+	}
+	encoded, err := res.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(append(encoded, '\n'))
+	return err
+}
+
+func coordinate(reg *shard.Registry, sweep, params string, trials int, seed uint64, shards_ int, procs bool, parallel, retries int) error {
+	if sweep == "" {
+		return fmt.Errorf("missing -sweep (known: %s); or use -worker / -list", strings.Join(reg.Names(), ", "))
+	}
+	grid, err := parseGrid(params)
+	if err != nil {
+		return err
+	}
+	// The registry is the source of truth for the sweep's kind and arity;
+	// the CLI only names it.
+	factory, err := reg.Lookup(sweep)
+	if err != nil {
+		return err
+	}
+	spec := shard.SweepSpec{
+		Sweep: sweep, Grid: grid, Trials: trials, Seed: seed,
+		Outcomes: factory.Outcomes, Numeric: factory.Numeric,
+	}
+
+	runner := shard.LocalRunner(reg)
+	mode := "in-process"
+	if procs {
+		self, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("locating own binary for -procs: %w", err)
+		}
+		runner = shard.ExecRunner(self, "-worker")
+		mode = "worker processes"
+	}
+	// Every shard already parallelises across the machine's cores
+	// (in-process via mc's worker pool, -procs via each worker's own
+	// pool), so dispatching one at a time is the no-oversubscription
+	// default; -parallel opts into concurrent dispatch. Tallies are
+	// identical either way.
+	opts := shard.Options{Retries: retries, Parallel: parallel}
+	if opts.Parallel <= 0 {
+		opts.Parallel = 1
+	}
+
+	start := time.Now()
+	merged, err := shard.Coordinate(spec, shards_, runner, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	if spec.Numeric {
+		renderNumeric(merged, grid)
+	} else {
+		renderTally(merged, grid, spec.Outcomes)
+	}
+	fmt.Printf("%d shards (%s), %s\n", shards_, mode, elapsed)
+	return nil
+}
+
+func renderTally(merged shard.ShardResult, grid []float64, outcomes int) {
+	headers := []string{"param", "trials"}
+	for o := 0; o < outcomes; o++ {
+		headers = append(headers, fmt.Sprintf("p%d", o))
+	}
+	headers = append(headers, "none", fmt.Sprintf("95%% Wilson (p%d)", outcomes-1))
+	tab := plot.Table{Headers: headers}
+	for i := range grid {
+		res, err := merged.ResultAt(i)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		row := []string{fmt.Sprintf("%g", grid[i]), fmt.Sprintf("%d", res.Trials)}
+		for o := 0; o < outcomes; o++ {
+			row = append(row, fmt.Sprintf("%.4f", res.Fraction(o)))
+		}
+		lo, hi := res.Proportion(outcomes - 1).Wilson(mc.Z95)
+		row = append(row, fmt.Sprintf("%d", res.None), fmt.Sprintf("[%.4f, %.4f]", lo, hi))
+		tab.Add(row...)
+	}
+	fmt.Print(tab.Render())
+}
+
+func renderNumeric(merged shard.ShardResult, grid []float64) {
+	tab := plot.Table{Headers: []string{"param", "trials", "mean", "stderr", "min", "max"}}
+	for i := range grid {
+		s, err := merged.SummaryAt(i)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		tab.Add(
+			fmt.Sprintf("%g", grid[i]),
+			fmt.Sprintf("%d", s.N),
+			fmt.Sprintf("%.6g", s.Mean),
+			fmt.Sprintf("%.3g", s.StdErr()),
+			fmt.Sprintf("%g", s.Min),
+			fmt.Sprintf("%g", s.Max),
+		)
+	}
+	fmt.Print(tab.Render())
+}
+
+func parseGrid(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("missing -params")
+	}
+	var grid []float64
+	for _, field := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -params value %q: %w", field, err)
+		}
+		grid = append(grid, v)
+	}
+	return grid, nil
+}

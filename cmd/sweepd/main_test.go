@@ -1,0 +1,167 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"stochsynth/internal/lambda"
+	"stochsynth/internal/mc"
+	"stochsynth/internal/rng"
+	"stochsynth/internal/shard"
+	"stochsynth/internal/sim"
+	"stochsynth/internal/synth"
+)
+
+// buildSweepd compiles this command into a scratch binary so tests can
+// exercise the real cross-process worker protocol.
+func buildSweepd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sweepd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building sweepd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestWorkerProtocolRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs a child binary")
+	}
+	bin := buildSweepd(t)
+	spec := shard.SweepSpec{
+		Sweep: shard.SweepLambdaSynthetic, Grid: []float64{1, 5}, Trials: 200, Seed: 42, Outcomes: 2,
+	}
+	viaProcess, err := shard.ExecRunner(bin, "-worker")(spec.Shard(50, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inProcess, err := shard.Run(spec.Shard(50, 150), shard.Builtin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire1, err := viaProcess.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire2, err := inProcess.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wire1) != string(wire2) {
+		t.Fatalf("worker process result differs from in-process run:\n%s\nvs\n%s", wire1, wire2)
+	}
+}
+
+// TestFourProcessNaturalLambdaMatchesCharacterize is the chi-square
+// end-to-end check: the natural lambda model's outcome tally, sharded
+// across 4 worker processes (each a fresh exec of the sweepd worker mode)
+// and merged, must be *identical* to the single-process Characterize
+// result — bit-for-bit equal counts, hence a χ² homogeneity statistic of
+// exactly zero.
+func TestFourProcessNaturalLambdaMatchesCharacterize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs child binaries")
+	}
+	const (
+		moi    = int64(3)
+		trials = 4000
+		seed   = uint64(2007)
+	)
+	bin := buildSweepd(t)
+	spec := shard.SweepSpec{
+		Sweep: shard.SweepLambdaNatural, Grid: []float64{float64(moi)},
+		Trials: trials, Seed: seed, Outcomes: 2,
+	}
+	merged, err := shard.Coordinate(spec, 4, shard.ExecRunner(bin, "-worker"), shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := merged.ResultAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	natural, err := lambda.NaturalModel(lambda.NaturalParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := natural.Characterize(moi, trials, mc.PointSeed(seed, 0))
+
+	if sharded.Trials != single.Trials || sharded.None != single.None {
+		t.Fatalf("sharded trials/none %d/%d, single-process %d/%d",
+			sharded.Trials, sharded.None, single.Trials, single.None)
+	}
+	for o, c := range single.Counts {
+		if sharded.Counts[o] != c {
+			t.Fatalf("outcome %d: sharded %d, single-process %d", o, sharded.Counts[o], c)
+		}
+	}
+
+	// The merged distribution is the single-process distribution, so the
+	// χ² homogeneity statistic against it is exactly zero.
+	classified := single.Counts[lambda.Lysis] + single.Counts[lambda.Lysogeny]
+	probs := []float64{
+		float64(single.Counts[lambda.Lysis]) / float64(classified),
+		float64(single.Counts[lambda.Lysogeny]) / float64(classified),
+	}
+	stat, err := mc.ChiSquare(sharded.Counts, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 {
+		t.Fatalf("χ² between merged and single-process tallies = %v, want exactly 0", stat)
+	}
+}
+
+// TestFigure3ScaleSweepMatchesMcSweep pins the headline guarantee at the
+// paper's measurement scale: a Figure 3 error-rate sweep, sharded across
+// 4 worker processes via cmd/sweepd, merges to tallies bit-for-bit
+// identical to a plain single-process mc.Sweep over the same γ grid
+// (fresh-engine trials, no sharding machinery on the reference side).
+func TestFigure3ScaleSweepMatchesMcSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs child binaries; runs a large sweep")
+	}
+	gammas := []float64{1, 10, 100}
+	trials := 100000 // the paper's "100,000 trials" scale
+	const seed = uint64(7)
+
+	bin := buildSweepd(t)
+	spec := shard.SweepSpec{
+		Sweep: shard.SweepFig3Error, Grid: gammas, Trials: trials, Seed: seed, Outcomes: 2,
+	}
+	merged, err := shard.Coordinate(spec, 4, shard.ExecRunner(bin, "-worker"), shard.Options{Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := merged.SweepPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := mc.Sweep(mc.Config{Trials: trials, Outcomes: 2, Seed: seed}, gammas,
+		func(gamma float64) mc.Trial {
+			mod, err := synth.Figure3Spec(gamma).Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			classify := synth.Figure3Classifier(mod)
+			return func(gen *rng.PCG) int {
+				return classify(sim.NewOptimizedDirect(mod.Net, gen))
+			}
+		})
+
+	for i := range want {
+		w, g := want[i].Result, got[i].Result
+		if w.Trials != g.Trials || w.None != g.None {
+			t.Fatalf("γ=%v: trials/none %d/%d, want %d/%d", gammas[i], g.Trials, g.None, w.Trials, w.None)
+		}
+		for o := range w.Counts {
+			if w.Counts[o] != g.Counts[o] {
+				t.Fatalf("γ=%v outcome %d: sharded %d, mc.Sweep %d", gammas[i], o, g.Counts[o], w.Counts[o])
+			}
+		}
+	}
+}

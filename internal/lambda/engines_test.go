@@ -12,7 +12,7 @@ import (
 // engine-reuse path, mirroring Model.Characterize.
 func runEngine(m *Model, moi int64, trials int, seed uint64,
 	mk func(gen *rng.PCG) sim.Engine) mc.Result {
-	classify := m.classifier(moi)
+	classify := m.Classifier(moi)
 	return mc.RunWith(mc.Config{Trials: trials, Outcomes: 2, Seed: seed}, mk, classify)
 }
 
@@ -76,7 +76,7 @@ func TestCharacterizeMatchesPerTrialEngines(t *testing.T) {
 	fresh := mc.RunWith(mc.Config{Trials: trials, Outcomes: 2, Seed: seed},
 		func(gen *rng.PCG) *rng.PCG { return gen },
 		func(gen *rng.PCG) int {
-			classify := m.classifier(moi)
+			classify := m.Classifier(moi)
 			return classify(sim.NewOptimizedDirect(m.Net, gen))
 		})
 	if reused.Counts[0] != fresh.Counts[0] || reused.Counts[1] != fresh.Counts[1] || reused.None != fresh.None {

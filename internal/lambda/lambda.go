@@ -76,15 +76,19 @@ type Model struct {
 // builds a fresh engine per trial; the Monte Carlo hot path goes through
 // Characterize, which reuses one engine per worker instead.
 func (m *Model) Trial(moi int64) mc.Trial {
-	classify := m.classifier(moi)
+	classify := m.Classifier(moi)
 	return func(gen *rng.PCG) int {
 		return classify(sim.NewDirect(m.Net, gen))
 	}
 }
 
-// classifier returns the per-trial body shared by Trial and Characterize:
-// reset eng to the MOI-dosed initial state, race to a threshold, classify.
-func (m *Model) classifier(moi int64) func(eng sim.Engine) int {
+// Classifier returns the per-trial body shared by Trial and Characterize:
+// reset eng to the MOI-dosed initial state, race the lysis/lysogeny
+// pathways to a threshold, and classify the outcome (Lysis, Lysogeny, or
+// mc.None on deadlock). It is exported so the internal/shard trial
+// registry can rebuild the exact Characterize trial in a fresh worker
+// process; pair it with one engine per worker (mc.RunWith/RunRangeWith).
+func (m *Model) Classifier(moi int64) func(eng sim.Engine) int {
 	st0 := m.Net.InitialState()
 	st0.Set(m.MOI, moi)
 	maxSteps := m.MaxSteps
@@ -116,7 +120,7 @@ func (m *Model) classifier(moi int64) func(eng sim.Engine) int {
 // per trial. This is the paper's "100,000 trials" measurement loop and the
 // package's hot path.
 func (m *Model) Characterize(moi int64, trials int, seed uint64) mc.Result {
-	classify := m.classifier(moi)
+	classify := m.Classifier(moi)
 	return mc.RunWith(
 		mc.Config{Trials: trials, Outcomes: 2, Seed: seed},
 		func(gen *rng.PCG) sim.Engine { return sim.NewOptimizedDirect(m.Net, gen) },
@@ -140,7 +144,7 @@ type Point struct {
 func SweepMOI(m *Model, mois []int64, trials int, seed uint64) []Point {
 	points := make([]Point, len(mois))
 	for i, moi := range mois {
-		res := m.Characterize(moi, trials, seed+uint64(i)*0x9e3779b97f4a7c15)
+		res := m.Characterize(moi, trials, mc.PointSeed(seed, i))
 		p := res.Proportion(Lysogeny)
 		lo, hi := p.Wilson(mc.Z95)
 		points[i] = Point{

@@ -20,6 +20,17 @@
 // (rng.PCG.Reseed) so the trial→stream mapping — and hence every tallied
 // result — is bit-for-bit identical to the per-trial-engine path. Run and
 // RunNumeric are themselves thin wrappers over the *With variants.
+//
+// # Sharding
+//
+// Because trial i always draws from the stream (Seed, i), a run can be
+// partitioned into disjoint trial ranges computed on different processes
+// or machines and merged exactly: RunRangeWith tallies any [lo, hi) slice
+// of a run (integer counts sum bit-for-bit), and RunNumericRangeWith
+// returns the range's canonical moment forest (Moments), which merges to
+// the whole-run Summary bit-for-bit for every partition. The full run is
+// the 1-shard special case. internal/shard layers a wire format and a
+// coordinator on top of these primitives.
 package mc
 
 import (

@@ -1,0 +1,193 @@
+package mc
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file defines the canonical moment accumulation shared by the
+// single-process and sharded numeric paths.
+//
+// Floating-point addition is not associative, so a naive "merge the
+// partial sums" protocol would make a sharded run's Mean/Var depend on how
+// the trial range was partitioned. Instead, the moments of a run are
+// *defined* as the result of combining per-trial accumulators up a fixed
+// binary tree over the trial index space: a node of size 2^k covers the
+// aligned range [s, s+2^k) with s ≡ 0 (mod 2^k), and is always computed by
+// Chan-merging its two half-size children. A shard covering any range
+// [lo, hi) reports the maximal aligned nodes contained in its range
+// (O(log n) of them); merging shards unions the forests and combines
+// completed sibling pairs. Because every node's value depends only on the
+// trial values beneath it — never on which shard computed it or in what
+// order shards were merged — the fully merged forest, and therefore the
+// final Summary, is bit-for-bit identical to the unsharded computation for
+// every partition and every merge order.
+
+// MomentNode is one canonical accumulator node covering the aligned trial
+// range [Start, Start+Size). Size is a power of two and Start is a
+// multiple of Size; the node summarises exactly Size trial values.
+//
+// The JSON field names are part of the shard wire format (see
+// internal/shard); changing them requires a format-version bump there.
+type MomentNode struct {
+	Start int     `json:"start"`
+	Size  int     `json:"size"`
+	Mean  float64 `json:"mean"`
+	// M2 is the sum of squared deviations from Mean (Welford's M2), so the
+	// unbiased variance of the node is M2/(Size-1).
+	M2  float64 `json:"m2"`
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// Moments is a canonical forest of aligned accumulator nodes: sorted by
+// Start, pairwise disjoint, and maximal (no two sibling nodes both
+// present). The zero value is the empty forest.
+type Moments []MomentNode
+
+// combineNodes merges node b into node a (b immediately follows a) with
+// Chan et al.'s parallel Welford update. It is the single code path for
+// every moment combination — building sibling pairs into parents and
+// folding the final Summary — so every accumulated value is uniquely
+// determined by the trial values it covers, never by who combined them.
+func combineNodes(a, b MomentNode) MomentNode {
+	nA, nB := float64(a.Size), float64(b.Size)
+	nAB := nA + nB
+	delta := b.Mean - a.Mean
+	return MomentNode{
+		Start: a.Start,
+		Size:  a.Size + b.Size,
+		Mean:  a.Mean + delta*nB/nAB,
+		M2:    a.M2 + b.M2 + delta*delta*nA*nB/nAB,
+		Min:   math.Min(a.Min, b.Min),
+		Max:   math.Max(a.Max, b.Max),
+	}
+}
+
+// siblings reports whether b is a's right sibling in the canonical tree:
+// same size, immediately adjacent, and a aligned on the parent boundary.
+func siblings(a, b MomentNode) bool {
+	return a.Size == b.Size && a.Start+a.Size == b.Start && a.Start%(2*a.Size) == 0
+}
+
+// pushNode appends n to the forest and cascades sibling combinations.
+func pushNode(nodes Moments, n MomentNode) Moments {
+	nodes = append(nodes, n)
+	for len(nodes) >= 2 && siblings(nodes[len(nodes)-2], nodes[len(nodes)-1]) {
+		nodes[len(nodes)-2] = combineNodes(nodes[len(nodes)-2], nodes[len(nodes)-1])
+		nodes = nodes[:len(nodes)-1]
+	}
+	return nodes
+}
+
+// NewMoments builds the canonical moment forest of the trial values
+// values[0:], where values[i] is the measurement of global trial index
+// lo+i. The result is the maximal aligned-node decomposition of
+// [lo, lo+len(values)).
+func NewMoments(lo int, values []float64) Moments {
+	if lo < 0 {
+		panic("mc: NewMoments with negative range start")
+	}
+	var nodes Moments
+	for i, v := range values {
+		nodes = pushNode(nodes, MomentNode{
+			Start: lo + i, Size: 1, Mean: v, Min: v, Max: v,
+		})
+	}
+	return nodes
+}
+
+// Validate checks the structural invariants of a canonical forest: sizes
+// are powers of two, nodes are aligned, sorted, disjoint, non-negative,
+// and no two siblings are left uncombined.
+func (m Moments) Validate() error {
+	for i, n := range m {
+		if n.Size <= 0 || n.Size&(n.Size-1) != 0 {
+			return fmt.Errorf("mc: moment node %d has non-power-of-two size %d", i, n.Size)
+		}
+		if n.Start < 0 || n.Start%n.Size != 0 {
+			return fmt.Errorf("mc: moment node %d ([%d,%d)) is misaligned", i, n.Start, n.Start+n.Size)
+		}
+		if math.IsNaN(n.Mean) || math.IsInf(n.Mean, 0) || math.IsNaN(n.M2) || math.IsInf(n.M2, 0) ||
+			math.IsNaN(n.Min) || math.IsInf(n.Min, 0) || math.IsNaN(n.Max) || math.IsInf(n.Max, 0) {
+			return fmt.Errorf("mc: moment node %d has non-finite moments", i)
+		}
+		if n.M2 < 0 {
+			return fmt.Errorf("mc: moment node %d has negative M2 (corrupt shard?)", i)
+		}
+		if n.Min > n.Max || (n.Size == 1 && n.M2 != 0) {
+			return fmt.Errorf("mc: moment node %d is internally inconsistent (corrupt shard?)", i)
+		}
+		if i > 0 {
+			prev := m[i-1]
+			if n.Start < prev.Start+prev.Size {
+				return fmt.Errorf("mc: moment nodes %d and %d overlap", i-1, i)
+			}
+			if siblings(prev, n) {
+				return fmt.Errorf("mc: moment nodes %d and %d are uncombined siblings", i-1, i)
+			}
+		}
+	}
+	return nil
+}
+
+// N returns the total number of trials summarised by the forest.
+func (m Moments) N() int64 {
+	var n int64
+	for _, node := range m {
+		n += int64(node.Size)
+	}
+	return n
+}
+
+// MergeMoments unions two canonical forests covering disjoint trial
+// ranges and combines every completed sibling pair, yielding the canonical
+// forest of the union. It is associative and commutative bit-for-bit: the
+// fully merged forest depends only on the set of trials covered, never on
+// the partition or the merge order. Overlapping inputs are an error.
+func MergeMoments(a, b Moments) (Moments, error) {
+	merged := make(Moments, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var next MomentNode
+		switch {
+		case i == len(a):
+			next, j = b[j], j+1
+		case j == len(b):
+			next, i = a[i], i+1
+		case a[i].Start <= b[j].Start:
+			next, i = a[i], i+1
+		default:
+			next, j = b[j], j+1
+		}
+		if len(merged) > 0 {
+			last := merged[len(merged)-1]
+			if next.Start < last.Start+last.Size {
+				return nil, fmt.Errorf("mc: moment ranges overlap at trial %d (duplicate shard?)", next.Start)
+			}
+		}
+		merged = pushNode(merged, next)
+	}
+	return merged, nil
+}
+
+// Summary folds the forest into a Summary by Chan-merging the maximal
+// nodes in index order (combineNodes again, with the running aggregate's
+// Size carrying the trial count — the fold accumulator is not an aligned
+// tree node). For a forest covering [0, n) this is the canonical
+// whole-run summary: RunNumeric, RunNumericWith and every sharded
+// partition of the same run produce it bit-for-bit.
+func (m Moments) Summary() Summary {
+	if len(m) == 0 {
+		return Summary{}
+	}
+	acc := m[0]
+	for _, node := range m[1:] {
+		acc = combineNodes(acc, node)
+	}
+	s := Summary{N: int64(acc.Size), Mean: acc.Mean, Min: acc.Min, Max: acc.Max}
+	if acc.Size > 1 {
+		s.Var = acc.M2 / float64(acc.Size-1)
+	}
+	return s
+}

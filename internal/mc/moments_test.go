@@ -1,0 +1,147 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"stochsynth/internal/rng"
+)
+
+func TestNewMomentsMaximalDecomposition(t *testing.T) {
+	// [3, 11) decomposes into maximal aligned nodes [3,4) [4,8) [8,10) [10,11).
+	values := make([]float64, 8)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	m := NewMoments(3, values)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantRanges := [][2]int{{3, 1}, {4, 4}, {8, 2}, {10, 1}}
+	if len(m) != len(wantRanges) {
+		t.Fatalf("got %d nodes, want %d: %+v", len(m), len(wantRanges), m)
+	}
+	for i, w := range wantRanges {
+		if m[i].Start != w[0] || m[i].Size != w[1] {
+			t.Errorf("node %d = [%d,+%d), want [%d,+%d)", i, m[i].Start, m[i].Size, w[0], w[1])
+		}
+	}
+	if m.N() != 8 {
+		t.Errorf("N = %d", m.N())
+	}
+}
+
+func TestMomentsSummaryMatchesDirectComputation(t *testing.T) {
+	values := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := NewMoments(0, values).Summary()
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sum of squared deviations is exactly 32 → Var = 32/7.
+	if math.Abs(s.Var-32.0/7) > 1e-12 {
+		t.Fatalf("var = %v, want %v", s.Var, 32.0/7)
+	}
+}
+
+func TestMergeMomentsBitForBitForRandomPartitions(t *testing.T) {
+	gen := rng.New(99)
+	for rep := 0; rep < 200; rep++ {
+		n := 1 + gen.Intn(257)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = gen.Normal(3, 2)
+		}
+		whole := NewMoments(0, values)
+		want := whole.Summary()
+
+		// Random partition of [0,n) into up to 8 contiguous shards,
+		// possibly empty, merged in a random order.
+		cuts := []int{0, n}
+		for c := gen.Intn(8); c > 0; c-- {
+			cuts = append(cuts, gen.Intn(n+1))
+		}
+		sortInts(cuts)
+		var parts []Moments
+		for i := 1; i < len(cuts); i++ {
+			parts = append(parts, NewMoments(cuts[i-1], values[cuts[i-1]:cuts[i]]))
+		}
+		gen.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+
+		merged := Moments(nil)
+		for _, p := range parts {
+			var err error
+			merged, err = MergeMoments(merged, p)
+			if err != nil {
+				t.Fatalf("rep %d: merge: %v", rep, err)
+			}
+		}
+		if len(merged) != len(whole) {
+			t.Fatalf("rep %d: merged forest has %d nodes, want %d", rep, len(merged), len(whole))
+		}
+		for i := range merged {
+			if merged[i] != whole[i] {
+				t.Fatalf("rep %d: node %d differs: %+v vs %+v", rep, i, merged[i], whole[i])
+			}
+		}
+		got := merged.Summary()
+		if !summariesIdentical(got, want) {
+			t.Fatalf("rep %d: summary differs: %+v vs %+v", rep, got, want)
+		}
+	}
+}
+
+func TestMergeMomentsRejectsOverlap(t *testing.T) {
+	a := NewMoments(0, []float64{1, 2, 3})
+	b := NewMoments(2, []float64{9, 9})
+	if _, err := MergeMoments(a, b); err == nil {
+		t.Fatal("overlapping merge did not error")
+	}
+	// A duplicate shard is a special case of overlap.
+	if _, err := MergeMoments(a, a); err == nil {
+		t.Fatal("duplicate merge did not error")
+	}
+}
+
+func TestMomentsValidateCatchesCorruption(t *testing.T) {
+	cases := map[string]Moments{
+		"bad size":        {{Start: 0, Size: 3, Mean: 1}},
+		"misaligned":      {{Start: 1, Size: 2, Mean: 1}},
+		"overlap":         {{Start: 0, Size: 2}, {Start: 1, Size: 1}},
+		"siblings":        {{Start: 0, Size: 1}, {Start: 1, Size: 1}},
+		"nan":             {{Start: 0, Size: 1, Mean: math.NaN()}},
+		"negative m2":     {{Start: 0, Size: 2, Mean: 1, M2: -50, Min: 0, Max: 2}},
+		"min above max":   {{Start: 0, Size: 2, Mean: 1, M2: 1, Min: 9, Max: 1}},
+		"leaf with m2":    {{Start: 0, Size: 1, Mean: 1, M2: 1, Min: 1, Max: 1}},
+		"infinite minmax": {{Start: 0, Size: 1, Mean: 1, Min: math.Inf(-1), Max: 1}},
+	}
+	for name, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, m)
+		}
+	}
+	if err := (Moments{}).Validate(); err != nil {
+		t.Errorf("empty forest rejected: %v", err)
+	}
+}
+
+func TestEmptyMomentsSummary(t *testing.T) {
+	if s := (Moments{}).Summary(); s != (Summary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func summariesIdentical(a, b Summary) bool {
+	return a.N == b.N &&
+		math.Float64bits(a.Mean) == math.Float64bits(b.Mean) &&
+		math.Float64bits(a.Var) == math.Float64bits(b.Var) &&
+		math.Float64bits(a.Min) == math.Float64bits(b.Min) &&
+		math.Float64bits(a.Max) == math.Float64bits(b.Max)
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

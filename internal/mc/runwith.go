@@ -24,20 +24,36 @@ import (
 // the engine's Reset with the trial's initial state) and return an outcome
 // index in [0, cfg.Outcomes) or None. RunWith panics on invalid
 // configuration or out-of-range outcomes, like Run.
+//
+// RunWith is the 1-shard special case of RunRangeWith: it runs the whole
+// range [0, cfg.Trials).
 func RunWith[E any](cfg Config, newEngine func(gen *rng.PCG) E, classify func(eng E) int) Result {
 	if cfg.Trials <= 0 {
 		panic("mc: Config.Trials must be positive")
 	}
+	return RunRangeWith(cfg, 0, cfg.Trials, newEngine, classify)
+}
+
+// RunRangeWith executes the trial-index range [lo, hi) of a conceptual
+// Monte Carlo run and tallies its outcomes. Randomness for trial i is
+// drawn from the stream (cfg.Seed, i) exactly as in RunWith, so the
+// tallies of any disjoint partition of [0, n) sum to the tallies of the
+// full run bit-for-bit — the primitive behind distributed sweep sharding
+// (internal/shard). cfg.Trials is ignored; the range defines the work.
+//
+// An empty range (lo == hi) is valid and yields zero tallies.
+func RunRangeWith[E any](cfg Config, lo, hi int, newEngine func(gen *rng.PCG) E, classify func(eng E) int) Result {
 	if cfg.Outcomes <= 0 {
 		panic("mc: Config.Outcomes must be positive")
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if lo < 0 || hi < lo {
+		panic(fmt.Sprintf("mc: invalid trial range [%d,%d)", lo, hi))
 	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
+	res := Result{Counts: make([]int64, cfg.Outcomes), Trials: int64(hi - lo)}
+	if lo == hi {
+		return res
 	}
+	workers := rangeWorkers(cfg.Workers, hi-lo)
 
 	type tally struct {
 		counts []int64
@@ -55,7 +71,7 @@ func RunWith[E any](cfg Config, newEngine func(gen *rng.PCG) E, classify func(en
 			eng := newEngine(gen)
 			// Static striping keeps the trial→stream mapping fixed, so
 			// the aggregate is independent of scheduling.
-			for i := w; i < cfg.Trials; i += workers {
+			for i := lo + w; i < hi; i += workers {
 				gen.Reseed(cfg.Seed, uint64(i))
 				outcome := classify(eng)
 				switch {
@@ -81,7 +97,6 @@ func RunWith[E any](cfg Config, newEngine func(gen *rng.PCG) E, classify func(en
 		}
 	}
 
-	res := Result{Counts: make([]int64, cfg.Outcomes), Trials: int64(cfg.Trials)}
 	for _, t := range tallies {
 		for i, c := range t.counts {
 			res.Counts[i] += c
@@ -93,19 +108,30 @@ func RunWith[E any](cfg Config, newEngine func(gen *rng.PCG) E, classify func(en
 
 // RunNumericWith is RunWith for numeric trials: per-worker engine reuse
 // with the same trial→stream mapping as RunNumeric. cfg.Outcomes is
-// ignored.
+// ignored. The Summary is derived from the canonical moment tree (see
+// Moments), so it is bit-for-bit identical to merging the moments of any
+// sharded partition of the same run.
 func RunNumericWith[E any](cfg Config, newEngine func(gen *rng.PCG) E, measure func(eng E) float64) Summary {
 	if cfg.Trials <= 0 {
 		panic("mc: Config.Trials must be positive")
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return RunNumericRangeWith(cfg, 0, cfg.Trials, newEngine, measure).Summary()
+}
+
+// RunNumericRangeWith executes the trial-index range [lo, hi) of a
+// conceptual numeric run and returns its canonical moment forest. Trial i
+// draws from the stream (cfg.Seed, i), so the forests of any disjoint
+// partition of [0, n) merge (MergeMoments) to the forest — and Summary —
+// of the full run bit-for-bit. cfg.Trials and cfg.Outcomes are ignored.
+func RunNumericRangeWith[E any](cfg Config, lo, hi int, newEngine func(gen *rng.PCG) E, measure func(eng E) float64) Moments {
+	if lo < 0 || hi < lo {
+		panic(fmt.Sprintf("mc: invalid trial range [%d,%d)", lo, hi))
 	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
+	if lo == hi {
+		return nil
 	}
-	values := make([]float64, cfg.Trials)
+	workers := rangeWorkers(cfg.Workers, hi-lo)
+	values := make([]float64, hi-lo)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -113,33 +139,23 @@ func RunNumericWith[E any](cfg Config, newEngine func(gen *rng.PCG) E, measure f
 			defer wg.Done()
 			gen := rng.NewStream(cfg.Seed, uint64(w))
 			eng := newEngine(gen)
-			for i := w; i < cfg.Trials; i += workers {
+			for i := lo + w; i < hi; i += workers {
 				gen.Reseed(cfg.Seed, uint64(i))
-				values[i] = measure(eng)
+				values[i-lo] = measure(eng)
 			}
 		}(w)
 	}
 	wg.Wait()
+	return NewMoments(lo, values)
+}
 
-	s := Summary{N: int64(cfg.Trials), Min: values[0], Max: values[0]}
-	sum := 0.0
-	for _, v := range values {
-		sum += v
-		if v < s.Min {
-			s.Min = v
-		}
-		if v > s.Max {
-			s.Max = v
-		}
+// rangeWorkers resolves the worker count for a range of n trials.
+func rangeWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	s.Mean = sum / float64(cfg.Trials)
-	if cfg.Trials > 1 {
-		ss := 0.0
-		for _, v := range values {
-			d := v - s.Mean
-			ss += d * d
-		}
-		s.Var = ss / float64(cfg.Trials-1)
+	if workers > n {
+		workers = n
 	}
-	return s
+	return workers
 }

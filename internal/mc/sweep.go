@@ -1,5 +1,15 @@
 package mc
 
+// PointSeed derives the seed of sweep point i from a sweep's base seed.
+// Each point advances the base seed by an odd 64-bit constant (the golden
+// ratio), so no two points of a sweep share trial streams. The constant is
+// part of the sharding contract: internal/shard workers derive the same
+// per-point seeds from a ShardSpec's base seed, so a sharded sweep tallies
+// the same trials as Sweep.
+func PointSeed(seed uint64, point int) uint64 {
+	return seed + uint64(point)*0x9e3779b97f4a7c15
+}
+
 // SweepPoint pairs one parameter value with the Monte Carlo result at that
 // value.
 type SweepPoint struct {
@@ -9,13 +19,18 @@ type SweepPoint struct {
 
 // Sweep runs one Monte Carlo batch per parameter value. The mkTrial callback
 // builds the per-value Trial (typically by synthesising a network for the
-// parameter and closing over it); each batch gets a distinct seed derived
-// from cfg.Seed and the point index so that sweeps never reuse streams.
+// parameter and closing over it); each batch draws from the PointSeed
+// streams of cfg.Seed, so sweeps never reuse streams across points.
+//
+// Sweep is the single-process, 1-shard special case of the partition+merge
+// core: each point runs the whole trial range [0, cfg.Trials) through
+// RunRangeWith via Run. The internal/shard coordinator runs the same
+// points over partitioned ranges and merges to identical tallies.
 func Sweep(cfg Config, params []float64, mkTrial func(param float64) Trial) []SweepPoint {
 	out := make([]SweepPoint, len(params))
 	for i, p := range params {
 		pointCfg := cfg
-		pointCfg.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+		pointCfg.Seed = PointSeed(cfg.Seed, i)
 		out[i] = SweepPoint{Param: p, Result: Run(pointCfg, mkTrial(p))}
 	}
 	return out
@@ -27,12 +42,13 @@ type NumericSweepPoint struct {
 	Summary Summary
 }
 
-// SweepNumeric runs one numeric Monte Carlo batch per parameter value.
+// SweepNumeric runs one numeric Monte Carlo batch per parameter value,
+// with the same per-point seed derivation as Sweep.
 func SweepNumeric(cfg Config, params []float64, mkTrial func(param float64) NumericTrial) []NumericSweepPoint {
 	out := make([]NumericSweepPoint, len(params))
 	for i, p := range params {
 		pointCfg := cfg
-		pointCfg.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+		pointCfg.Seed = PointSeed(cfg.Seed, i)
 		out[i] = NumericSweepPoint{Param: p, Summary: RunNumeric(pointCfg, mkTrial(p))}
 	}
 	return out

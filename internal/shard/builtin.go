@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+
+	"stochsynth/internal/lambda"
+	"stochsynth/internal/rng"
+	"stochsynth/internal/sim"
+	"stochsynth/internal/synth"
+)
+
+// Builtin sweep ids. The parameter of the lambda sweeps is the MOI (an
+// integer-valued grid point); the Figure 3 sweep's parameter is γ.
+const (
+	SweepLambdaSynthetic = "lambda/synthetic"
+	SweepLambdaNatural   = "lambda/natural"
+	SweepFig3Error       = "synth/fig3-error"
+)
+
+// Builtin returns a fresh registry holding the repository's named sweeps:
+//
+//   - lambda/synthetic — the synthesised lambda model's lysis/lysogeny
+//     race (outcome 0 lysis, 1 lysogeny; param = MOI).
+//   - lambda/natural — the natural-model surrogate's race, the trial
+//     behind Model.Characterize and the Figure 5 sweep (param = MOI).
+//   - synth/fig3-error — the Figure 3 stochastic-module error experiment
+//     (outcome 1 = trial in error; param = γ).
+//
+// All three rebuild the exact engine-reuse trial bodies of the
+// single-process paths, so sharded runs merge bit-for-bit with them.
+func Builtin() *Registry {
+	reg := NewRegistry()
+	reg.Register(SweepLambdaSynthetic, lambdaFactory(func() (*lambda.Model, error) {
+		return lambda.SyntheticModel(), nil
+	}))
+	reg.Register(SweepLambdaNatural, lambdaFactory(func() (*lambda.Model, error) {
+		return lambda.NaturalModel(lambda.NaturalParams{})
+	}))
+	reg.Register(SweepFig3Error, Factory{
+		Outcomes: 2,
+		Outcome: func(gamma float64) (OutcomeTrial, error) {
+			mod, err := synth.Figure3Spec(gamma).Build()
+			if err != nil {
+				return OutcomeTrial{}, err
+			}
+			classify := synth.Figure3Classifier(mod)
+			return OutcomeTrial{
+				NewEngine: func(gen *rng.PCG) any { return sim.NewOptimizedDirect(mod.Net, gen) },
+				Classify:  func(eng any) int { return classify(eng.(sim.Engine)) },
+			}, nil
+		},
+	})
+	return reg
+}
+
+// lambdaFactory adapts a lambda model constructor into a tally factory
+// whose parameter is the MOI.
+func lambdaFactory(build func() (*lambda.Model, error)) Factory {
+	return Factory{
+		Outcomes: 2,
+		Outcome: func(param float64) (OutcomeTrial, error) {
+			moi := int64(math.Round(param))
+			if float64(moi) != param || moi < 1 {
+				return OutcomeTrial{}, fmt.Errorf("MOI grid value %v is not a positive integer", param)
+			}
+			m, err := build()
+			if err != nil {
+				return OutcomeTrial{}, err
+			}
+			classify := m.Classifier(moi)
+			return OutcomeTrial{
+				NewEngine: func(gen *rng.PCG) any { return sim.NewOptimizedDirect(m.Net, gen) },
+				Classify:  func(eng any) int { return classify(eng.(sim.Engine)) },
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,198 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SweepSpec describes a whole sweep to be sharded: the named trial
+// factory, its parameter grid, the per-point trial count, the base seed,
+// and the outcome arity (or Numeric). It is the coordinator-side
+// counterpart of mc.Sweep's arguments.
+type SweepSpec struct {
+	Sweep    string
+	Grid     []float64
+	Trials   int
+	Seed     uint64
+	Outcomes int
+	Numeric  bool
+}
+
+// Shard returns the ShardSpec for the trial range [lo, hi) of the sweep.
+func (s SweepSpec) Shard(lo, hi int) ShardSpec {
+	return ShardSpec{
+		Version: FormatVersion, Sweep: s.Sweep, Grid: s.Grid, Trials: s.Trials,
+		Lo: lo, Hi: hi, Seed: s.Seed, Outcomes: s.Outcomes, Numeric: s.Numeric,
+	}
+}
+
+// Validate checks the sweep description via its 1-shard spec.
+func (s SweepSpec) Validate() error {
+	return s.Shard(0, s.Trials).Validate()
+}
+
+// Partition splits the sweep's trial range [0, Trials) into n contiguous,
+// near-equal shards (fewer when Trials < n). The single-process sweep is
+// exactly the n = 1 case.
+func (s SweepSpec) Partition(n int) []ShardSpec {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.Trials {
+		n = s.Trials
+	}
+	shards := make([]ShardSpec, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * s.Trials / n
+		hi := (i + 1) * s.Trials / n
+		shards = append(shards, s.Shard(lo, hi))
+	}
+	return shards
+}
+
+// Runner executes one shard somewhere — in this process, in a child
+// process, or on another machine — and returns its result.
+type Runner func(spec ShardSpec) (ShardResult, error)
+
+// LocalRunner runs shards in-process against a registry.
+func LocalRunner(reg *Registry) Runner {
+	return func(spec ShardSpec) (ShardResult, error) {
+		return Run(spec, reg)
+	}
+}
+
+// ExecRunner runs each shard in a fresh OS process: it starts the given
+// command (typically a sweepd binary with its -worker flag), writes the
+// ShardSpec JSON to its stdin, and decodes the ShardResult JSON from its
+// stdout. Worker stderr is folded into the error on failure.
+func ExecRunner(command string, args ...string) Runner {
+	return func(spec ShardSpec) (ShardResult, error) {
+		payload, err := spec.Encode()
+		if err != nil {
+			return ShardResult{}, err
+		}
+		cmd := exec.Command(command, args...)
+		cmd.Stdin = bytes.NewReader(payload)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			msg := strings.TrimSpace(stderr.String())
+			if msg != "" {
+				return ShardResult{}, fmt.Errorf("shard: worker %s: %v: %s", spec.SpanRange(), err, msg)
+			}
+			return ShardResult{}, fmt.Errorf("shard: worker %s: %v", spec.SpanRange(), err)
+		}
+		return DecodeResult(stdout.Bytes())
+	}
+}
+
+// Options tunes Coordinate.
+type Options struct {
+	// Parallel bounds concurrently dispatched shards; 0 dispatches all at
+	// once (each in-process shard still parallelises internally, so use
+	// Parallel with LocalRunner to avoid oversubscription).
+	Parallel int
+	// Retries is how many times a failing shard is re-dispatched before
+	// its range is reported missing.
+	Retries int
+}
+
+// Coordinate partitions the sweep into shards, fans them out over run,
+// and merges the results, enforcing the protocol: a worker must return
+// its shard's exact trial range (wrong or overlapping coverage is
+// rejected), failed shards are retried Retries times, and a sweep that
+// still has uncovered trials after merging fails with the missing ranges
+// listed. On success the result is complete and bit-for-bit identical to
+// the single-process sweep.
+func Coordinate(spec SweepSpec, shards int, run Runner, opts Options) (ShardResult, error) {
+	if err := spec.Validate(); err != nil {
+		return ShardResult{}, err
+	}
+	specs := spec.Partition(shards)
+	parallel := opts.Parallel
+	if parallel <= 0 || parallel > len(specs) {
+		parallel = len(specs)
+	}
+
+	results := make([]ShardResult, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, sp ShardSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for attempt := 0; ; attempt++ {
+				res, err := run(sp)
+				if err == nil {
+					err = checkShardResult(sp, res)
+				}
+				if err == nil {
+					results[i], errs[i] = res, nil
+					return
+				}
+				errs[i] = fmt.Errorf("shard %s (attempt %d): %w", sp.SpanRange(), attempt+1, err)
+				if attempt >= opts.Retries {
+					return
+				}
+			}
+		}(i, sp)
+	}
+	wg.Wait()
+
+	merged := ShardResult{}
+	var failures []string
+	first := true
+	for i := range specs {
+		if errs[i] != nil {
+			failures = append(failures, errs[i].Error())
+			continue
+		}
+		if first {
+			merged, first = results[i], false
+			continue
+		}
+		var err error
+		merged, err = MergeResults(merged, results[i])
+		if err != nil {
+			return ShardResult{}, err
+		}
+	}
+	if first {
+		return ShardResult{}, fmt.Errorf("shard: every shard failed:\n%s", strings.Join(failures, "\n"))
+	}
+	if !merged.Complete() {
+		missing := merged.MissingRanges()
+		sort.Slice(failures, func(i, j int) bool { return failures[i] < failures[j] })
+		return merged, fmt.Errorf("shard: incomplete sweep: missing trials %v:\n%s",
+			missing, strings.Join(failures, "\n"))
+	}
+	return merged, nil
+}
+
+// checkShardResult enforces that a worker answered the shard it was
+// asked: same sweep identity and exactly the spec's trial range.
+func checkShardResult(sp ShardSpec, res ShardResult) error {
+	want := ShardResult{
+		Version: FormatVersion, Sweep: sp.Sweep, Grid: sp.Grid, Trials: sp.Trials,
+		Seed: sp.Seed, Outcomes: sp.Outcomes, Numeric: sp.Numeric,
+	}
+	if err := headerCompatible(want, res); err != nil {
+		return err
+	}
+	wantRanges := []Range{{Lo: sp.Lo, Hi: sp.Hi}}
+	if sp.Lo == sp.Hi {
+		wantRanges = nil
+	}
+	if !rangesEqual(res.Ranges, wantRanges) {
+		return fmt.Errorf("worker covered %v, spec asked %s", res.Ranges, sp.SpanRange())
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func testSweepSpec() SweepSpec {
+	return SweepSpec{
+		Sweep: testTallySweep, Grid: []float64{1, 6}, Trials: 200, Seed: 11, Outcomes: testOutcomes,
+	}
+}
+
+func TestCoordinateMatchesSingleProcess(t *testing.T) {
+	reg := testRegistry()
+	spec := testSweepSpec()
+	want := singleProcessTally(spec)
+	for _, shards := range []int{1, 3, 8} {
+		merged, err := Coordinate(spec, shards, LocalRunner(reg), Options{})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		got, err := merged.SweepPoints()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for i := range want {
+			for o := range want[i].Result.Counts {
+				if got[i].Result.Counts[o] != want[i].Result.Counts[o] {
+					t.Fatalf("shards=%d point %d outcome %d: %d, want %d",
+						shards, i, o, got[i].Result.Counts[o], want[i].Result.Counts[o])
+				}
+			}
+		}
+	}
+}
+
+func TestCoordinatePartitionCoversExactly(t *testing.T) {
+	spec := testSweepSpec()
+	for _, n := range []int{1, 3, 7, 200, 500} {
+		shards := spec.Partition(n)
+		at := 0
+		for _, sp := range shards {
+			if sp.Lo != at {
+				t.Fatalf("n=%d: shard starts at %d, want %d", n, sp.Lo, at)
+			}
+			if sp.Hi < sp.Lo {
+				t.Fatalf("n=%d: negative shard %s", n, sp.SpanRange())
+			}
+			at = sp.Hi
+		}
+		if at != spec.Trials {
+			t.Fatalf("n=%d: partition covers [0,%d), want [0,%d)", n, at, spec.Trials)
+		}
+		if n <= spec.Trials && len(shards) != n {
+			t.Fatalf("n=%d: got %d shards", n, len(shards))
+		}
+	}
+}
+
+func TestCoordinateRetriesFlakyWorker(t *testing.T) {
+	reg := testRegistry()
+	spec := testSweepSpec()
+	var calls atomic.Int64
+	flaky := func(sp ShardSpec) (ShardResult, error) {
+		if calls.Add(1)%2 == 1 {
+			return ShardResult{}, fmt.Errorf("injected transient failure")
+		}
+		return Run(sp, reg)
+	}
+	merged, err := Coordinate(spec, 4, flaky, Options{Retries: 2})
+	if err != nil {
+		t.Fatalf("retrying coordinator failed: %v", err)
+	}
+	if !merged.Complete() {
+		t.Fatal("retried sweep incomplete")
+	}
+}
+
+func TestCoordinateReportsMissingRangesOnWorkerFailure(t *testing.T) {
+	reg := testRegistry()
+	spec := testSweepSpec()
+	shards := spec.Partition(4)
+	dead := shards[2].SpanRange()
+	runner := func(sp ShardSpec) (ShardResult, error) {
+		if sp.SpanRange() == dead {
+			return ShardResult{}, fmt.Errorf("worker lost")
+		}
+		return Run(sp, reg)
+	}
+	_, err := Coordinate(spec, 4, runner, Options{})
+	if err == nil {
+		t.Fatal("coordinator succeeded with a dead shard")
+	}
+	if !strings.Contains(err.Error(), dead.String()) {
+		t.Fatalf("error does not name the missing range %s: %v", dead, err)
+	}
+}
+
+func TestCoordinateRejectsWrongRangeFromWorker(t *testing.T) {
+	reg := testRegistry()
+	spec := testSweepSpec()
+	// A confused worker that always computes the first quarter, whatever
+	// it was asked: the coordinator must refuse the wrong coverage rather
+	// than merge a duplicate.
+	confused := func(sp ShardSpec) (ShardResult, error) {
+		sp.Lo, sp.Hi = 0, 50
+		return Run(sp, reg)
+	}
+	_, err := Coordinate(spec, 4, confused, Options{})
+	if err == nil {
+		t.Fatal("coordinator accepted wrong-range results")
+	}
+}
+
+func TestCoordinateRejectsForeignResult(t *testing.T) {
+	reg := testRegistry()
+	spec := testSweepSpec()
+	// A worker answering for a different seed must be rejected before the
+	// merge can silently mix streams.
+	foreign := func(sp ShardSpec) (ShardResult, error) {
+		sp.Seed++
+		return Run(sp, reg)
+	}
+	if _, err := Coordinate(spec, 2, foreign, Options{}); err == nil {
+		t.Fatal("coordinator accepted results for a different seed")
+	}
+}

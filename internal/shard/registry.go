@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"stochsynth/internal/rng"
+)
+
+// OutcomeTrial is the engine-reuse form of one tally-sweep trial body:
+// NewEngine builds a worker's engine once, Classify runs one trial on it
+// (after the worker's generator has been reseeded onto the trial stream)
+// and returns an outcome index or mc.None. Engines are opaque to the
+// shard layer, so factories for any engine type share one registry.
+type OutcomeTrial struct {
+	NewEngine func(gen *rng.PCG) any
+	Classify  func(eng any) int
+}
+
+// NumericTrial is the engine-reuse form of one numeric-sweep trial body.
+type NumericTrial struct {
+	NewEngine func(gen *rng.PCG) any
+	Measure   func(eng any) float64
+}
+
+// Factory builds the trial body of one named sweep for a parameter value.
+// Exactly one of Outcome/Numeric is set, matching the Outcomes/Numeric
+// fields.
+type Factory struct {
+	// Outcomes is the outcome arity of tally sweeps (> 0 iff Outcome is
+	// set).
+	Outcomes int
+	// Numeric marks a numeric sweep (iff NumericF is set).
+	Numeric bool
+	// Outcome builds the tally trial body at one grid value.
+	Outcome func(param float64) (OutcomeTrial, error)
+	// NumericF builds the numeric trial body at one grid value.
+	NumericF func(param float64) (NumericTrial, error)
+}
+
+// Registry maps sweep ids to trial factories, making a ShardSpec runnable
+// by name in a process that shares nothing with the coordinator but the
+// binary. It is safe for concurrent use.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]Factory)}
+}
+
+// Register installs a factory under a sweep id. Re-registering a name or
+// registering a malformed factory panics: registries are assembled at
+// startup, so both are programmer errors.
+func (r *Registry) Register(name string, f Factory) {
+	if name == "" {
+		panic("shard: Register with empty sweep id")
+	}
+	switch {
+	case f.Numeric && (f.NumericF == nil || f.Outcome != nil || f.Outcomes != 0):
+		panic(fmt.Sprintf("shard: numeric factory %q must set exactly NumericF", name))
+	case !f.Numeric && (f.Outcome == nil || f.NumericF != nil || f.Outcomes <= 0):
+		panic(fmt.Sprintf("shard: tally factory %q must set Outcomes > 0 and exactly Outcome", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[name]; dup {
+		panic(fmt.Sprintf("shard: sweep %q registered twice", name))
+	}
+	r.factories[name] = f
+}
+
+// Lookup resolves a sweep id, listing the known ids on failure.
+func (r *Registry) Lookup(name string) (Factory, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.factories[name]
+	if !ok {
+		return Factory{}, fmt.Errorf("shard: unknown sweep %q (known: %v)", name, r.namesLocked())
+	}
+	return f, nil
+}
+
+// Names returns the registered sweep ids, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.namesLocked()
+}
+
+func (r *Registry) namesLocked() []string {
+	names := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,248 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stochsynth/internal/mc"
+)
+
+// The golden fixtures pin the version-1 wire encoding byte for byte. If
+// an intentional format change lands, bump FormatVersion, regenerate with
+//
+//	go test ./internal/shard -run Golden -update
+//
+// and document the change in docs/sharding.md. A failure here without a
+// version bump means the encoding drifted silently — that is the bug.
+var update = flag.Bool("update", false, "rewrite golden wire-format fixtures")
+
+// goldenSpec and goldenResult are fixed, fully deterministic exemplars of
+// the two message kinds (the numeric result exercises moment nodes too).
+func goldenSpec() ShardSpec {
+	return ShardSpec{
+		Version: FormatVersion, Sweep: testTallySweep,
+		Grid: []float64{1, 2.5}, Trials: 40, Lo: 10, Hi: 30,
+		Seed: 424242, Outcomes: testOutcomes,
+	}
+}
+
+func goldenResult(t *testing.T) ShardResult {
+	t.Helper()
+	res, err := Run(goldenSpec(), testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func goldenNumericResult(t *testing.T) ShardResult {
+	t.Helper()
+	spec := ShardSpec{
+		Version: FormatVersion, Sweep: testNumericSweep,
+		Grid: []float64{0.5}, Trials: 12, Lo: 3, Hi: 12,
+		Seed: 7, Numeric: true,
+	}
+	res, err := Run(spec, testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkGolden(t *testing.T, name string, encoded []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(encoded, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update after an intentional, version-bumped format change): %v", err)
+	}
+	if !bytes.Equal(append(encoded, '\n'), want) {
+		t.Fatalf("wire encoding of %s drifted without a FormatVersion bump.\ngot:  %s\nwant: %s",
+			name, encoded, bytes.TrimSpace(want))
+	}
+}
+
+func TestGoldenWireFormat(t *testing.T) {
+	spec := goldenSpec()
+	encSpec, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "shardspec.v1.json", encSpec)
+
+	encRes, err := goldenResult(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "shardresult.v1.json", encRes)
+
+	encNum, err := goldenNumericResult(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "shardresult_numeric.v1.json", encNum)
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	spec := goldenSpec()
+	encSpec, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSpec, err := DecodeSpec(encSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reSpec, err := gotSpec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encSpec, reSpec) {
+		t.Fatalf("spec round trip not stable:\n%s\n%s", encSpec, reSpec)
+	}
+
+	for _, res := range []ShardResult{goldenResult(t), goldenNumericResult(t)} {
+		enc, err := res.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeResult(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := got.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("result round trip not stable (float fields must survive JSON exactly):\n%s\n%s", enc, re)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownVersion(t *testing.T) {
+	spec := goldenSpec()
+	spec.Version = FormatVersion + 1
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSpec(raw); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("unknown spec version not rejected: %v", err)
+	}
+	res := goldenResult(t)
+	res.Version = 0
+	raw, err = json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResult(raw); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("unknown result version not rejected: %v", err)
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	enc, err := goldenSpec().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := bytes.Replace(enc, []byte(`"sweep"`), []byte(`"surprise":1,"sweep"`), 1)
+	if _, err := DecodeSpec(patched); err == nil {
+		t.Fatal("unknown field accepted; additions require a FormatVersion bump")
+	}
+}
+
+func TestDecodeRejectsTrailingData(t *testing.T) {
+	enc, err := goldenSpec().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A trailing newline is how workers terminate the document — fine.
+	if _, err := DecodeSpec(append(enc, '\n')); err != nil {
+		t.Fatalf("trailing newline rejected: %v", err)
+	}
+	// Anything else after the document is a corrupted worker stream.
+	if _, err := DecodeSpec(append(enc, []byte("{}")...)); err == nil {
+		t.Fatal("concatenated second document accepted")
+	}
+	if _, err := DecodeSpec(append(enc, []byte("\nstray log line")...)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestDecodeRejectsCorruptNumericMoments(t *testing.T) {
+	res := goldenNumericResult(t)
+	res.Points[0].Moments = append(mc.Moments(nil), res.Points[0].Moments...)
+	res.Points[0].Moments[1].M2 = -50
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResult(raw); err == nil {
+		t.Fatal("negative-M2 moment node accepted; would yield negative variance downstream")
+	}
+}
+
+func TestDecodeRejectsCorruptResults(t *testing.T) {
+	base := goldenResult(t)
+	corrupt := func(name string, mutate func(*ShardResult)) {
+		r := base
+		r.Points = append([]PointTally(nil), base.Points...)
+		for i := range r.Points {
+			r.Points[i].Counts = append([]int64(nil), base.Points[i].Counts...)
+		}
+		r.Ranges = append([]Range(nil), base.Ranges...)
+		mutate(&r)
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeResult(raw); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	corrupt("tally/coverage mismatch", func(r *ShardResult) { r.Points[0].Counts[0]++ })
+	corrupt("negative count", func(r *ShardResult) {
+		r.Points[0].Counts[1] -= r.Points[0].Counts[0] + r.Points[0].Counts[1] + 1
+	})
+	corrupt("range out of bounds", func(r *ShardResult) { r.Ranges[0].Hi = r.Trials + 1 })
+	corrupt("point/grid mismatch", func(r *ShardResult) { r.Points = r.Points[:1] })
+	corrupt("param drift", func(r *ShardResult) { r.Points[0].Param++ })
+	corrupt("uncoalesced ranges", func(r *ShardResult) {
+		r.Ranges = []Range{{Lo: 10, Hi: 20}, {Lo: 20, Hi: 30}}
+	})
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := map[string]func(*ShardSpec){
+		"empty sweep":       func(s *ShardSpec) { s.Sweep = "" },
+		"empty grid":        func(s *ShardSpec) { s.Grid = nil },
+		"zero trials":       func(s *ShardSpec) { s.Trials = 0 },
+		"negative lo":       func(s *ShardSpec) { s.Lo = -1 },
+		"inverted range":    func(s *ShardSpec) { s.Lo, s.Hi = 30, 10 },
+		"range past total":  func(s *ShardSpec) { s.Hi = s.Trials + 1 },
+		"tally no outcomes": func(s *ShardSpec) { s.Outcomes = 0 },
+		"numeric+outcomes":  func(s *ShardSpec) { s.Numeric = true },
+	}
+	for name, mutate := range cases {
+		s := goldenSpec()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, s)
+		}
+	}
+}

@@ -49,16 +49,22 @@ type EnsembleOptions struct {
 // horizon, so the recorded state is the true state at that instant.
 //
 // Trials run on a worker pool. Randomness is drawn from per-trial streams
-// of seed and workers keep static stripes of the trial index space, so the
-// set of trajectories — and therefore the sampled distribution — is
-// independent of scheduling; per-worker Welford accumulators are merged in
-// worker order, so the result is bit-for-bit reproducible for a fixed
-// worker count (across worker counts only float rounding differs). Each
-// worker builds one engine and Resets it per trial rather than
-// reallocating.
+// of seed, so the set of trajectories — and therefore the sampled
+// distribution — is independent of scheduling. Accumulation uses a fixed
+// stripe scheme: trial t always feeds the Welford accumulator of stripe
+// t % ensembleStripes in trial order, and the stripes are merged in
+// stripe order, so the floating-point operation sequence — and hence
+// every Mean/Var bit — is identical for every worker count. Each worker
+// builds one engine and Resets it per trial rather than reallocating.
 func EnsembleStats(net *chem.Network, grid []float64, trials int, seed uint64) *Ensemble {
 	return EnsembleStatsOpts(net, grid, trials, seed, EnsembleOptions{})
 }
+
+// ensembleStripes is the fixed number of accumulation stripes. It bounds
+// useful parallelism for one ensemble and is part of the reproducibility
+// contract: changing it changes last-bit rounding of every ensemble, so
+// treat it like a format constant.
+const ensembleStripes = 64
 
 // welford is one worker's running mean/M2 accumulator over the grid.
 type welford struct {
@@ -140,41 +146,56 @@ func EnsembleStatsOpts(net *chem.Network, grid []float64, trials int, seed uint6
 	if workers > trials {
 		workers = trials
 	}
+	// Stripes — not workers — own accumulators: trial t always feeds
+	// stripe t % ensembleStripes sequentially in trial order, whichever
+	// worker computes it, so the accumulation is a pure function of
+	// (net, grid, trials, seed) and bit-identical across worker counts.
+	stripes := ensembleStripes
+	if stripes > trials {
+		stripes = trials
+	}
+	if workers > stripes {
+		workers = stripes
+	}
 	newEngine := opts.NewEngine
 	if newEngine == nil {
 		newEngine = func(n *chem.Network, g *rng.PCG) Engine { return NewDirect(n, g) }
 	}
 
 	numSpecies := net.NumSpecies()
-	accs := make([]*welford, workers)
+	accs := make([]*welford, stripes)
+	for s := range accs {
+		accs[s] = newWelford(len(grid), numSpecies)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		accs[w] = newWelford(len(grid), numSpecies)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			acc := accs[w]
 			gen := rng.NewStream(seed, uint64(w))
 			eng := newEngine(net, gen)
 			st0 := net.InitialState()
-			for trial := w; trial < trials; trial += workers {
-				gen.Reseed(seed, uint64(trial))
-				eng.Reset(st0, 0)
-				for k, t := range grid {
-					for {
-						_, status := eng.Step(t)
-						if status != Fired {
-							break // Horizon or Quiescent: state is exact at t
+			for stripe := w; stripe < stripes; stripe += workers {
+				acc := accs[stripe]
+				for trial := stripe; trial < trials; trial += stripes {
+					gen.Reseed(seed, uint64(trial))
+					eng.Reset(st0, 0)
+					for k, t := range grid {
+						for {
+							_, status := eng.Step(t)
+							if status != Fired {
+								break // Horizon or Quiescent: state is exact at t
+							}
 						}
+						acc.add(k, eng.State())
 					}
-					acc.add(k, eng.State())
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
 
-	// Deterministic merge in worker order.
+	// Deterministic merge in stripe order.
 	total := accs[0]
 	for _, acc := range accs[1:] {
 		total.merge(acc)

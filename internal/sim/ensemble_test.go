@@ -64,11 +64,11 @@ b -> a @ 1
 }
 
 func TestEnsembleStatsWorkerPoolAgrees(t *testing.T) {
-	// The parallel Welford merge must agree with the single-worker
-	// (sequential-order) accumulation. The trajectories are identical by
-	// construction (per-trial streams); only float accumulation order
-	// differs, so means and variances agree to high relative precision,
-	// and each fixed worker count is bit-for-bit reproducible.
+	// The parallel fixed-stripe accumulation must agree with the
+	// single-worker run (the trajectories are identical by construction;
+	// since the stripe scheme the accumulation order is too — the
+	// bitwise check lives in TestEnsembleStatsBitIdenticalAcrossWorkerCounts)
+	// and every fixed worker count is reproducible run-to-run.
 	net := chem.MustParseNetwork(`
 a = 50
 a -> b @ 1
@@ -91,6 +91,36 @@ b -> a @ 0.5
 		again := EnsembleStatsOpts(net, grid, 400, 5, EnsembleOptions{Workers: workers})
 		if again.Mean[0][0] != par.Mean[0][0] || again.Var[2][1] != par.Var[2][1] {
 			t.Errorf("workers=%d: not reproducible run-to-run", workers)
+		}
+	}
+}
+
+func TestEnsembleStatsBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	// The fixed-stripe accumulation makes the whole result — not just the
+	// trajectory set — a pure function of (net, grid, trials, seed):
+	// every Mean and Var bit must be identical for every worker count,
+	// including a trial count that is not a stripe multiple.
+	net := chem.MustParseNetwork(`
+a = 50
+a -> b @ 1
+b -> a @ 0.5
+`)
+	grid := []float64{0.5, 1, 2}
+	const trials = 391
+	base := EnsembleStatsOpts(net, grid, trials, 5, EnsembleOptions{Workers: 1})
+	for _, workers := range []int{2, 4, 8} {
+		par := EnsembleStatsOpts(net, grid, trials, 5, EnsembleOptions{Workers: workers})
+		for k := range grid {
+			for s := 0; s < net.NumSpecies(); s++ {
+				if math.Float64bits(par.Mean[k][s]) != math.Float64bits(base.Mean[k][s]) {
+					t.Errorf("workers=%d: mean[%d][%d] = %v, want bit-identical %v",
+						workers, k, s, par.Mean[k][s], base.Mean[k][s])
+				}
+				if math.Float64bits(par.Var[k][s]) != math.Float64bits(base.Var[k][s]) {
+					t.Errorf("workers=%d: var[%d][%d] = %v, want bit-identical %v",
+						workers, k, s, par.Var[k][s], base.Var[k][s])
+				}
+			}
 		}
 	}
 }

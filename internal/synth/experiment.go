@@ -80,6 +80,24 @@ func Figure3Spec(gamma float64) StochasticSpec {
 // reaction needs to fire 10 times for us to declare an outcome".
 const Figure3Threshold = 10
 
+// Figure3MaxSteps bounds one Figure 3 race (deadlock safety net).
+const Figure3MaxSteps = 2_000_000
+
+// Figure3Classifier returns the per-trial classifier of the Figure 3 error
+// experiment on mod: outcome 1 when the trial is in error (the first
+// initializing firing did not determine the winner), 0 when it is correct.
+// It is exported so the internal/shard trial registry can rebuild the
+// exact Figure3ErrorRate trial in a fresh worker process; pair it with one
+// engine per worker (mc.RunWith/RunRangeWith).
+func Figure3Classifier(mod *StochasticModule) func(eng sim.Engine) int {
+	return func(eng sim.Engine) int {
+		if RunRaceWith(mod, eng, Figure3Threshold, Figure3MaxSteps).Error() {
+			return 1
+		}
+		return 0
+	}
+}
+
 // Figure3ErrorRate runs the Figure 3 experiment at one γ: trials parallel
 // races of the Figure3Spec module, returning the fraction of trials in
 // error.
@@ -90,11 +108,6 @@ func Figure3ErrorRate(gamma float64, trials int, seed uint64) (float64, error) {
 	}
 	res := mc.RunWith(mc.Config{Trials: trials, Outcomes: 2, Seed: seed},
 		func(gen *rng.PCG) sim.Engine { return sim.NewOptimizedDirect(mod.Net, gen) },
-		func(eng sim.Engine) int {
-			if RunRaceWith(mod, eng, Figure3Threshold, 2_000_000).Error() {
-				return 1
-			}
-			return 0
-		})
+		Figure3Classifier(mod))
 	return res.Fraction(1), nil
 }
