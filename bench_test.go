@@ -11,6 +11,7 @@ package stochsynth_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"stochsynth"
 	"stochsynth/internal/chem"
@@ -57,6 +58,38 @@ func BenchmarkFigure5Synthetic(b *testing.B) {
 				pct = pts[0].PctLysogeny
 			}
 			b.ReportMetric(pct, "lysogeny%")
+		})
+	}
+}
+
+// BenchmarkFigure5SyntheticHybrid regenerates the Figure 5 synthetic series
+// on the hybrid exact/tau-leap engine (sim.Hybrid). Besides the lysogeny
+// percentage it reports trials/s and the speedup over a reused
+// OptimizedDirect engine measured on the same MOI in the same process —
+// the tentpole claim is >= 3x; the relay propagation of the log-module
+// clock/decay pair typically lands 20-40x.
+func BenchmarkFigure5SyntheticHybrid(b *testing.B) {
+	base := lambda.SyntheticModel()
+	hybrid := lambda.SyntheticModel().WithEngine(sim.EngineHybrid)
+	for _, moi := range []int64{1, 2, 4, 6, 8, 10} {
+		b.Run(fmt.Sprintf("moi=%d", moi), func(b *testing.B) {
+			// One-shot OptimizedDirect baseline for the speedup metric.
+			const refTrials = 200
+			start := time.Now()
+			base.Characterize(moi, refTrials, 3)
+			refPerTrial := time.Since(start).Seconds() / refTrials
+
+			var pct float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pts := lambda.SweepMOI(hybrid, []int64{moi}, benchTrials, 5+uint64(i))
+				pct = pts[0].PctLysogeny
+			}
+			b.StopTimer()
+			perTrial := b.Elapsed().Seconds() / (float64(b.N) * benchTrials)
+			b.ReportMetric(pct, "lysogeny%")
+			b.ReportMetric(1/perTrial, "trials/s")
+			b.ReportMetric(refPerTrial/perTrial, "speedup-vs-optimized")
 		})
 	}
 }
@@ -213,6 +246,34 @@ func BenchmarkTrialsSyntheticDirectFresh(b *testing.B) {
 
 func BenchmarkTrialsSyntheticOptimizedReuse(b *testing.B) {
 	lambdaTrialsBench(b, lambda.SyntheticModel(), true)
+}
+
+// Hybrid engine on the same model and path: the partitioned engine batches
+// the clock/decay relay analytically between exact race events.
+func BenchmarkTrialsSyntheticHybridReuse(b *testing.B) {
+	lambdaTrialsBench(b, lambda.SyntheticModel().WithEngine(sim.EngineHybrid), true)
+}
+
+// Hybrid engine event throughput on the raw Step loop (comparable with the
+// other BenchmarkEngine*Lambda benches; "events" here counts slow steps
+// plus batched fast events).
+func BenchmarkEngineHybridLambda(b *testing.B) {
+	model := lambda.SyntheticModel()
+	st0 := model.Net.InitialState()
+	st0.Set(model.MOI, 5)
+	gen := rng.New(1)
+	eng := sim.NewHybrid(model.Net, []chem.Species{model.Cro2, model.CI2}, gen)
+	var events int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Reset(st0, 0)
+		res := sim.Run(eng, sim.RunOptions{MaxSteps: 10000, MaxTime: 1e8})
+		events += res.Steps + eng.FastEvents()
+	}
+	b.StopTimer()
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+	}
 }
 
 // Wide network: the natural-model surrogate (the stand-in for the Arkin

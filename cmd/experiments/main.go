@@ -12,6 +12,9 @@
 //	-seed S     base RNG seed (default 2007)
 //	-shards K   shards for the Figure 3 sweep (default 1; tallies are
 //	            bit-for-bit identical for every K — see docs/sharding.md)
+//	-engine E   simulation engine for the Monte Carlo sweeps (fig3, fig5,
+//	            pipeline): direct|optimized|first-reaction|next-reaction|
+//	            hybrid; default optimized. See docs/engines.md.
 //
 // The tool prints measured values next to the paper's reported/derived
 // values so deviations are visible at a glance. EXPERIMENTS.md records a
@@ -40,9 +43,16 @@ func main() {
 		exp    = flag.String("exp", "all", "experiment: fig3|fig4|fig5|ex1|ex2|modules|pipeline|all")
 		trials = flag.Int("trials", 20000, "Monte Carlo trials per point (paper: 100000)")
 		seed   = flag.Uint64("seed", 2007, "base RNG seed")
+		engine = flag.String("engine", "", "simulation engine for the Monte Carlo sweeps (default optimized)")
 	)
 	flag.IntVar(&fig3Shards, "shards", 1, "shards for the Figure 3 sweep (results identical for any value)")
 	flag.Parse()
+	kind, err := sim.ParseEngineKind(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	engineKind = kind
 
 	run := func(name string, f func(int, uint64)) {
 		fmt.Printf("==== %s ====\n", name)
@@ -85,14 +95,26 @@ func main() {
 // only the work distribution changes.
 var fig3Shards = 1
 
+// engineKind is the -engine flag: the engine the Monte Carlo sweeps run on
+// (empty = each path's default, OptimizedDirect).
+var engineKind sim.EngineKind
+
 // figure3 reproduces the error-vs-γ sweep (Monte Carlo per γ, log-log).
 // It runs on the partition+merge core: the default single-process run is
 // the 1-shard special case of the same sharded sweep cmd/sweepd can
 // spread across worker processes.
 func figure3(trials int, seed uint64) {
 	gammas := []float64{1, 10, 100, 1e3, 1e4, 1e5}
+	sweep := shard.SweepFig3Error
+	switch engineKind {
+	case "", sim.EngineOptimizedDirect:
+	case sim.EngineHybrid:
+		sweep = shard.SweepFig3ErrorHybrid
+	default:
+		fmt.Printf("(engine %q has no registered fig3 sweep; using the default)\n", engineKind)
+	}
 	spec := shard.SweepSpec{
-		Sweep: shard.SweepFig3Error, Grid: gammas, Trials: trials, Seed: seed, Outcomes: 2,
+		Sweep: sweep, Grid: gammas, Trials: trials, Seed: seed, Outcomes: 2,
 	}
 	merged, err := shard.Coordinate(spec, fig3Shards, shard.LocalRunner(shard.Builtin()),
 		shard.Options{Parallel: 1, Retries: 1})
@@ -158,8 +180,9 @@ func figure5(trials int, seed uint64) {
 		fmt.Println("error:", err)
 		return
 	}
+	natural.Engine = engineKind
 	natPts := lambda.SweepMOI(natural, mois, trials, seed)
-	synPts := lambda.SweepMOI(lambda.SyntheticModel(), mois, trials, seed+999)
+	synPts := lambda.SweepMOI(lambda.SyntheticModel().WithEngine(engineKind), mois, trials, seed+999)
 
 	tab := plot.Table{Headers: []string{"MOI", "natural %", "synthetic %", "programmed %", "Eq.14 %"}}
 	var xs, natY, synY, refY []float64
@@ -364,6 +387,7 @@ func pipeline(trials int, seed uint64) {
 		fmt.Println("error:", err)
 		return
 	}
+	natural.Engine = engineKind
 	natPts := lambda.SweepMOI(natural, mois, trials, seed)
 	fitted, err := lambda.FitResponse(natPts)
 	if err != nil {
@@ -385,6 +409,7 @@ func pipeline(trials int, seed uint64) {
 	}
 	fmt.Printf("3. synthesised model:      %d reactions in %d species\n",
 		model.Net.NumReactions(), model.Net.NumSpecies())
+	model.Engine = engineKind
 	synPts := lambda.SweepMOI(model, mois, trials, seed+77)
 	var rms float64
 	tab := plot.Table{Headers: []string{"MOI", "natural %", "synthetic %"}}

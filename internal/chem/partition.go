@@ -1,0 +1,238 @@
+package chem
+
+// This file derives the fast/slow channel partition that sim.Hybrid uses to
+// batch high-throughput channels between exact "decision" events.
+//
+// The partition answers two structural questions about a network, relative
+// to a set of *protected* species (the outcome/threshold species whose
+// distribution an experiment measures):
+//
+//  1. Which channels may be approximated (tau-leaped) without touching the
+//     protected marginal directly? A channel is *fast-eligible* when it
+//     neither produces nor consumes a protected species, and it does not
+//     net-change any species that appears as a reactant of a channel that
+//     does — so the channels that write the observable, and the channels
+//     that feed their propensities, always step exactly.
+//
+//  2. Which species form *relay* subsystems — linear birth-death chains
+//     (constant-rate production, first-order decay) that can be advanced
+//     analytically over an arbitrary interval with the exact transient
+//     distribution (Poisson births thinned by exponential survival)? The
+//     synthesised networks burn almost all of their events in exactly this
+//     shape: the logarithm module's b → b + a clock feeding the a → ∅
+//     decay.
+type Partition struct {
+	// FastEligible[i] reports whether reaction i may be approximated
+	// (batched) by a hybrid simulator. Non-eligible channels must always be
+	// stepped exactly.
+	FastEligible []bool
+	// Relays lists the detected analytically-solvable birth-death species,
+	// in increasing species order.
+	Relays []Relay
+	// RelayHandled[i] reports whether reaction i is a producer or sink of
+	// some relay (and is therefore advanced by the relay propagator, not by
+	// exact stepping or generic leaping, whenever that relay is active).
+	RelayHandled []bool
+}
+
+// Relay describes one analytically-solvable species: every molecule of
+// Species is born from a constant-propensity producer and dies through
+// first-order sinks, so over any interval in which the rest of the state is
+// frozen the count evolves as an immigration-death process with a
+// closed-form transient law.
+type Relay struct {
+	// Species is the relayed species.
+	Species Species
+	// Producers are the channels with net production of Species. Each has
+	// net stoichiometry exactly {Species: +1} and a propensity that no
+	// fast-eligible channel can change (its reactants are only written by
+	// non-eligible channels, which end a hybrid interval when they fire).
+	Producers []int
+	// Sinks are the first-order channels Species → ∅ (single unit reactant,
+	// no products). SinkRate is the sum of their rate constants: the
+	// per-molecule death hazard.
+	Sinks    []int
+	SinkRate float64
+	// Dependents are channels that use Species catalytically (it appears in
+	// their reactants with net change zero). While any dependent has
+	// positive propensity the analytic law is invalid — the simulator must
+	// fall back to exact stepping for the relay's channels.
+	Dependents []int
+}
+
+// NewPartition derives the fast/slow partition of net relative to the
+// protected species. A nil or empty protected set means no channel is
+// pinned slow structurally (relay detection still applies).
+func NewPartition(net *Network, protected []Species) *Partition {
+	numR := net.NumReactions()
+	numS := net.NumSpecies()
+	isProtected := make([]bool, numS)
+	for _, s := range protected {
+		isProtected[s] = true
+	}
+
+	// Net stoichiometry per reaction, and reactant incidence.
+	netDelta := make([][]int64, numR)
+	for i := 0; i < numR; i++ {
+		netDelta[i] = Delta(net.Reaction(i), numS)
+	}
+
+	// Pass 1: channels that net-change a protected species are slow.
+	touchesProtected := make([]bool, numR)
+	for i := 0; i < numR; i++ {
+		for s, d := range netDelta[i] {
+			if d != 0 && isProtected[s] {
+				touchesProtected[i] = true
+				break
+			}
+		}
+	}
+	// Guarded species: reactants of protected-touching channels. Channels
+	// net-changing a guarded species are slow too, so the propensities of
+	// the observable-writing channels are never stale.
+	guarded := make([]bool, numS)
+	for i := 0; i < numR; i++ {
+		if !touchesProtected[i] {
+			continue
+		}
+		for _, t := range net.Reaction(i).Reactants {
+			guarded[t.Species] = true
+		}
+	}
+	p := &Partition{
+		FastEligible: make([]bool, numR),
+		RelayHandled: make([]bool, numR),
+	}
+	for i := 0; i < numR; i++ {
+		eligible := !touchesProtected[i]
+		if eligible {
+			for s, d := range netDelta[i] {
+				if d != 0 && guarded[s] {
+					eligible = false
+					break
+				}
+			}
+		}
+		p.FastEligible[i] = eligible
+	}
+
+	// Relay detection. For species s to be a relay:
+	//   - s is not protected (protected species always step exactly);
+	//   - at least one fast-eligible sink: reactants exactly {s:1}, no
+	//     products;
+	//   - every channel with s among its reactants is either such a sink or
+	//     catalytic in s (net zero) — in particular no slow channel reads s,
+	//     so slow propensities are independent of the relay's state;
+	//   - every channel with net production of s is fast-eligible, does not
+	//     read s, has net stoichiometry exactly {s: +1}, and has no reactant
+	//     that any fast-eligible channel net-changes (so its propensity is
+	//     constant between exact events).
+	fastChanges := make([]bool, numS) // species net-changed by a fast-eligible channel
+	for i := 0; i < numR; i++ {
+		if !p.FastEligible[i] {
+			continue
+		}
+		for s, d := range netDelta[i] {
+			if d != 0 {
+				fastChanges[s] = true
+			}
+		}
+	}
+	hasReactant := func(i int, s Species) bool {
+		for _, t := range net.Reaction(i).Reactants {
+			if t.Species == s {
+				return true
+			}
+		}
+		return false
+	}
+	for s := Species(0); int(s) < numS; s++ {
+		if isProtected[s] {
+			continue
+		}
+		if r, ok := classifyRelay(net, s, netDelta, p.FastEligible, fastChanges, hasReactant); ok {
+			p.Relays = append(p.Relays, r)
+			for _, i := range r.Producers {
+				p.RelayHandled[i] = true
+			}
+			for _, i := range r.Sinks {
+				p.RelayHandled[i] = true
+			}
+		}
+	}
+	return p
+}
+
+// classifyRelay checks the relay conditions for species s and, on success,
+// returns the assembled Relay.
+func classifyRelay(net *Network, s Species, netDelta [][]int64, fastEligible []bool,
+	fastChanges []bool, hasReactant func(int, Species) bool) (Relay, bool) {
+	r := Relay{Species: s}
+	for i := 0; i < net.NumReactions(); i++ {
+		rx := net.Reaction(i)
+		if rx.Rate == 0 {
+			continue // can never fire; irrelevant to the relay's dynamics
+		}
+		reads := hasReactant(i, s)
+		produces := netDelta[i][s] > 0
+		switch {
+		case !reads && !produces:
+			// Unrelated channel.
+		case reads && isUnitSink(rx, s):
+			if !fastEligible[i] {
+				return Relay{}, false
+			}
+			r.Sinks = append(r.Sinks, i)
+			r.SinkRate += rx.Rate
+		case reads && netDelta[i][s] == 0:
+			// Catalytic dependent: legal, but gates analytic use.
+			r.Dependents = append(r.Dependents, i)
+		case reads:
+			// Reads s in a non-sink, non-catalytic way (e.g. a higher-order
+			// consumer, or a producer autocatalytic in s): not a relay.
+			return Relay{}, false
+		default: // pure producer
+			if !fastEligible[i] || !isUnitProducer(netDelta[i], s) ||
+				producerPerturbed(rx, fastChanges) {
+				return Relay{}, false
+			}
+			r.Producers = append(r.Producers, i)
+		}
+	}
+	return r, len(r.Sinks) > 0
+}
+
+// isUnitSink reports whether rx is exactly s → ∅: one unit of s as the sole
+// reactant and no products.
+func isUnitSink(rx *Reaction, s Species) bool {
+	return len(rx.Products) == 0 &&
+		len(rx.Reactants) == 1 &&
+		rx.Reactants[0].Species == s &&
+		rx.Reactants[0].Coeff == 1
+}
+
+// isUnitProducer reports whether the net stoichiometry is exactly {s: +1}.
+func isUnitProducer(delta []int64, s Species) bool {
+	for sp, d := range delta {
+		if Species(sp) == s {
+			if d != 1 {
+				return false
+			}
+		} else if d != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// producerPerturbed reports whether any reactant of the producer channel is
+// net-changed by a fast-eligible channel (which would make its propensity
+// drift inside a hybrid interval).
+func producerPerturbed(rx *Reaction, fastChanges []bool) bool {
+	for _, t := range rx.Reactants {
+		if fastChanges[t.Species] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,129 @@
+package lambda
+
+import (
+	"testing"
+
+	"stochsynth/internal/mc"
+	"stochsynth/internal/rng"
+	"stochsynth/internal/sim"
+)
+
+// chiSqCrit01 holds chi-square critical values at significance 0.01 by
+// degrees of freedom (the acceptance level of the hybrid equivalence
+// claim: the pooled homogeneity statistic must pass at p > 0.01).
+var chiSqCrit01 = map[int]float64{
+	1: 6.635, 2: 9.210, 3: 11.345, 4: 13.277, 5: 15.086,
+	6: 16.812, 7: 18.475, 8: 20.090, 9: 21.666, 10: 23.209,
+}
+
+// homogeneityChi2 is the pooled two-sample chi-square statistic (df = 1 for
+// two outcomes) comparing two tally vectors of equal trial counts.
+func homogeneityChi2(t *testing.T, a, b mc.Result, trials int) float64 {
+	t.Helper()
+	if a.None != 0 || b.None != 0 {
+		t.Fatalf("unresolved trials: %d / %d", a.None, b.None)
+	}
+	pooled := make([]float64, len(a.Counts))
+	for i := range pooled {
+		pooled[i] = float64(a.Counts[i]+b.Counts[i]) / float64(2*trials)
+	}
+	sa, err := mc.ChiSquare(a.Counts, pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := mc.ChiSquare(b.Counts, pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sa + sb
+}
+
+// TestHybridMatchesDirectAcrossMOI is the tentpole's exactness-in-practice
+// claim: the hybrid engine's lysis/lysogeny tallies on the 19-reaction
+// synthetic model must be homogeneous with Direct's at every MOI. Each MOI
+// contributes an independent df=1 homogeneity statistic; the pooled sum is
+// tested at significance 0.01 (the acceptance level) and each individual
+// MOI at 0.001 (the package's per-test convention, to keep the family-wise
+// false-alarm rate sane).
+func TestHybridMatchesDirectAcrossMOI(t *testing.T) {
+	mois := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	trials := 1200
+	if testing.Short() {
+		mois = []int64{1, 10}
+		trials = 300
+	}
+	direct := SyntheticModel().WithEngine(sim.EngineDirect)
+	hybrid := SyntheticModel().WithEngine(sim.EngineHybrid)
+	totalStat := 0.0
+	for i, moi := range mois {
+		d := direct.Characterize(moi, trials, mc.PointSeed(0xd12ec7, i))
+		h := hybrid.Characterize(moi, trials, mc.PointSeed(0x4b81d, i))
+		stat := homogeneityChi2(t, d, h, trials)
+		totalStat += stat
+		const crit999df1 = 10.828
+		if stat > crit999df1 {
+			t.Errorf("MOI %d: hybrid vs Direct differ: chi2 = %.3f > %.3f (direct %v, hybrid %v)",
+				moi, stat, crit999df1, d.Counts, h.Counts)
+		}
+		t.Logf("MOI %2d: chi2 = %6.3f  direct %v  hybrid %v", moi, stat, d.Counts, h.Counts)
+	}
+	crit := chiSqCrit01[len(mois)]
+	if totalStat > crit {
+		t.Errorf("pooled homogeneity chi2 over %d MOIs = %.2f > %.2f (p < 0.01)",
+			len(mois), totalStat, crit)
+	} else {
+		t.Logf("pooled chi2 = %.2f (crit %.2f at p=0.01, df=%d)", totalStat, crit, len(mois))
+	}
+}
+
+// TestHybridBatchesTheSyntheticHotPath pins why the hybrid is fast: the
+// partition must recognise the log-module clock/decay pair as a relay on
+// the relay species a, and a characterisation trial must batch the
+// overwhelming majority of its events (Direct burns ~50-70k events per
+// trial on this model, almost all of them the b → b + a clock and the
+// a → ∅ decay).
+func TestHybridBatchesTheSyntheticHotPath(t *testing.T) {
+	m := SyntheticModel().WithEngine(sim.EngineHybrid)
+	gen := rng.New(7)
+	h, ok := m.NewEngine(gen).(*sim.Hybrid)
+	if !ok {
+		t.Fatalf("NewEngine returned %T, want *sim.Hybrid", m.NewEngine(gen))
+	}
+	part := h.Partition()
+	if len(part.Relays) != 1 {
+		t.Fatalf("partition found %d relays, want 1 (the clock/decay pair): %+v",
+			len(part.Relays), part.Relays)
+	}
+	if got := m.Net.Name(part.Relays[0].Species); got != "a" {
+		t.Fatalf("relay species = %q, want the log module's transient a", got)
+	}
+	// The two working channels (the only writers of cro2/ci2) must be
+	// pinned slow; the clock and decay must be eligible.
+	for i := 0; i < m.Net.NumReactions(); i++ {
+		r := m.Net.Reaction(i)
+		switch r.Label {
+		case "working", "initializing", "reinforcing", "purifying":
+			if part.FastEligible[i] {
+				t.Errorf("%s channel %d must be slow", r.Label, i)
+			}
+		case "logarithm":
+			if !part.FastEligible[i] {
+				t.Errorf("logarithm channel %d must be fast-eligible", i)
+			}
+		}
+	}
+
+	classify := m.Classifier(5)
+	var fast int64
+	for i := 0; i < 10; i++ {
+		gen.Reseed(7, uint64(i))
+		if out := classify(h); out == mc.None {
+			t.Fatal("trial unresolved")
+		}
+		fast += h.FastEvents()
+	}
+	if fast < 10*10_000 {
+		t.Errorf("hybrid batched only %d events over 10 trials; want tens of thousands per trial", fast)
+	}
+	t.Logf("batched %d fast events over 10 trials (~%d per trial)", fast, fast/10)
+}

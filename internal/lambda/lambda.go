@@ -69,16 +69,48 @@ type Model struct {
 	Thresholds Thresholds
 	// MaxSteps bounds one trial (deadlock safety net).
 	MaxSteps int64
+	// Engine selects the simulation engine for Trial, Characterize and
+	// SweepMOI. The zero value keeps the historical defaults: Direct for
+	// the per-trial Trial path, OptimizedDirect for the engine-reuse
+	// Characterize path. Set sim.EngineHybrid to race the thresholds on
+	// the partitioned exact/tau-leap engine (the outcome species are
+	// passed as its protected set automatically).
+	Engine sim.EngineKind
+}
+
+// WithEngine returns a shallow copy of the model with the engine kind set —
+// convenient for registries and flag plumbing that must not mutate a shared
+// model.
+func (m *Model) WithEngine(kind sim.EngineKind) *Model {
+	c := *m
+	c.Engine = kind
+	return &c
+}
+
+// NewEngine builds the engine Characterize uses: the model's configured
+// kind, defaulting to OptimizedDirect. The outcome species are the
+// protected set for hybrid partitioning.
+func (m *Model) NewEngine(gen *rng.PCG) sim.Engine {
+	return sim.MustEngineOfKind(m.Engine, m.Net, m.protected(), gen)
+}
+
+func (m *Model) protected() []chem.Species {
+	return []chem.Species{m.Cro2, m.CI2}
 }
 
 // Trial returns an mc.Trial that runs one infection at the given MOI and
 // classifies the outcome (Lysis, Lysogeny, or mc.None on deadlock). It
-// builds a fresh engine per trial; the Monte Carlo hot path goes through
-// Characterize, which reuses one engine per worker instead.
+// builds a fresh engine per trial (Direct unless the model selects an
+// engine); the Monte Carlo hot path goes through Characterize, which
+// reuses one engine per worker instead.
 func (m *Model) Trial(moi int64) mc.Trial {
 	classify := m.Classifier(moi)
+	kind := m.Engine
+	if kind == "" {
+		kind = sim.EngineDirect
+	}
 	return func(gen *rng.PCG) int {
-		return classify(sim.NewDirect(m.Net, gen))
+		return classify(sim.MustEngineOfKind(kind, m.Net, m.protected(), gen))
 	}
 }
 
@@ -115,15 +147,16 @@ func (m *Model) Classifier(moi int64) func(eng sim.Engine) int {
 }
 
 // Characterize runs the Monte Carlo characterisation of one MOI point on
-// the engine-reuse path: each worker builds one OptimizedDirect engine
-// (dependency graph and propensity vectors allocated once) and Resets it
-// per trial. This is the paper's "100,000 trials" measurement loop and the
+// the engine-reuse path: each worker builds one engine of the model's
+// configured kind (OptimizedDirect by default; dependency graphs,
+// partitions and propensity vectors allocated once) and Resets it per
+// trial. This is the paper's "100,000 trials" measurement loop and the
 // package's hot path.
 func (m *Model) Characterize(moi int64, trials int, seed uint64) mc.Result {
 	classify := m.Classifier(moi)
 	return mc.RunWith(
 		mc.Config{Trials: trials, Outcomes: 2, Seed: seed},
-		func(gen *rng.PCG) sim.Engine { return sim.NewOptimizedDirect(m.Net, gen) },
+		m.NewEngine,
 		classify,
 	)
 }

@@ -59,8 +59,10 @@ func (p *PCG) Discrete(weights []float64) int {
 
 // Poisson returns a Poisson-distributed variate with the given mean.
 // It panics if mean < 0. Small means use Knuth's product method; large means
-// use the normal approximation with continuity correction (adequate for the
-// tau-leaping use case where mean >> 1 and exactness is already sacrificed).
+// use Hörmann's PTRS transformed-rejection sampler, which draws from the
+// true Poisson distribution at every mean (a rounded normal, used here
+// previously, has no skew and a truncated left tail — visible bias in
+// tau-leap counts).
 func (p *PCG) Poisson(mean float64) int64 {
 	switch {
 	case mean < 0 || math.IsNaN(mean):
@@ -77,18 +79,49 @@ func (p *PCG) Poisson(mean float64) int64 {
 		}
 		return n
 	default:
-		n := int64(math.Floor(p.Normal(mean, math.Sqrt(mean)) + 0.5))
-		if n < 0 {
-			n = 0
+		return p.poissonPTRS(mean)
+	}
+}
+
+// poissonPTRS samples Poisson(mean) by transformed rejection with squeeze
+// (Hörmann 1993, "The transformed rejection method for generating Poisson
+// random variables", algorithm PTRS). Valid for mean >= 10; used for
+// mean >= 30 where Knuth's product method starts to need many uniforms and
+// underflows exp(-mean). Exact: the accepted k follows the true Poisson law.
+func (p *PCG) poissonPTRS(mean float64) int64 {
+	smu := math.Sqrt(mean)
+	b := 0.931 + 2.53*smu
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logMean := math.Log(mean)
+	for {
+		u := p.Float64() - 0.5
+		v := p.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mean + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int64(k)
 		}
-		return n
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logMean-mean-lg {
+			return int64(k)
+		}
 	}
 }
 
 // Binomial returns the number of successes in n independent trials each
 // succeeding with probability prob. It panics if n < 0 or prob is outside
-// [0, 1]. Uses inversion for small n and a normal approximation for large n
-// with moderate p.
+// [0, 1]. Every regime samples the exact distribution: small n uses direct
+// inversion; large n with few expected successes (or failures) uses
+// geometric skip-sampling in O(min(np, n(1-p)) + 1); the remaining
+// large-n regime uses Hörmann's BTRS transformed rejection. The
+// skip-sampling path is what the hybrid engine's relay propagator leans
+// on: Binomial(10⁴ births, survival ≈ 10⁻¹⁰) must cost O(1), not O(n) —
+// and the relay's exactness claim is why no regime may approximate.
 func (p *PCG) Binomial(n int64, prob float64) int64 {
 	if n < 0 || prob < 0 || prob > 1 || math.IsNaN(prob) {
 		panic("rng: Binomial with invalid parameters")
@@ -99,8 +132,7 @@ func (p *PCG) Binomial(n int64, prob float64) int64 {
 	if prob == 1 {
 		return n
 	}
-	mean := float64(n) * prob
-	if n <= 64 || mean < 16 || float64(n)*(1-prob) < 16 {
+	if n <= 64 {
 		var k int64
 		for i := int64(0); i < n; i++ {
 			if p.Float64() < prob {
@@ -109,15 +141,72 @@ func (p *PCG) Binomial(n int64, prob float64) int64 {
 		}
 		return k
 	}
-	sd := math.Sqrt(mean * (1 - prob))
-	k := int64(math.Floor(p.Normal(mean, sd) + 0.5))
-	if k < 0 {
-		k = 0
+	mean := float64(n) * prob
+	switch {
+	case mean < 16:
+		return p.binomialSkip(n, prob)
+	case float64(n)*(1-prob) < 16:
+		return n - p.binomialSkip(n, 1-prob)
+	case prob <= 0.5:
+		return p.binomialBTRS(n, prob)
+	default:
+		return n - p.binomialBTRS(n, 1-prob)
 	}
-	if k > n {
-		k = n
+}
+
+// binomialBTRS samples Binomial(n, prob) for prob <= 0.5 with
+// n·prob >= 10 by transformed rejection with squeeze (Hörmann 1993, "The
+// generation of binomial random variates", algorithm BTRS). Exact: the
+// accepted k follows the true binomial law, with ~1.15 uniform pairs per
+// variate.
+func (p *PCG) binomialBTRS(n int64, prob float64) int64 {
+	nf := float64(n)
+	q := 1 - prob
+	spq := math.Sqrt(nf * prob * q)
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*prob
+	c := nf*prob + 0.5
+	vr := 0.92 - 4.2/b
+	alpha := (2.83 + 5.1/b) * spq
+	lpq := math.Log(prob / q)
+	m := math.Floor((nf + 1) * prob) // mode
+	lgM, _ := math.Lgamma(m + 1)
+	lgNM, _ := math.Lgamma(nf - m + 1)
+	h := lgM + lgNM
+	for {
+		u := p.Float64() - 0.5
+		v := p.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + c)
+		if k < 0 || k > nf {
+			continue
+		}
+		if us >= 0.07 && v <= vr {
+			return int64(k)
+		}
+		lgK, _ := math.Lgamma(k + 1)
+		lgNK, _ := math.Lgamma(nf - k + 1)
+		if math.Log(v*alpha/(a/(us*us)+b)) <= h-lgK-lgNK+(k-m)*lpq {
+			return int64(k)
+		}
 	}
-	return k
+}
+
+// binomialSkip counts successes by sampling the geometric gaps between them
+// (Devroye's "second waiting time" method): exact, with expected cost
+// O(np + 1).
+func (p *PCG) binomialSkip(n int64, prob float64) int64 {
+	logq := math.Log1p(-prob) // log(1-prob), stable for small prob
+	var k, i int64
+	for {
+		// Failures before the next success ~ Geometric(prob).
+		g := math.Log(p.Float64Open()) / logq
+		if g >= float64(n-i) { // next success would land beyond trial n
+			return k
+		}
+		i += int64(g) + 1
+		k++
+	}
 }
 
 // Shuffle randomises the order of the first n elements using swap, with the

@@ -107,12 +107,82 @@ func TestPoissonMean(t *testing.T) {
 			sum += float64(p.Poisson(mean))
 		}
 		got := sum / n
-		tol := 6 * math.Sqrt(mean/n)
-		if mean >= 30 {
-			tol += 0.5 // continuity correction bias allowance
-		}
-		if math.Abs(got-mean) > tol {
+		// PTRS samples the exact distribution, so no bias allowance is
+		// needed at any mean.
+		if tol := 6 * math.Sqrt(mean/n); math.Abs(got-mean) > tol {
 			t.Errorf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+}
+
+// poissonCellProbs returns the exact probabilities of the bins
+// (-inf, b0), [b0, b1), ..., [bLast, +inf) under Poisson(mean), summing the
+// pmf term by term over a +-8 sigma window.
+func poissonCellProbs(mean float64, bounds []int64) []float64 {
+	lo := int64(mean - 8*math.Sqrt(mean))
+	if lo < 0 {
+		lo = 0
+	}
+	hi := int64(mean+8*math.Sqrt(mean)) + 2
+	logMean := math.Log(mean)
+	probs := make([]float64, len(bounds)+1)
+	cell := 0
+	for k := lo; k <= hi; k++ {
+		for cell < len(bounds) && k >= bounds[cell] {
+			cell++
+		}
+		lg, _ := math.Lgamma(float64(k) + 1)
+		probs[cell] += math.Exp(float64(k)*logMean - mean - lg)
+	}
+	// Fold the mass outside the window into the edge cells so the
+	// probabilities sum to 1.
+	var total float64
+	for _, p := range probs {
+		total += p
+	}
+	probs[0] += (1 - total) / 2
+	probs[len(probs)-1] += (1 - total) / 2
+	return probs
+}
+
+// TestPoissonLargeMeanDistribution pins the PTRS regression: at means >= 30
+// the sampler must follow the true Poisson law, including the skewed tails
+// the old rounded-normal branch flattened. Pearson chi-square over bins at
+// mean + z*sqrt(mean), z in -2..2, significance 0.001.
+func TestPoissonLargeMeanDistribution(t *testing.T) {
+	const n = 60000
+	const crit999df9 = 27.877
+	p := New(35)
+	for _, mean := range []float64{30, 100, 1e4} {
+		sd := math.Sqrt(mean)
+		var bounds []int64
+		for z := -2.0; z <= 2.01; z += 0.5 {
+			bounds = append(bounds, int64(math.Ceil(mean+z*sd)))
+		}
+		probs := poissonCellProbs(mean, bounds)
+		counts := make([]int64, len(probs))
+		for i := 0; i < n; i++ {
+			k := p.Poisson(mean)
+			cell := 0
+			for cell < len(bounds) && k >= bounds[cell] {
+				cell++
+			}
+			counts[cell]++
+		}
+		stat := 0.0
+		for i, c := range counts {
+			expected := probs[i] * n
+			if expected < 5 {
+				t.Fatalf("mean %v: cell %d expected %.2f < 5; rebin", mean, i, expected)
+			}
+			d := float64(c) - expected
+			stat += d * d / expected
+		}
+		if stat > crit999df9 {
+			t.Errorf("Poisson(%v): chi2 = %.2f > %.2f (df=9, p=0.001)\ncounts: %v",
+				mean, stat, crit999df9, counts)
+		} else {
+			t.Logf("Poisson(%v): chi2 = %.2f (crit %.2f)", mean, stat, crit999df9)
 		}
 	}
 }
@@ -151,6 +221,140 @@ func TestBinomialMean(t *testing.T) {
 		sd := math.Sqrt(want * (1 - c.prob))
 		if math.Abs(got-want) > 6*sd/math.Sqrt(trials)+0.5 {
 			t.Errorf("Binomial(%d,%v) mean = %v, want ~%v", c.n, c.prob, got, want)
+		}
+	}
+}
+
+// TestBinomialSparseDistribution exercises the geometric skip-sampling path
+// (large n, few expected successes or failures) against the exact binomial
+// pmf with a chi-square test at significance 0.001.
+func TestBinomialSparseDistribution(t *testing.T) {
+	p := New(37)
+	const n = 40000
+	cases := []struct {
+		trials int64
+		prob   float64
+	}{
+		{100000, 3e-5}, // mean 3 successes: success-skip path
+		{100000, 1 - 3e-5},
+	}
+	for _, c := range cases {
+		// Bin the count of rare events (successes or failures) at 0..6, 7+.
+		rare := func(k int64) int64 {
+			if c.prob > 0.5 {
+				return c.trials - k
+			}
+			return k
+		}
+		pRare := math.Min(c.prob, 1-c.prob)
+		probs := make([]float64, 9)
+		lgN, _ := math.Lgamma(float64(c.trials) + 1)
+		for k := int64(0); k <= 7; k++ {
+			lgK, _ := math.Lgamma(float64(k) + 1)
+			lgNK, _ := math.Lgamma(float64(c.trials-k) + 1)
+			probs[k] = math.Exp(lgN - lgK - lgNK +
+				float64(k)*math.Log(pRare) + float64(c.trials-k)*math.Log1p(-pRare))
+		}
+		var tail float64
+		for _, q := range probs[:8] {
+			tail += q
+		}
+		probs[8] = 1 - tail
+		counts := make([]int64, 9)
+		for i := 0; i < n; i++ {
+			k := rare(p.Binomial(c.trials, c.prob))
+			if k > 8 {
+				k = 8
+			}
+			if k >= 7 {
+				counts[8]++ // 7+ merged with the open tail cell
+			} else {
+				counts[k]++
+			}
+		}
+		probs[8] += probs[7]
+		probs[7] = 0
+		stat := 0.0
+		for i, cnt := range counts {
+			expected := probs[i] * n
+			if i == 7 {
+				continue
+			}
+			if expected < 5 {
+				t.Fatalf("cell %d expected %.2f < 5; rebin", i, expected)
+			}
+			d := float64(cnt) - expected
+			stat += d * d / expected
+		}
+		const crit999df7 = 24.322
+		if stat > crit999df7 {
+			t.Errorf("Binomial(%d, %v): chi2 = %.2f > %.2f\ncounts %v",
+				c.trials, c.prob, stat, crit999df7, counts)
+		} else {
+			t.Logf("Binomial(%d, %v): chi2 = %.2f (crit %.2f)", c.trials, c.prob, stat, crit999df7)
+		}
+	}
+}
+
+// TestBinomialBTRSDistribution pins the large-n exact sampler (Hörmann's
+// BTRS, replacing the old rounded normal whose missing skew biased the
+// hybrid relay propagator's survivor counts): chi-square against the
+// exact binomial pmf, binned at mean + z·sd, significance 0.001.
+func TestBinomialBTRSDistribution(t *testing.T) {
+	p := New(39)
+	const n = 60000
+	cases := []struct {
+		trials int64
+		prob   float64
+	}{
+		{2000, 0.018}, // the relay-survivor regime: mean 36, strong skew
+		{500, 0.5},    // symmetric mid regime
+		{300, 0.9},    // mirrored branch (n - BTRS(1-p))
+	}
+	for _, c := range cases {
+		nf := float64(c.trials)
+		mean := nf * c.prob
+		sd := math.Sqrt(mean * (1 - c.prob))
+		var bounds []int64
+		for z := -2.0; z <= 2.01; z += 0.5 {
+			bounds = append(bounds, int64(math.Ceil(mean+z*sd)))
+		}
+		probs := make([]float64, len(bounds)+1)
+		lgN, _ := math.Lgamma(nf + 1)
+		for k := int64(0); k <= c.trials; k++ {
+			cell := 0
+			for cell < len(bounds) && k >= bounds[cell] {
+				cell++
+			}
+			lgK, _ := math.Lgamma(float64(k) + 1)
+			lgNK, _ := math.Lgamma(nf - float64(k) + 1)
+			probs[cell] += math.Exp(lgN - lgK - lgNK +
+				float64(k)*math.Log(c.prob) + (nf-float64(k))*math.Log1p(-c.prob))
+		}
+		counts := make([]int64, len(probs))
+		for i := 0; i < n; i++ {
+			k := p.Binomial(c.trials, c.prob)
+			cell := 0
+			for cell < len(bounds) && k >= bounds[cell] {
+				cell++
+			}
+			counts[cell]++
+		}
+		stat := 0.0
+		for i, cnt := range counts {
+			expected := probs[i] * n
+			if expected < 5 {
+				t.Fatalf("Binomial(%d,%v): cell %d expected %.2f < 5; rebin", c.trials, c.prob, i, expected)
+			}
+			d := float64(cnt) - expected
+			stat += d * d / expected
+		}
+		const crit999df9 = 27.877
+		if stat > crit999df9 {
+			t.Errorf("Binomial(%d, %v): chi2 = %.2f > %.2f\ncounts %v",
+				c.trials, c.prob, stat, crit999df9, counts)
+		} else {
+			t.Logf("Binomial(%d, %v): chi2 = %.2f (crit %.2f)", c.trials, c.prob, stat, crit999df9)
 		}
 	}
 }

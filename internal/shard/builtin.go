@@ -11,51 +11,52 @@ import (
 )
 
 // Builtin sweep ids. The parameter of the lambda sweeps is the MOI (an
-// integer-valued grid point); the Figure 3 sweep's parameter is γ.
+// integer-valued grid point); the Figure 3 sweeps' parameter is γ.
 const (
-	SweepLambdaSynthetic = "lambda/synthetic"
-	SweepLambdaNatural   = "lambda/natural"
-	SweepFig3Error       = "synth/fig3-error"
+	SweepLambdaSynthetic       = "lambda/synthetic"
+	SweepLambdaSyntheticHybrid = "lambda/synthetic-hybrid"
+	SweepLambdaNatural         = "lambda/natural"
+	SweepFig3Error             = "synth/fig3-error"
+	SweepFig3ErrorHybrid       = "synth/fig3-error-hybrid"
 )
 
 // Builtin returns a fresh registry holding the repository's named sweeps:
 //
 //   - lambda/synthetic — the synthesised lambda model's lysis/lysogeny
 //     race (outcome 0 lysis, 1 lysogeny; param = MOI).
+//   - lambda/synthetic-hybrid — the same race on the partitioned
+//     exact/tau-leap engine (sim.Hybrid): same outcome distribution,
+//     ~tens of times the trial throughput (see docs/engines.md).
 //   - lambda/natural — the natural-model surrogate's race, the trial
 //     behind Model.Characterize and the Figure 5 sweep (param = MOI).
 //   - synth/fig3-error — the Figure 3 stochastic-module error experiment
 //     (outcome 1 = trial in error; param = γ).
+//   - synth/fig3-error-hybrid — Figure 3 on the hybrid engine.
 //
-// All three rebuild the exact engine-reuse trial bodies of the
-// single-process paths, so sharded runs merge bit-for-bit with them.
+// The non-hybrid sweeps rebuild the exact engine-reuse trial bodies of the
+// single-process paths, so sharded runs merge bit-for-bit with them; the
+// hybrid sweeps are equivalent in distribution, not bit-for-bit (different
+// randomness consumption), and their shards still merge exactly among
+// themselves.
 func Builtin() *Registry {
 	reg := NewRegistry()
 	reg.Register(SweepLambdaSynthetic, lambdaFactory(func() (*lambda.Model, error) {
 		return lambda.SyntheticModel(), nil
 	}))
+	reg.Register(SweepLambdaSyntheticHybrid, lambdaFactory(func() (*lambda.Model, error) {
+		return lambda.SyntheticModel().WithEngine(sim.EngineHybrid), nil
+	}))
 	reg.Register(SweepLambdaNatural, lambdaFactory(func() (*lambda.Model, error) {
 		return lambda.NaturalModel(lambda.NaturalParams{})
 	}))
-	reg.Register(SweepFig3Error, Factory{
-		Outcomes: 2,
-		Outcome: func(gamma float64) (OutcomeTrial, error) {
-			mod, err := synth.Figure3Spec(gamma).Build()
-			if err != nil {
-				return OutcomeTrial{}, err
-			}
-			classify := synth.Figure3Classifier(mod)
-			return OutcomeTrial{
-				NewEngine: func(gen *rng.PCG) any { return sim.NewOptimizedDirect(mod.Net, gen) },
-				Classify:  func(eng any) int { return classify(eng.(sim.Engine)) },
-			}, nil
-		},
-	})
+	reg.Register(SweepFig3Error, fig3Factory(""))
+	reg.Register(SweepFig3ErrorHybrid, fig3Factory(sim.EngineHybrid))
 	return reg
 }
 
 // lambdaFactory adapts a lambda model constructor into a tally factory
-// whose parameter is the MOI.
+// whose parameter is the MOI. The engine comes from the model (its
+// configured kind, OptimizedDirect by default).
 func lambdaFactory(build func() (*lambda.Model, error)) Factory {
 	return Factory{
 		Outcomes: 2,
@@ -70,8 +71,30 @@ func lambdaFactory(build func() (*lambda.Model, error)) Factory {
 			}
 			classify := m.Classifier(moi)
 			return OutcomeTrial{
-				NewEngine: func(gen *rng.PCG) any { return sim.NewOptimizedDirect(m.Net, gen) },
+				NewEngine: func(gen *rng.PCG) any { return m.NewEngine(gen) },
 				Classify:  func(eng any) int { return classify(eng.(sim.Engine)) },
+			}, nil
+		},
+	}
+}
+
+// fig3Factory builds the Figure 3 error-rate sweep on the given engine kind
+// (empty = OptimizedDirect).
+func fig3Factory(kind sim.EngineKind) Factory {
+	return Factory{
+		Outcomes: 2,
+		Outcome: func(gamma float64) (OutcomeTrial, error) {
+			mod, err := synth.Figure3Spec(gamma).Build()
+			if err != nil {
+				return OutcomeTrial{}, err
+			}
+			classify := synth.Figure3Classifier(mod)
+			protected := mod.ProtectedSpecies()
+			return OutcomeTrial{
+				NewEngine: func(gen *rng.PCG) any {
+					return sim.MustEngineOfKind(kind, mod.Net, protected, gen)
+				},
+				Classify: func(eng any) int { return classify(eng.(sim.Engine)) },
 			}, nil
 		},
 	}

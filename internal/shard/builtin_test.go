@@ -1,0 +1,38 @@
+package shard
+
+import (
+	"testing"
+)
+
+// TestHybridSweepShardsMergeBitwise: the hybrid engine draws each trial's
+// randomness from the stream (seed, trial index) exactly like the exact
+// engines, so hybrid sweeps must merge bit-for-bit across any shard count
+// — the same exactness contract the sharding protocol gives every builtin.
+func TestHybridSweepShardsMergeBitwise(t *testing.T) {
+	spec := SweepSpec{
+		Sweep: SweepLambdaSyntheticHybrid, Grid: []float64{1, 5},
+		Trials: 300, Seed: 9, Outcomes: 2,
+	}
+	reg := Builtin()
+	one, err := Coordinate(spec, 1, LocalRunner(reg), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Coordinate(spec, 4, LocalRunner(reg), Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range spec.Grid {
+		a, err := one.ResultAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := four.ResultAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Counts[0] != b.Counts[0] || a.Counts[1] != b.Counts[1] || a.None != b.None {
+			t.Fatalf("grid point %d: shards=1 %v vs shards=4 %v", i, a, b)
+		}
+	}
+}

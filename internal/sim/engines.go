@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/rng"
+)
+
+// EngineKind names a simulation engine so callers (experiment constructors,
+// the shard registry, command-line flags) can select one without linking
+// against the concrete types.
+type EngineKind string
+
+// The engine lineup. See docs/engines.md for the exactness guarantee each
+// kind carries and when to use it.
+const (
+	// EngineDirect is Gillespie's direct method: exact, recompute
+	// everything, the reference implementation.
+	EngineDirect EngineKind = "direct"
+	// EngineOptimizedDirect is the direct method with a dependency graph:
+	// exact, the default Monte Carlo workhorse.
+	EngineOptimizedDirect EngineKind = "optimized"
+	// EngineFirstReaction is Gillespie's first-reaction method: exact,
+	// a cross-validation oracle.
+	EngineFirstReaction EngineKind = "first-reaction"
+	// EngineNextReaction is Gibson-Bruck: exact, indexed priority queue.
+	EngineNextReaction EngineKind = "next-reaction"
+	// EngineHybrid is the partitioned exact/tau-leap engine: exact on the
+	// protected (outcome) marginal whenever the fast channels do not write
+	// slow reactants, epsilon-accurate otherwise, and orders of magnitude
+	// faster on clock-dominated networks.
+	EngineHybrid EngineKind = "hybrid"
+)
+
+// EngineKinds lists every selectable kind, in documentation order.
+func EngineKinds() []EngineKind {
+	return []EngineKind{
+		EngineDirect, EngineOptimizedDirect, EngineFirstReaction,
+		EngineNextReaction, EngineHybrid,
+	}
+}
+
+// ParseEngineKind validates a user-supplied engine name. The empty string
+// is accepted and returned as-is: it means "the caller's default".
+func ParseEngineKind(s string) (EngineKind, error) {
+	if s == "" {
+		return "", nil
+	}
+	for _, k := range EngineKinds() {
+		if EngineKind(s) == k {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("sim: unknown engine %q (known: %v)", s, EngineKinds())
+}
+
+// NewEngineOfKind builds an engine of the given kind over net at the
+// default initial state. protected lists the outcome/threshold species a
+// hybrid engine must keep exact; the exact engines ignore it. An empty
+// kind defaults to EngineOptimizedDirect.
+func NewEngineOfKind(kind EngineKind, net *chem.Network, protected []chem.Species, gen *rng.PCG) (Engine, error) {
+	switch kind {
+	case EngineDirect:
+		return NewDirect(net, gen), nil
+	case "", EngineOptimizedDirect:
+		return NewOptimizedDirect(net, gen), nil
+	case EngineFirstReaction:
+		return NewFirstReaction(net, gen), nil
+	case EngineNextReaction:
+		return NewNextReaction(net, gen), nil
+	case EngineHybrid:
+		return NewHybrid(net, protected, gen), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown engine kind %q", kind)
+	}
+}
+
+// MustEngineOfKind is NewEngineOfKind for callers that have already
+// validated the kind (engine factories inside worker loops); it panics on
+// an unknown kind.
+func MustEngineOfKind(kind EngineKind, net *chem.Network, protected []chem.Species, gen *rng.PCG) Engine {
+	eng, err := NewEngineOfKind(kind, net, protected, gen)
+	if err != nil {
+		panic(err)
+	}
+	return eng
+}

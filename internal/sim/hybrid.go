@@ -1,0 +1,510 @@
+package sim
+
+import (
+	"math"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/rng"
+)
+
+// Hybrid is a partitioned exact/approximate engine: channels are classified
+// (chem.NewPartition) as *slow* — stepped as an exact next-event race — or
+// *fast* — batched between slow events. Fast channels come in two kinds:
+//
+//   - Relay subsystems (constant-rate production feeding first-order decay,
+//     like the synthesised logarithm module's b → b + a clock and its a → ∅
+//     partner) are advanced with the exact closed-form transient law of the
+//     immigration-death process: Poisson births thinned by exponential
+//     survival. No approximation at all.
+//   - Other fast-eligible channels are tau-leaped with the same
+//     Cao–Gillespie–Petzold step control as TauLeap — but only while their
+//     propensity dwarfs the slow set's (cold fast channels simply join the
+//     exact race, which costs nothing and stays exact).
+//
+// Slow waiting times are conditioned on the frozen-fast propensity
+// integral: a unit-exponential budget is spent across leap sub-intervals at
+// the slow set's piecewise-frozen total propensity, so fast channels that
+// do perturb slow reactants are felt at leap resolution (bounded by
+// Epsilon) rather than ignored.
+//
+// Exactness: when no fast channel net-changes any reactant of a slow
+// channel — true for the synthesised lambda model's hot phases, where the
+// only high-throughput channels are the clock/decay relay — the slow
+// marginal (and therefore any outcome statistic over protected species) is
+// distributed exactly as under Direct. Otherwise the slow marginal is
+// ε-accurate per leap. Protected species themselves are always written by
+// exact steps only.
+//
+// Engine-contract deviations, both deliberate:
+//
+//   - On Horizon, fast species have advanced to the horizon (exact engines
+//     leave the state untouched). The relay law and leap chunks are Markov,
+//     so continued stepping remains correct; observers see fast counts at
+//     the times they look, which is what time-grid ensembles need.
+//   - A state whose remaining activity is all relay-internal (e.g. a clock
+//     ticking into a drain that no slow channel can ever read) reports
+//     Quiescent under an infinite horizon: the slow marginal is frozen
+//     forever, even though Direct would burn events indefinitely.
+//
+// Step reports only slow/exact firings (the decision events); batched
+// firings are tallied in FastEvents. Like every engine here, a Hybrid is
+// deterministic given a seeded generator and not safe for concurrent use.
+type Hybrid struct {
+	net    *chem.Network
+	rxns   []chem.Reaction
+	gen    *rng.PCG
+	part   *chem.Partition
+	deltas [][]int64
+	state  chem.State
+	t      float64
+
+	// Epsilon is the relative propensity-change bound per leap for
+	// generically-leaped channels (default 0.03, as TauLeap).
+	Epsilon float64
+	// LeapFactor is how many times the exact set's total propensity the
+	// fast set must reach before generic leaping engages (default 10);
+	// below it, fast channels are stepped exactly, which is both cheaper
+	// and exact.
+	LeapFactor float64
+
+	prop           []float64
+	relayActive    []bool
+	relayRate      []float64 // per relay: summed producer propensity λ
+	relayOfChannel []int     // channel → owning relay index, or -1
+	isRelaySpecies []bool
+	inLeap         []bool // channel in this iteration's generic leap set
+	counts         []int64
+	drift          []float64
+	sigma2         []float64
+	next           chem.State
+	fastEvents     int64
+
+	// cgpTau selectors, built once so the hot path never allocates.
+	leapContributes func(i int) bool
+	leapBounds      func(i int) bool
+}
+
+// NewHybrid returns a Hybrid engine over net at the default initial state.
+// protected lists the outcome/threshold species whose distribution must be
+// exact; every channel that writes them (or their immediate propensity
+// inputs) is pinned to the exact set. The partition is derived once at
+// construction, so one engine can be reused across Monte Carlo trials.
+func NewHybrid(net *chem.Network, protected []chem.Species, gen *rng.PCG) *Hybrid {
+	h := &Hybrid{
+		net:        net,
+		rxns:       net.Reactions(),
+		gen:        gen,
+		part:       chem.NewPartition(net, protected),
+		Epsilon:    0.03,
+		LeapFactor: 10,
+		prop:       make([]float64, net.NumReactions()),
+		inLeap:     make([]bool, net.NumReactions()),
+		counts:     make([]int64, net.NumReactions()),
+		drift:      make([]float64, net.NumSpecies()),
+		sigma2:     make([]float64, net.NumSpecies()),
+		next:       make(chem.State, net.NumSpecies()),
+	}
+	h.relayActive = make([]bool, len(h.part.Relays))
+	h.relayRate = make([]float64, len(h.part.Relays))
+	h.isRelaySpecies = make([]bool, net.NumSpecies())
+	h.relayOfChannel = make([]int, net.NumReactions())
+	for i := range h.relayOfChannel {
+		h.relayOfChannel[i] = -1
+	}
+	for k, r := range h.part.Relays {
+		h.isRelaySpecies[r.Species] = true
+		for _, i := range r.Producers {
+			h.relayOfChannel[i] = k
+		}
+		for _, i := range r.Sinks {
+			h.relayOfChannel[i] = k
+		}
+	}
+	h.deltas = make([][]int64, net.NumReactions())
+	for i := 0; i < net.NumReactions(); i++ {
+		h.deltas[i] = chem.Delta(net.Reaction(i), net.NumSpecies())
+	}
+	h.leapContributes = func(i int) bool { return h.inLeap[i] }
+	h.leapBounds = func(i int) bool { return !h.relayHandledActive(i) }
+	h.Reset(net.InitialState(), 0)
+	return h
+}
+
+// Network returns the simulated network.
+func (h *Hybrid) Network() *chem.Network { return h.net }
+
+// State returns the live state vector (read-only for callers).
+func (h *Hybrid) State() chem.State { return h.state }
+
+// Time returns the current simulation time.
+func (h *Hybrid) Time() float64 { return h.t }
+
+// FastEvents returns the cumulative number of batched (relay and leaped)
+// firings since the last Reset — the events an exact engine would have
+// stepped one by one.
+func (h *Hybrid) FastEvents() int64 { return h.fastEvents }
+
+// Partition exposes the derived channel partition (read-only).
+func (h *Hybrid) Partition() *chem.Partition { return h.part }
+
+// Reset repositions the engine at a copy of state and time t.
+func (h *Hybrid) Reset(state chem.State, t float64) {
+	if len(state) != h.net.NumSpecies() {
+		panic("sim: state length does not match network species count")
+	}
+	if h.state == nil {
+		h.state = make(chem.State, len(state))
+	}
+	copy(h.state, state)
+	h.t = t
+	h.fastEvents = 0
+}
+
+// refresh recomputes all propensities and relay activity, returning the
+// exact-set and leap-set totals for this iteration.
+func (h *Hybrid) refresh() (aExact, aLeap float64) {
+	for i := range h.rxns {
+		h.prop[i] = chem.Propensity(&h.rxns[i], h.state)
+	}
+	// A relay is analytic only while each catalytic dependent is blocked by
+	// a missing non-relay reactant: then the dependent cannot fire no
+	// matter how the relay count evolves, and nothing outside the relay
+	// reads its species.
+	for k := range h.part.Relays {
+		r := &h.part.Relays[k]
+		active := true
+		for _, dep := range r.Dependents {
+			if !h.blockedBesides(dep, r.Species) {
+				active = false
+				break
+			}
+		}
+		h.relayActive[k] = active
+		h.relayRate[k] = 0
+		if active {
+			for _, pr := range r.Producers {
+				h.relayRate[k] += h.prop[pr]
+			}
+		}
+	}
+	// Classify the remaining channels. Fast-eligible channels form the leap
+	// candidate pool; whether the pool actually leaps is decided by the
+	// caller from the totals.
+	for i := range h.rxns {
+		h.inLeap[i] = false
+		if h.relayHandledActive(i) {
+			continue
+		}
+		if h.part.FastEligible[i] {
+			aLeap += h.prop[i]
+			h.inLeap[i] = true
+		} else {
+			aExact += h.prop[i]
+		}
+	}
+	return aExact, aLeap
+}
+
+// relayHandledActive reports whether channel i belongs to a currently
+// active relay (and is therefore advanced analytically this iteration).
+func (h *Hybrid) relayHandledActive(i int) bool {
+	k := h.relayOfChannel[i]
+	return k >= 0 && h.relayActive[k]
+}
+
+// blockedBesides reports whether reaction i lacks some reactant other than
+// species s, where the blocker is itself no relay species (a relay count
+// can rise spontaneously during analytic propagation, so it can never be
+// trusted to keep a dependent blocked).
+func (h *Hybrid) blockedBesides(i int, s chem.Species) bool {
+	for _, term := range h.rxns[i].Reactants {
+		if term.Species == s || h.isRelaySpecies[term.Species] {
+			continue
+		}
+		if h.state[term.Species] < term.Coeff {
+			return true
+		}
+	}
+	return false
+}
+
+// demoteLeaps moves every leap-set channel into the exact set.
+func (h *Hybrid) demoteLeaps() {
+	for i := range h.inLeap {
+		h.inLeap[i] = false
+	}
+}
+
+// Step implements Engine: it advances fast channels (analytically or by
+// leaps) until the next slow/exact firing, which it applies and reports.
+func (h *Hybrid) Step(horizon float64) (int, StepStatus) {
+	// Unit-exponential budget for the exact race, spent across leap
+	// sub-intervals at the piecewise-frozen exact-set propensity. Drawn
+	// lazily: the common all-exact step pays a single Exp draw, like
+	// Direct. (Memorylessness makes the fresh draw in the exact branch
+	// equivalent to continuing a partially spent budget.)
+	budget := -1.0
+	spent := 0.0
+	const maxIters = 1 << 10
+	for iter := 0; ; iter++ {
+		aExact, aLeap := h.refresh()
+		if aExact <= 0 && aLeap <= 0 {
+			// Only relay-internal activity (possibly none) remains; the
+			// slow marginal is frozen.
+			if math.IsInf(horizon, 1) {
+				return -1, Quiescent
+			}
+			if dt := horizon - h.t; dt > 0 {
+				h.propagateRelays(dt)
+			}
+			h.t = horizon
+			return -1, Horizon
+		}
+
+		leaping := aLeap > 0 && aLeap >= h.LeapFactor*aExact && iter < maxIters
+		var tauLeap float64
+		if leaping {
+			tauLeap = h.selectLeapTau(aLeap)
+			if tauLeap*aLeap < h.LeapFactor {
+				leaping = false // too few batched firings to pay for a leap
+			}
+		}
+		if !leaping {
+			// Exact next-event race over every non-relay channel.
+			h.demoteLeaps()
+			total := aExact + aLeap
+			dt := h.gen.Exp(total)
+			if h.t+dt > horizon {
+				if rem := horizon - h.t; rem > 0 {
+					h.propagateRelays(rem)
+				}
+				h.t = horizon
+				return -1, Horizon
+			}
+			h.propagateRelays(dt)
+			h.t += dt
+			fired := h.pickExact(total)
+			if fired < 0 {
+				return -1, Quiescent // unreachable: total > 0
+			}
+			h.state.Apply(&h.rxns[fired])
+			return fired, Fired
+		}
+
+		// Leap sub-interval: cap τ by the remaining slow budget and the
+		// horizon; fire Poisson counts for the leap set; spend the budget
+		// at the frozen exact-set propensity.
+		if budget < 0 {
+			budget = h.gen.Exp(1)
+		}
+		remaining := math.Inf(1)
+		if aExact > 0 {
+			remaining = (budget - spent) / aExact
+		}
+		tau := tauLeap
+		slowLimited := false
+		if remaining <= tau {
+			tau = remaining
+			slowLimited = true
+		}
+		horizonLimited := false
+		if h.t+tau >= horizon {
+			tau = horizon - h.t
+			horizonLimited = true
+			slowLimited = false
+		}
+		if tau > 0 {
+			applied, ok := h.fireLeaps(tau)
+			if !ok {
+				// Negative excursion that halving could not fix: abandon
+				// the leap attempt and take one guaranteed exact step.
+				return h.exactFallback(horizon)
+			}
+			if applied < tau {
+				// Rejection halved the chunk: neither the slow budget nor
+				// the horizon was reached within the applied sub-chunk, so
+				// book only what happened and keep going.
+				horizonLimited = false
+				slowLimited = false
+				tau = applied
+			}
+			h.propagateRelays(tau)
+			h.t += tau
+			spent += aExact * tau
+		}
+		switch {
+		case horizonLimited:
+			h.t = horizon
+			return -1, Horizon
+		case slowLimited:
+			// The budget ran out inside this chunk: an exact-set channel
+			// fires now, selected in proportion to the post-chunk
+			// propensities (the chunk's fast updates are already applied).
+			aExact, _ = h.refreshExactOnly()
+			if aExact <= 0 {
+				continue // leaps starved the exact set; race again
+			}
+			fired := h.pickExact(aExact)
+			if fired < 0 {
+				continue
+			}
+			h.state.Apply(&h.rxns[fired])
+			return fired, Fired
+		}
+		// τ was CGP-limited: keep leaping against the remaining budget.
+	}
+}
+
+// refreshExactOnly recomputes propensities and returns the exact-set total
+// under the current (already computed) classification.
+func (h *Hybrid) refreshExactOnly() (aExact, aLeap float64) {
+	for i := range h.rxns {
+		h.prop[i] = chem.Propensity(&h.rxns[i], h.state)
+		if h.relayHandledActive(i) {
+			continue
+		}
+		if h.inLeap[i] {
+			aLeap += h.prop[i]
+		} else {
+			aExact += h.prop[i]
+		}
+	}
+	return aExact, aLeap
+}
+
+// pickExact selects a non-relay, non-leap channel in proportion to the
+// current propensities, or -1 if none is positive.
+func (h *Hybrid) pickExact(total float64) int {
+	target := h.gen.Float64() * total
+	acc := 0.0
+	last := -1
+	for i := range h.rxns {
+		if h.inLeap[i] || h.relayHandledActive(i) {
+			continue
+		}
+		a := h.prop[i]
+		if a <= 0 {
+			continue
+		}
+		acc += a
+		last = i
+		if target < acc {
+			return i
+		}
+	}
+	return last // floating-point slack: last positive channel
+}
+
+// selectLeapTau is the shared Cao–Gillespie–Petzold bound (cgpTau)
+// restricted to the leap set, with relay-handled channels' reactants
+// exempt from the bound (the propagator owns them).
+func (h *Hybrid) selectLeapTau(aLeap float64) float64 {
+	tau := cgpTau(h.rxns, h.deltas, h.prop, h.state, h.Epsilon, h.drift, h.sigma2,
+		h.leapContributes, h.leapBounds)
+	if math.IsInf(tau, 1) {
+		// Leap channels whose products nothing consumes: any τ is safe;
+		// scale to a healthy batch.
+		tau = 4 * h.LeapFactor / aLeap
+	}
+	return tau
+}
+
+// fireLeaps draws Poisson counts for the leap set over tau and applies them
+// if no species goes negative, halving tau on rejection. It returns the
+// chunk length actually applied (possibly smaller than requested; the
+// caller books time and slow budget for the applied length and retries the
+// remainder at fresh propensities) and whether any application succeeded.
+func (h *Hybrid) fireLeaps(tau float64) (applied float64, ok bool) {
+	for attempt := 0; attempt < 30; attempt++ {
+		var n int64
+		for i := range h.rxns {
+			if h.inLeap[i] && h.prop[i] > 0 {
+				h.counts[i] = h.gen.Poisson(h.prop[i] * tau)
+				n += h.counts[i]
+			} else {
+				h.counts[i] = 0
+			}
+		}
+		copy(h.next, h.state)
+		for i, k := range h.counts {
+			if k == 0 {
+				continue
+			}
+			for s, d := range h.deltas[i] {
+				h.next[s] += d * k
+			}
+		}
+		if h.next.NonNegative() {
+			copy(h.state, h.next)
+			h.fastEvents += n
+			return tau, true
+		}
+		tau /= 2
+	}
+	return 0, false
+}
+
+// exactFallback performs one exact step over every non-relay channel —
+// guaranteed progress when leaping repeatedly rejects.
+func (h *Hybrid) exactFallback(horizon float64) (int, StepStatus) {
+	h.demoteLeaps()
+	aExact, _ := h.refreshExactOnly()
+	if aExact <= 0 {
+		return -1, Quiescent
+	}
+	dt := h.gen.Exp(aExact)
+	if h.t+dt > horizon {
+		if rem := horizon - h.t; rem > 0 {
+			h.propagateRelays(rem)
+		}
+		h.t = horizon
+		return -1, Horizon
+	}
+	h.propagateRelays(dt)
+	h.t += dt
+	fired := h.pickExact(aExact)
+	if fired < 0 {
+		return -1, Quiescent
+	}
+	h.state.Apply(&h.rxns[fired])
+	return fired, Fired
+}
+
+// propagateRelays advances every active relay over dt with the exact
+// immigration-death transient: of x current molecules each survives with
+// probability e^{-μ dt}; births are Poisson(λ dt) and each survives with
+// the uniform-arrival probability (1 - e^{-μ dt})/(μ dt).
+func (h *Hybrid) propagateRelays(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	for k := range h.part.Relays {
+		if !h.relayActive[k] {
+			continue
+		}
+		r := &h.part.Relays[k]
+		s := r.Species
+		x := h.state[s]
+		lam := h.relayRate[k]
+		mu := r.SinkRate
+		if x == 0 && lam <= 0 {
+			continue
+		}
+		mdt := mu * dt
+		pSurv := math.Exp(-mdt)
+		var births, s0, sb int64
+		if lam > 0 {
+			births = h.gen.Poisson(lam * dt)
+		}
+		if x > 0 {
+			s0 = h.gen.Binomial(x, pSurv)
+		}
+		if births > 0 {
+			pBar := -math.Expm1(-mdt) / mdt
+			sb = h.gen.Binomial(births, pBar)
+		}
+		deaths := x - s0 + births - sb
+		h.state[s] = s0 + sb
+		h.fastEvents += births + deaths
+	}
+}

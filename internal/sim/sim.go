@@ -12,6 +12,10 @@
 //     cross-validation oracle (it consumes randomness very differently).
 //   - NextReaction: Gibson & Bruck (2000) — exact, indexed priority queue
 //     plus dependency graph, one exponential variate per event.
+//   - Hybrid: partitioned exact/tau-leap engine — exact next-event race
+//     over the channels that decide the observable, analytic relay
+//     propagation and CGP-controlled leaping for the high-throughput rest
+//     (see docs/engines.md for the exactness guarantee).
 //   - TauLeap: explicit tau-leaping — approximate, Poisson-batches many
 //     firings per step; not an Engine (different granularity) but shares the
 //     same stop conditions.

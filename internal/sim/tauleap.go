@@ -9,16 +9,21 @@ import (
 
 // TauLeap is an explicit tau-leaping accelerator: it advances the trajectory
 // by a leap τ chosen so that no propensity changes by more than a fraction
-// Epsilon (Cao–Gillespie–Petzold step-size control, simplified to bound the
-// relative change of each species used as a reactant), firing a Poisson
-// number of each channel per leap. Leaps that would drive a count negative
-// are rejected and retried at τ/2; when τ collapses below a few exact steps'
-// worth, it falls back to single exact firings.
+// Epsilon (Cao–Gillespie–Petzold step-size control: both the mean drift and
+// the second moment of each reactant species' change are bounded, so
+// opposing high-flux channels whose drifts cancel still constrain τ through
+// their variance), firing a Poisson number of each channel per leap. Leaps
+// that would drive a count negative are rejected and retried at τ/2; when τ
+// collapses below a few exact steps' worth, it falls back to single exact
+// firings.
 //
 // Tau-leaping is approximate: it trades distributional exactness for speed
-// on networks with large counts. The library uses it only for mean-field
-// sanity sweeps and benchmarks; all reported experiment statistics come from
-// exact engines.
+// on networks with large counts. The library uses it for mean-field sanity
+// sweeps, benchmarks, and as the generic batching layer inside Hybrid; all
+// reported experiment statistics come from exact or hybrid engines.
+//
+// A TauLeap allocates all of its scratch state at construction; Leap itself
+// is allocation-free.
 type TauLeap struct {
 	net     *chem.Network
 	gen     *rng.PCG
@@ -27,6 +32,12 @@ type TauLeap struct {
 	prop    []float64
 	deltas  [][]int64
 	Epsilon float64 // relative-change bound per leap (default 0.03)
+
+	// Reusable scratch buffers (hoisted so Leap performs zero allocations).
+	counts []int64   // Poisson firings per channel within one attempt
+	drift  []float64 // per-species mean change rate Σ a·d
+	sigma2 []float64 // per-species change variance rate Σ a·d²
+	next   chem.State
 }
 
 // NewTauLeap returns a TauLeap accelerator over net at the default initial
@@ -37,6 +48,10 @@ func NewTauLeap(net *chem.Network, gen *rng.PCG) *TauLeap {
 		gen:     gen,
 		prop:    make([]float64, net.NumReactions()),
 		Epsilon: 0.03,
+		counts:  make([]int64, net.NumReactions()),
+		drift:   make([]float64, net.NumSpecies()),
+		sigma2:  make([]float64, net.NumSpecies()),
+		next:    make(chem.State, net.NumSpecies()),
 	}
 	tl.deltas = make([][]int64, net.NumReactions())
 	for i := 0; i < net.NumReactions(); i++ {
@@ -60,7 +75,10 @@ func (tl *TauLeap) Reset(state chem.State, t float64) {
 	if len(state) != tl.net.NumSpecies() {
 		panic("sim: state length does not match network species count")
 	}
-	tl.state = state.Clone()
+	if tl.state == nil {
+		tl.state = make(chem.State, len(state))
+	}
+	copy(tl.state, state)
 	tl.t = t
 }
 
@@ -78,10 +96,6 @@ func (tl *TauLeap) Leap(horizon float64) (events int64, status StepStatus) {
 		return 0, Quiescent
 	}
 	tau := tl.selectTau(total)
-	if tau*total < 10 {
-		// Leaping would batch fewer than ~10 events: do one exact step.
-		return tl.exactStep(total, horizon)
-	}
 	if tl.t+tau > horizon {
 		tau = horizon - tl.t
 		if tau <= 0 {
@@ -89,17 +103,25 @@ func (tl *TauLeap) Leap(horizon float64) (events int64, status StepStatus) {
 			return 0, Horizon
 		}
 	}
+	// Profitability is judged after the horizon clamp: a clamped tiny τ
+	// batches almost nothing but would still pay a full round of Poisson
+	// draws, so it falls through to a single exact step (which handles the
+	// horizon itself, exactly).
+	if tau*total < 10 {
+		return tl.exactStep(total, horizon)
+	}
 	// Try the leap, halving tau on any negative excursion.
 	for attempt := 0; attempt < 30; attempt++ {
-		counts := make([]int64, tl.net.NumReactions())
 		var n int64
 		for i, a := range tl.prop {
 			if a > 0 {
-				counts[i] = tl.gen.Poisson(a * tau)
-				n += counts[i]
+				tl.counts[i] = tl.gen.Poisson(a * tau)
+				n += tl.counts[i]
+			} else {
+				tl.counts[i] = 0
 			}
 		}
-		if tl.applyIfNonNegative(counts) {
+		if tl.applyIfNonNegative(tl.counts) {
 			tl.t += tau
 			return n, Fired
 		}
@@ -111,52 +133,88 @@ func (tl *TauLeap) Leap(horizon float64) (events int64, status StepStatus) {
 	return tl.exactStep(total, horizon)
 }
 
-// selectTau bounds the expected relative change of every reactant species.
+// selectTau bounds both the expected change and the variance of the change
+// of every reactant species over one leap. A τ of +Inf (nothing
+// constrains the leap) falls back to one mean event time.
 func (tl *TauLeap) selectTau(total float64) float64 {
-	numSpecies := tl.net.NumSpecies()
-	drift := make([]float64, numSpecies)
-	for i, a := range tl.prop {
-		if a <= 0 {
-			continue
-		}
-		for s, d := range tl.deltas[i] {
-			drift[s] += a * float64(d)
-		}
-	}
-	tau := math.Inf(1)
-	for i := 0; i < tl.net.NumReactions(); i++ {
-		for _, term := range tl.net.Reaction(i).Reactants {
-			s := term.Species
-			if drift[s] == 0 {
-				continue
-			}
-			x := float64(tl.state[s])
-			bound := math.Max(tl.Epsilon*x, 1)
-			if cand := bound / math.Abs(drift[s]); cand < tau {
-				tau = cand
-			}
-		}
-	}
+	tau := cgpTau(tl.net.Reactions(), tl.deltas, tl.prop, tl.state, tl.Epsilon,
+		tl.drift, tl.sigma2, nil, nil)
 	if math.IsInf(tau, 1) {
 		tau = 1 / total
 	}
 	return tau
 }
 
+// cgpTau is the Cao–Gillespie–Petzold step-size control shared by TauLeap
+// and Hybrid (Cao, Gillespie & Petzold 2006, Eq. 33): τ = min over the
+// reactant species s of every bounds-selected channel of
+//
+//	max(εx_s, 1) / |Σ_j a_j·d_js|   and   max(εx_s, 1)² / Σ_j a_j·d_js²,
+//
+// with the drift and variance sums running over contributes-selected
+// channels with positive propensity. A nil selector means "every channel".
+// The second bound matters precisely when the first is loose: opposing
+// high-flux channels (a production clock against a decay) cancel to
+// |drift| ≈ 0, but their fluctuations still scatter the species count by
+// √(σ²τ) per leap, which without the variance bound would blow far past
+// the ε target. drift and sigma2 are caller-owned scratch, overwritten
+// here. Returns +Inf when no selected channel constrains τ.
+func cgpTau(rxns []chem.Reaction, deltas [][]int64, prop []float64, state chem.State,
+	eps float64, drift, sigma2 []float64, contributes, bounds func(i int) bool) float64 {
+	for s := range drift {
+		drift[s] = 0
+		sigma2[s] = 0
+	}
+	for i, a := range prop {
+		if a <= 0 || (contributes != nil && !contributes(i)) {
+			continue
+		}
+		for s, d := range deltas[i] {
+			if d != 0 {
+				fd := float64(d)
+				drift[s] += a * fd
+				sigma2[s] += a * fd * fd
+			}
+		}
+	}
+	tau := math.Inf(1)
+	for i := range rxns {
+		if bounds != nil && !bounds(i) {
+			continue
+		}
+		for _, term := range rxns[i].Reactants {
+			s := term.Species
+			if sigma2[s] == 0 {
+				continue // no selected channel changes s
+			}
+			bound := math.Max(eps*float64(state[s]), 1)
+			if d := math.Abs(drift[s]); d > 0 {
+				if cand := bound / d; cand < tau {
+					tau = cand
+				}
+			}
+			if cand := bound * bound / sigma2[s]; cand < tau {
+				tau = cand
+			}
+		}
+	}
+	return tau
+}
+
 func (tl *TauLeap) applyIfNonNegative(counts []int64) bool {
-	next := tl.state.Clone()
+	copy(tl.next, tl.state)
 	for i, k := range counts {
 		if k == 0 {
 			continue
 		}
 		for s, d := range tl.deltas[i] {
-			next[s] += d * k
+			tl.next[s] += d * k
 		}
 	}
-	if !next.NonNegative() {
+	if !tl.next.NonNegative() {
 		return false
 	}
-	copy(tl.state, next)
+	copy(tl.state, tl.next)
 	return true
 }
 

@@ -99,6 +99,208 @@ a -> b @ 0.0001
 	}
 }
 
+// TestTauLeapZeroAllocsPerLeap pins the scratch-buffer hoisting: after
+// construction, leaping (and the exact-step fallback) must not allocate.
+func TestTauLeapZeroAllocsPerLeap(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 4000
+a -> b @ 2
+b -> a @ 1
+`)
+	tl := NewTauLeap(net, rng.New(97))
+	// Warm up: first leaps may touch lazily-computed state.
+	for i := 0; i < 10; i++ {
+		tl.Leap(NoHorizon())
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		tl.Leap(NoHorizon())
+	})
+	if allocs != 0 {
+		t.Fatalf("Leap allocates %.1f times per call, want 0", allocs)
+	}
+	// Reset must be allocation-free too (the engine-reuse path).
+	st0 := net.InitialState()
+	allocs = testing.AllocsPerRun(500, func() {
+		tl.Reset(st0, 0)
+		tl.Leap(NoHorizon())
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+Leap allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestTauLeapVarianceBoundOnOpposingFlux pins the selectTau second-moment
+// term: a high-flux immigration-death equilibrium (0 -> a at λ, a -> 0 at
+// μ·a, stationary a ~ Poisson(λ/μ)) has drift ≈ 0 near the fixed point, so
+// the old mean-drift-only bound let τ explode and the leap noise scattered
+// the ensemble variance orders of magnitude past λ/μ. With the variance
+// term, τ ≤ (εx)²/σ² keeps each leap's spread below εx and the stationary
+// ensemble variance lands near the analytic value as ε shrinks.
+func TestTauLeapVarianceBoundOnOpposingFlux(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 10000
+0 -> a @ 10000
+a -> 0 @ 1
+`)
+	const horizon = 5.0 // several relaxation times 1/μ
+	const analyticVar = 10000.0
+	const trials = 300
+	variance := func(eps float64) float64 {
+		tl := NewTauLeap(net, rng.New(101))
+		tl.Epsilon = eps
+		var sum, sumSq float64
+		for i := 0; i < trials; i++ {
+			tl.Reset(net.InitialState(), 0)
+			RunTau(tl, horizon)
+			v := float64(tl.State()[0])
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / trials
+		return sumSq/trials - mean*mean
+	}
+	loose := variance(0.05)
+	tight := variance(0.005)
+	if tight > 2*analyticVar || tight < analyticVar/2 {
+		t.Errorf("ensemble variance at eps=0.005 is %.0f, want within 2x of %g",
+			tight, analyticVar)
+	}
+	// Convergence direction: tightening epsilon must not move the variance
+	// further from the analytic value.
+	errLoose := math.Abs(loose - analyticVar)
+	errTight := math.Abs(tight - analyticVar)
+	if errTight > errLoose+analyticVar/2 {
+		t.Errorf("variance error grew as epsilon shrank: eps=0.05 -> %.0f, eps=0.005 -> %.0f",
+			loose, tight)
+	}
+	t.Logf("ensemble variance: eps=0.05 -> %.0f, eps=0.005 -> %.0f (analytic %g)",
+		loose, tight, analyticVar)
+}
+
+// TestTauLeapHorizonClampRechecksProfitability pins the Leap ordering fix:
+// when the horizon clamps τ below the profitability threshold, Leap must
+// fall through to a single exact step (firing strictly before the horizon
+// or clamping with the state untouched) instead of paying a Poisson batch
+// for a sliver of time — the old order could even report a zero-event
+// "leap" that parked time exactly on the horizon.
+func TestTauLeapHorizonClampRechecksProfitability(t *testing.T) {
+	net := chem.MustParseNetwork(`
+x = 100000
+x -> y @ 0.001
+`)
+	tl := NewTauLeap(net, rng.New(103))
+	st0 := net.InitialState()
+	fired, clamped := 0, 0
+	for i := 0; i < 300; i++ {
+		tl.Reset(st0, 0)
+		horizon := 0.001
+		n, status := tl.Leap(horizon)
+		switch status {
+		case Fired:
+			fired++
+			if n != 1 {
+				t.Fatalf("clamped leap fired %d events in one call, want an exact single step", n)
+			}
+			if tl.Time() >= horizon {
+				t.Fatalf("exact step landed at/after the horizon: t=%v", tl.Time())
+			}
+		case Horizon:
+			clamped++
+			if n != 0 || tl.State()[0] != 100000 {
+				t.Fatalf("horizon status with n=%d, state=%v; want untouched", n, tl.State())
+			}
+			if tl.Time() != horizon {
+				t.Fatalf("horizon status at t=%v, want clamp to %v", tl.Time(), horizon)
+			}
+		default:
+			t.Fatalf("unexpected status %v", status)
+		}
+	}
+	// Exp(100) over a 0.001 window fires ~9.5% of the time; both branches
+	// must actually be exercised.
+	if fired == 0 || clamped == 0 {
+		t.Fatalf("branches not both exercised: fired=%d clamped=%d", fired, clamped)
+	}
+}
+
+// TestTauLeapHybridConvergenceToAnalyticMoments is the convergence table of
+// the approximate engines on a birth-death network with known analytic
+// moments: immigration at λ, per-molecule death at μ, started at the fixed
+// point λ/μ. At the horizon the exact law is (very nearly) Poisson(λ/μ):
+// mean = var = λ/μ. TauLeap's error must shrink as Epsilon → 0; Hybrid
+// recognises the pair as a relay and is exact at every Epsilon — that is
+// the engine's whole point.
+func TestTauLeapHybridConvergenceToAnalyticMoments(t *testing.T) {
+	net := chem.MustParseNetwork(`
+a = 2000
+0 -> a @ 2000
+a -> 0 @ 1
+`)
+	const (
+		horizon = 4.0
+		trials  = 400
+		wantM   = 2000.0
+	)
+	// Exact transient variance from a0 = λ/μ.
+	wantV := 2000*(1-math.Exp(-horizon)) + 2000*math.Exp(-horizon)*(1-math.Exp(-horizon))
+
+	moments := func(run func(i int) int64) (mean, variance float64) {
+		var sum, sumSq float64
+		for i := 0; i < trials; i++ {
+			v := float64(run(i))
+			sum += v
+			sumSq += v * v
+		}
+		mean = sum / trials
+		return mean, sumSq/trials - mean*mean
+	}
+
+	epsilons := []float64{0.2, 0.05, 0.01}
+	tauErr := make([]float64, len(epsilons))
+	t.Logf("%8s  %10s  %10s  %10s  %10s", "epsilon", "tau mean", "tau var", "hyb mean", "hyb var")
+	for k, eps := range epsilons {
+		tl := NewTauLeap(net, rng.New(uint64(500+k)))
+		tl.Epsilon = eps
+		tm, tv := moments(func(i int) int64 {
+			tl.Reset(net.InitialState(), 0)
+			RunTau(tl, horizon)
+			return tl.State()[0]
+		})
+		hy := NewHybrid(net, nil, rng.New(uint64(600+k)))
+		hy.Epsilon = eps
+		hm, hv := moments(func(i int) int64 {
+			hy.Reset(net.InitialState(), 0)
+			for {
+				if _, status := hy.Step(horizon); status != Fired {
+					return hy.State()[0]
+				}
+			}
+		})
+		t.Logf("%8g  %10.1f  %10.1f  %10.1f  %10.1f", eps, tm, tv, hm, hv)
+		tauErr[k] = math.Abs(tv - wantV)
+		if math.Abs(tm-wantM) > 0.02*wantM {
+			t.Errorf("eps=%g: tau-leap mean %.1f, want ~%g", eps, tm, wantM)
+		}
+		// Hybrid: exact at every epsilon (relay), so both moments must sit
+		// inside Monte Carlo noise regardless of eps.
+		if math.Abs(hm-wantM) > 0.02*wantM {
+			t.Errorf("eps=%g: hybrid mean %.1f, want ~%g", eps, hm, wantM)
+		}
+		if hv < wantV/2 || hv > 2*wantV {
+			t.Errorf("eps=%g: hybrid var %.1f, want ~%.1f (exact relay)", eps, hv, wantV)
+		}
+	}
+	// Convergence: the tightest epsilon must be accurate, and no looser
+	// epsilon may beat it by more than Monte Carlo slack.
+	last := tauErr[len(tauErr)-1]
+	if last > wantV {
+		t.Errorf("tau-leap var error at eps=0.01 is %.1f, want < %.1f", last, wantV)
+	}
+	if tauErr[0] < last {
+		t.Logf("note: loosest epsilon happened to beat tightest (%.1f < %.1f); MC noise", tauErr[0], last)
+	}
+}
+
 func TestTauLeapFallsBackToExactOnSmallCounts(t *testing.T) {
 	// With tiny counts every leap is unprofitable; behaviour must reduce
 	// to exact stepping and still drain the system fully.

@@ -100,14 +100,26 @@ func Figure3Classifier(mod *StochasticModule) func(eng sim.Engine) int {
 
 // Figure3ErrorRate runs the Figure 3 experiment at one γ: trials parallel
 // races of the Figure3Spec module, returning the fraction of trials in
-// error.
+// error. It uses the default engine (OptimizedDirect); Figure3ErrorRateWith
+// selects another.
 func Figure3ErrorRate(gamma float64, trials int, seed uint64) (float64, error) {
+	return Figure3ErrorRateWith(gamma, trials, seed, "")
+}
+
+// Figure3ErrorRateWith is Figure3ErrorRate on a caller-chosen engine kind
+// (empty means the default, OptimizedDirect). A hybrid engine receives the
+// module's output species as its protected set, so the error statistic —
+// which thresholds on exactly those species — keeps its distribution.
+func Figure3ErrorRateWith(gamma float64, trials int, seed uint64, kind sim.EngineKind) (float64, error) {
 	mod, err := Figure3Spec(gamma).Build()
 	if err != nil {
 		return 0, err
 	}
+	protected := mod.ProtectedSpecies()
 	res := mc.RunWith(mc.Config{Trials: trials, Outcomes: 2, Seed: seed},
-		func(gen *rng.PCG) sim.Engine { return sim.NewOptimizedDirect(mod.Net, gen) },
+		func(gen *rng.PCG) sim.Engine {
+			return sim.MustEngineOfKind(kind, mod.Net, protected, gen)
+		},
 		Figure3Classifier(mod))
 	return res.Fraction(1), nil
 }

@@ -249,6 +249,17 @@ func (m *StochasticModule) InitializingOutcome(reaction int) int {
 	return m.initOutcome[reaction]
 }
 
+// ProtectedSpecies returns every outcome's output species, flattened: the
+// set whose distribution classifiers threshold on, and therefore the
+// protected set to hand a hybrid engine.
+func (m *StochasticModule) ProtectedSpecies() []chem.Species {
+	var out []chem.Species
+	for _, outs := range m.Outputs {
+		out = append(out, outs...)
+	}
+	return out
+}
+
 // OutputTotal sums outcome i's output counts in state st (all output
 // species of the outcome).
 func (m *StochasticModule) OutputTotal(st chem.State, i int) int64 {
