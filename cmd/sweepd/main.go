@@ -1,19 +1,28 @@
 // Command sweepd runs distributed Monte Carlo sweeps over the named trial
 // factories in shard.Builtin (see docs/sharding.md).
 //
-// Worker mode executes exactly one shard, speaking the versioned JSON
-// wire format on its standard streams:
+// Worker modes execute shards for a remote coordinator. One-shot worker
+// mode speaks the versioned JSON wire format on its standard streams:
 //
 //	sweepd -worker < shardspec.json > shardresult.json
+//
+// Serve mode runs a long-lived network worker: a TCP server speaking the
+// length-prefixed, checksummed shard framing (shard.Serve), drained
+// gracefully on SIGINT/SIGTERM:
+//
+//	sweepd -serve 0.0.0.0:7471
 //
 // Coordinator mode partitions a sweep, fans the shards out, and merges:
 //
 //	sweepd -sweep lambda/natural -params 1,2,3 -trials 100000 -shards 8
 //
 // By default shards run in-process; with -procs each shard runs in a
-// fresh worker process (this binary re-exec'd with -worker), the same
-// path a multi-machine deployment uses. Either way the merged tallies are
-// bit-for-bit identical to a single-process mc.Sweep run.
+// fresh worker process (this binary re-exec'd with -worker), and with
+// -workers the shards are dispatched over TCP to a fleet of -serve
+// workers. Either way the merged tallies are bit-for-bit identical to a
+// single-process mc.Sweep run. With -journal every completed shard is
+// durably logged first, so a killed coordinator rerun with the same
+// command resumes from the journal and computes only the missing trials.
 //
 // Flags (coordinator mode):
 //
@@ -23,6 +32,9 @@
 //	-seed S        base RNG seed (default 2007)
 //	-shards K      number of shards to partition the trials into
 //	-procs         one worker process per shard instead of in-process
+//	-workers LIST  comma-separated worker addresses (sweepd -serve fleet)
+//	-shard-timeout D  per-shard network deadline (hung workers time out)
+//	-journal PATH  crash-safe shard journal; an existing journal resumes
 //	-parallel P    concurrent shard dispatches (0 = one at a time; every
 //	               shard already parallelises across the machine's cores)
 //	-retries R     re-dispatch attempts per failing shard (default 1)
@@ -33,9 +45,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"stochsynth/internal/mc"
@@ -46,12 +62,16 @@ import (
 func main() {
 	var (
 		worker   = flag.Bool("worker", false, "read one ShardSpec JSON from stdin, write its ShardResult JSON to stdout")
+		serve    = flag.String("serve", "", "serve shards over TCP on this listen address (host:port; :0 picks a port)")
 		sweep    = flag.String("sweep", "", "sweep id to coordinate (see -list)")
 		params   = flag.String("params", "", "comma-separated parameter grid")
 		trials   = flag.Int("trials", 20000, "total Monte Carlo trials per grid point")
 		seed     = flag.Uint64("seed", 2007, "base RNG seed")
 		shards   = flag.Int("shards", 4, "number of shards")
 		procs    = flag.Bool("procs", false, "run each shard in a fresh worker process")
+		workers  = flag.String("workers", "", "comma-separated addresses of sweepd -serve workers to dispatch to")
+		shardTO  = flag.Duration("shard-timeout", 0, "per-shard network round-trip deadline (0 = none); a hung worker's shards time out and retry elsewhere")
+		journal  = flag.String("journal", "", "crash-safe shard journal path; an existing journal resumes the sweep")
 		parallel = flag.Int("parallel", 0, "concurrent shard dispatches (0 = one at a time)")
 		retries  = flag.Int("retries", 1, "re-dispatch attempts per failing shard")
 		list     = flag.Bool("list", false, "list registered sweep ids and exit")
@@ -69,12 +89,37 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sweepd:", err)
 			os.Exit(1)
 		}
+	case *serve != "":
+		if err := serveWorker(reg, *serve); err != nil {
+			fmt.Fprintln(os.Stderr, "sweepd:", err)
+			os.Exit(1)
+		}
 	default:
-		if err := coordinate(reg, *sweep, *params, *trials, *seed, *shards, *procs, *parallel, *retries); err != nil {
+		if err := coordinate(reg, *sweep, *params, *trials, *seed, *shards, *procs, *workers, *shardTO, *journal, *parallel, *retries); err != nil {
 			fmt.Fprintln(os.Stderr, "sweepd:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// serveWorker runs the long-lived network worker until SIGINT/SIGTERM,
+// then drains: in-flight shards finish and their results are delivered
+// before the process exits.
+func serveWorker(reg *shard.Registry, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := shard.Serve(ln, reg)
+	// The resolved address line is the readiness signal scripts and tests
+	// wait for (and, with ":0", the only way to learn the port).
+	fmt.Printf("sweepd: serving %s\n", srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("sweepd: draining")
+	srv.Drain()
+	return nil
 }
 
 // runWorker is the cross-process leg of the protocol: one ShardSpec in,
@@ -88,6 +133,12 @@ func runWorker(reg *shard.Registry, in io.Reader, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if os.Getenv("SWEEPD_FAULT") == "worker-panic" {
+		// Fault-injection hook (tests, chaos drills): die the way a buggy
+		// trial body would, so the coordinator-side stderr capture is
+		// exercised against a real panic stack.
+		panic("injected worker fault (SWEEPD_FAULT=worker-panic)")
+	}
 	res, err := shard.Run(spec, reg)
 	if err != nil {
 		return err
@@ -100,9 +151,12 @@ func runWorker(reg *shard.Registry, in io.Reader, out io.Writer) error {
 	return err
 }
 
-func coordinate(reg *shard.Registry, sweep, params string, trials int, seed uint64, shards_ int, procs bool, parallel, retries int) error {
+func coordinate(reg *shard.Registry, sweep, params string, trials int, seed uint64, shards_ int, procs bool, workers string, shardTimeout time.Duration, journal string, parallel, retries int) error {
 	if sweep == "" {
-		return fmt.Errorf("missing -sweep (known: %s); or use -worker / -list", strings.Join(reg.Names(), ", "))
+		return fmt.Errorf("missing -sweep (known: %s); or use -worker / -serve / -list", strings.Join(reg.Names(), ", "))
+	}
+	if procs && workers != "" {
+		return fmt.Errorf("-procs and -workers are mutually exclusive")
 	}
 	grid, err := parseGrid(params)
 	if err != nil {
@@ -121,26 +175,47 @@ func coordinate(reg *shard.Registry, sweep, params string, trials int, seed uint
 
 	runner := shard.LocalRunner(reg)
 	mode := "in-process"
-	if procs {
+	switch {
+	case procs:
 		self, err := os.Executable()
 		if err != nil {
 			return fmt.Errorf("locating own binary for -procs: %w", err)
 		}
 		runner = shard.ExecRunner(self, "-worker")
 		mode = "worker processes"
+	case workers != "":
+		addrs := strings.Split(workers, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		// Without a ShardTimeout a hung (not dead) worker blocks its
+		// shards forever — the retry machinery only fires on errors.
+		pool, err := shard.NewRemotePool(addrs, shard.RemoteOptions{ShardTimeout: shardTimeout})
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+		runner = pool.Runner()
+		mode = fmt.Sprintf("%d network workers", len(addrs))
 	}
 	// Every shard already parallelises across the machine's cores
-	// (in-process via mc's worker pool, -procs via each worker's own
-	// pool), so dispatching one at a time is the no-oversubscription
+	// (in-process via mc's worker pool, -procs/-workers via each worker's
+	// own pool), so dispatching one at a time is the no-oversubscription
 	// default; -parallel opts into concurrent dispatch. Tallies are
 	// identical either way.
 	opts := shard.Options{Retries: retries, Parallel: parallel}
 	if opts.Parallel <= 0 {
 		opts.Parallel = 1
 	}
+	opts.OnShardDone = progressHook()
 
 	start := time.Now()
-	merged, err := shard.Coordinate(spec, shards_, runner, opts)
+	var merged shard.ShardResult
+	if journal != "" {
+		merged, err = shard.ResumeCoordinate(spec, journal, shards_, runner, opts)
+	} else {
+		merged, err = shard.Coordinate(spec, shards_, runner, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -153,6 +228,28 @@ func coordinate(reg *shard.Registry, sweep, params string, trials int, seed uint
 	}
 	fmt.Printf("%d shards (%s), %s\n", shards_, mode, elapsed)
 	return nil
+}
+
+// progressHook reports per-shard completion on stderr (results tables stay
+// on stdout) and implements the deterministic crash hook
+// SWEEPD_FAULT=die-after=K: exit hard — journal already fsync'd, nothing
+// flushed gracefully — after the Kth completed shard, which is how the
+// crash-recovery smoke kills a coordinator at an exact point.
+func progressHook() func(done, total int, res shard.ShardResult) {
+	dieAfter := 0
+	if fault, ok := strings.CutPrefix(os.Getenv("SWEEPD_FAULT"), "die-after="); ok {
+		dieAfter, _ = strconv.Atoi(fault)
+	}
+	var mu sync.Mutex
+	return func(done, total int, res shard.ShardResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(os.Stderr, "sweepd: shard %v done (%d/%d)\n", res.Ranges, done, total)
+		if dieAfter > 0 && done >= dieAfter {
+			fmt.Fprintln(os.Stderr, "sweepd: injected crash (SWEEPD_FAULT=die-after)")
+			os.Exit(137)
+		}
+	}
 }
 
 func renderTally(merged shard.ShardResult, grid []float64, outcomes int) {

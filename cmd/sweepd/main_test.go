@@ -1,9 +1,17 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"math"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"stochsynth/internal/lambda"
 	"stochsynth/internal/mc"
@@ -23,6 +31,263 @@ func buildSweepd(t *testing.T) string {
 		t.Fatalf("building sweepd: %v\n%s", err, out)
 	}
 	return bin
+}
+
+// startServeWorker launches a real `sweepd -serve` process on a loopback
+// port and waits for its readiness line, returning the resolved address.
+func startServeWorker(t *testing.T, bin string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(bin, "-serve", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "sweepd: serving "); ok {
+			return addr, cmd
+		}
+	}
+	t.Fatalf("worker never reported readiness (stdout closed: %v)", sc.Err())
+	return "", nil
+}
+
+func encodedOrDie(t *testing.T, res shard.ShardResult) []byte {
+	t.Helper()
+	enc, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// TestServeWorkersMatchSingleProcess is the network end-to-end check:
+// three real `sweepd -serve` processes on loopback serve a natural-lambda
+// tally and a numeric Figure 3 sweep through RemoteRunner, and both merge
+// exactly — χ² of 0 against Characterize for the tally, bit-identical
+// moments against mc.SweepNumeric for the numeric sweep.
+func TestServeWorkersMatchSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs child binaries")
+	}
+	bin := buildSweepd(t)
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		addr, _ := startServeWorker(t, bin)
+		addrs = append(addrs, addr)
+	}
+	pool, err := shard.NewRemotePool(addrs, shard.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Natural-lambda tally over the fleet ≡ single-process Characterize.
+	const (
+		moi    = int64(3)
+		trials = 3000
+		seed   = uint64(2007)
+	)
+	tallySpec := shard.SweepSpec{
+		Sweep: shard.SweepLambdaNatural, Grid: []float64{float64(moi)},
+		Trials: trials, Seed: seed, Outcomes: 2,
+	}
+	merged, err := shard.Coordinate(tallySpec, 6, pool.Runner(), shard.Options{Parallel: 3, Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := merged.ResultAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	natural, err := lambda.NaturalModel(lambda.NaturalParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := natural.Characterize(moi, trials, mc.PointSeed(seed, 0))
+	if sharded.Trials != single.Trials || sharded.None != single.None {
+		t.Fatalf("network trials/none %d/%d, single-process %d/%d",
+			sharded.Trials, sharded.None, single.Trials, single.None)
+	}
+	for o, c := range single.Counts {
+		if sharded.Counts[o] != c {
+			t.Fatalf("outcome %d: network %d, single-process %d", o, sharded.Counts[o], c)
+		}
+	}
+	classified := single.Counts[lambda.Lysis] + single.Counts[lambda.Lysogeny]
+	probs := []float64{
+		float64(single.Counts[lambda.Lysis]) / float64(classified),
+		float64(single.Counts[lambda.Lysogeny]) / float64(classified),
+	}
+	if stat, err := mc.ChiSquare(sharded.Counts, probs); err != nil || stat != 0 {
+		t.Fatalf("χ² between network and single-process tallies = %v (err %v), want exactly 0", stat, err)
+	}
+
+	// Numeric Figure 3 moments over the fleet ≡ mc.SweepNumeric bitwise.
+	gammas := []float64{1, 100}
+	numTrials := 400
+	numSpec := shard.SweepSpec{
+		Sweep: shard.SweepFig3Numeric, Grid: gammas, Trials: numTrials, Seed: 5, Numeric: true,
+	}
+	numMerged, err := shard.Coordinate(numSpec, 6, pool.Runner(), shard.Options{Parallel: 3, Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mc.SweepNumeric(mc.Config{Trials: numTrials, Seed: 5}, gammas,
+		func(gamma float64) mc.NumericTrial {
+			mod, err := synth.Figure3Spec(gamma).Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			classify := synth.Figure3Classifier(mod)
+			protected := mod.ProtectedSpecies()
+			return func(gen *rng.PCG) float64 {
+				return float64(classify(sim.MustEngineOfKind("", mod.Net, protected, gen)))
+			}
+		})
+	for i := range gammas {
+		s, err := numMerged.SummaryAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := want[i].Summary
+		if s.N != w.N ||
+			math.Float64bits(s.Mean) != math.Float64bits(w.Mean) ||
+			math.Float64bits(s.Var) != math.Float64bits(w.Var) ||
+			math.Float64bits(s.Min) != math.Float64bits(w.Min) ||
+			math.Float64bits(s.Max) != math.Float64bits(w.Max) {
+			t.Fatalf("γ=%v: network summary %+v, want bit-identical %+v", gammas[i], s, w)
+		}
+	}
+}
+
+// TestNetworkSweepSurvivesWorkerKill hard-kills one of three serve
+// workers mid-sweep; the coordinator must reassign its shards to the
+// survivors and still merge bit-for-bit with the unsharded run.
+func TestNetworkSweepSurvivesWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs child binaries")
+	}
+	bin := buildSweepd(t)
+	var addrs []string
+	var victims []*exec.Cmd
+	for i := 0; i < 3; i++ {
+		addr, cmd := startServeWorker(t, bin)
+		addrs = append(addrs, addr)
+		victims = append(victims, cmd)
+	}
+	pool, err := shard.NewRemotePool(addrs, shard.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	spec := shard.SweepSpec{
+		Sweep: shard.SweepLambdaSynthetic, Grid: []float64{1, 5},
+		Trials: 600, Seed: 42, Outcomes: 2,
+	}
+	var kill sync.Once
+	var killed atomic.Bool
+	opts := shard.Options{
+		Parallel: 3, Retries: 4,
+		OnShardDone: func(done, total int, res shard.ShardResult) {
+			kill.Do(func() {
+				victims[0].Process.Kill()
+				killed.Store(true)
+			})
+		},
+	}
+	merged, err := shard.Coordinate(spec, 9, pool.Runner(), opts)
+	if err != nil {
+		t.Fatalf("coordinator did not survive the worker kill: %v", err)
+	}
+	if !killed.Load() {
+		t.Fatal("kill hook never fired")
+	}
+	want, err := shard.Coordinate(spec, 1, shard.LocalRunner(shard.Builtin()), shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodedOrDie(t, merged), encodedOrDie(t, want)) {
+		t.Fatal("post-kill merge differs from unsharded run")
+	}
+}
+
+// TestWorkerPanicSurfacesStack: a worker process that panics mid-shard
+// must come back from ExecRunner as an error carrying the panic message
+// and goroutine stack — the coordinator's retry log has to say why.
+func TestWorkerPanicSurfacesStack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs child binaries")
+	}
+	bin := buildSweepd(t)
+	t.Setenv("SWEEPD_FAULT", "worker-panic")
+	spec := shard.SweepSpec{
+		Sweep: shard.SweepLambdaSynthetic, Grid: []float64{1}, Trials: 100, Seed: 1, Outcomes: 2,
+	}
+	_, err := shard.ExecRunner(bin, "-worker")(spec.Shard(0, 100))
+	if err == nil {
+		t.Fatal("panicking worker reported success")
+	}
+	for _, needle := range []string{"panic", "injected worker fault", "goroutine"} {
+		if !strings.Contains(err.Error(), needle) {
+			t.Fatalf("worker panic error lacks %q:\n%v", needle, err)
+		}
+	}
+}
+
+// TestJournalResumeCLI drives the kill -9 walkthrough through the real
+// binary: a journaled coordinator run is crashed deterministically after
+// 2 shards (SWEEPD_FAULT=die-after=2), rerun with the identical command,
+// and its output table must match the uninterrupted 1-shard run.
+func TestJournalResumeCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs child binaries")
+	}
+	bin := buildSweepd(t)
+	journal := filepath.Join(t.TempDir(), "sweep.journal")
+	args := []string{"-sweep", "lambda/synthetic", "-params", "1,5", "-trials", "400",
+		"-seed", "7", "-shards", "4", "-journal", journal}
+
+	crash := exec.Command(bin, args...)
+	crash.Env = append(os.Environ(), "SWEEPD_FAULT=die-after=2")
+	if out, err := crash.CombinedOutput(); err == nil {
+		t.Fatalf("fault-injected run exited 0:\n%s", out)
+	}
+	if _, err := os.Stat(journal); err != nil {
+		t.Fatalf("crashed run left no journal: %v", err)
+	}
+
+	start := time.Now()
+	resumed, err := exec.Command(bin, args...).Output()
+	if err != nil {
+		t.Fatalf("resume run failed: %v", err)
+	}
+	t.Logf("resume took %v", time.Since(start).Round(time.Millisecond))
+
+	reference, err := exec.Command(bin, "-sweep", "lambda/synthetic", "-params", "1,5",
+		"-trials", "400", "-seed", "7", "-shards", "1").Output()
+	if err != nil {
+		t.Fatalf("reference run failed: %v", err)
+	}
+	table := func(out []byte) string {
+		lines := strings.Split(string(out), "\n")
+		if len(lines) < 4 {
+			t.Fatalf("short output:\n%s", out)
+		}
+		return strings.Join(lines[:4], "\n")
+	}
+	if table(resumed) != table(reference) {
+		t.Fatalf("resumed table differs from uninterrupted run:\n%s\nvs\n%s", table(resumed), table(reference))
+	}
 }
 
 func TestWorkerProtocolRoundTrip(t *testing.T) {

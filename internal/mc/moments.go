@@ -131,6 +131,23 @@ func (m Moments) Validate() error {
 	return nil
 }
 
+// Spans returns the coalesced trial-index ranges covered by the forest as
+// {lo, hi} pairs (half-open, in index order). Adjacent nodes collapse into
+// one span, so a forest covering a contiguous shard range [lo, hi) reports
+// exactly one pair — the shape internal/shard validates results against
+// and the journal replays coverage from.
+func (m Moments) Spans() [][2]int {
+	var out [][2]int
+	for _, n := range m {
+		if len(out) > 0 && out[len(out)-1][1] == n.Start {
+			out[len(out)-1][1] = n.Start + n.Size
+			continue
+		}
+		out = append(out, [2]int{n.Start, n.Start + n.Size})
+	}
+	return out
+}
+
 // N returns the total number of trials summarised by the forest.
 func (m Moments) N() int64 {
 	var n int64

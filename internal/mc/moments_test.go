@@ -31,6 +31,29 @@ func TestNewMomentsMaximalDecomposition(t *testing.T) {
 	}
 }
 
+func TestMomentsSpansCoalesceAdjacentNodes(t *testing.T) {
+	// A contiguous range reports one span however many nodes cover it…
+	m := NewMoments(3, make([]float64, 8))
+	if got := m.Spans(); len(got) != 1 || got[0] != [2]int{3, 11} {
+		t.Fatalf("spans of [3,11) = %v", got)
+	}
+	// …and a forest with a gap reports each contiguous piece.
+	a := NewMoments(0, make([]float64, 4))
+	b := NewMoments(8, make([]float64, 3))
+	merged, err := MergeMoments(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{0, 4}, {8, 11}}
+	got := merged.Spans()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("spans = %v, want %v", got, want)
+	}
+	if spans := (Moments)(nil).Spans(); spans != nil {
+		t.Fatalf("empty forest spans = %v", spans)
+	}
+}
+
 func TestMomentsSummaryMatchesDirectComputation(t *testing.T) {
 	values := []float64{2, 4, 4, 4, 5, 5, 7, 9}
 	s := NewMoments(0, values).Summary()

@@ -3,10 +3,23 @@ package mc
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"stochsynth/internal/rng"
 )
+
+// recoverTrialPanic converts a panic escaping a trial body into a
+// recorded error string (with the original stack), to be re-raised on the
+// caller's goroutine after the pool drains. A panic on a worker goroutine
+// would kill the whole process unrecoverably — fatal for long-lived
+// harnesses like the shard network worker, which must turn one bad trial
+// body into an error frame and keep serving.
+func recoverTrialPanic(dst *string) {
+	if p := recover(); p != nil {
+		*dst = fmt.Sprintf("mc: trial body panicked: %v\n%s", p, debug.Stack())
+	}
+}
 
 // RunWith executes cfg.Trials independent trials with per-worker engine
 // reuse: each worker calls newEngine once to build its simulation engine
@@ -67,6 +80,7 @@ func RunRangeWith[E any](cfg Config, lo, hi int, newEngine func(gen *rng.PCG) E,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer recoverTrialPanic(&tallies[w].err)
 			gen := rng.NewStream(cfg.Seed, uint64(w))
 			eng := newEngine(gen)
 			// Static striping keeps the trial→stream mapping fixed, so
@@ -132,11 +146,13 @@ func RunNumericRangeWith[E any](cfg Config, lo, hi int, newEngine func(gen *rng.
 	}
 	workers := rangeWorkers(cfg.Workers, hi-lo)
 	values := make([]float64, hi-lo)
+	panics := make([]string, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer recoverTrialPanic(&panics[w])
 			gen := rng.NewStream(cfg.Seed, uint64(w))
 			eng := newEngine(gen)
 			for i := lo + w; i < hi; i += workers {
@@ -146,6 +162,11 @@ func RunNumericRangeWith[E any](cfg Config, lo, hi int, newEngine func(gen *rng.
 		}(w)
 	}
 	wg.Wait()
+	for _, p := range panics {
+		if p != "" {
+			panic(p)
+		}
+	}
 	return NewMoments(lo, values)
 }
 

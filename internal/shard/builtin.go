@@ -16,8 +16,10 @@ const (
 	SweepLambdaSynthetic       = "lambda/synthetic"
 	SweepLambdaSyntheticHybrid = "lambda/synthetic-hybrid"
 	SweepLambdaNatural         = "lambda/natural"
+	SweepLambdaMOICurve        = "lambda/moi-curve"
 	SweepFig3Error             = "synth/fig3-error"
 	SweepFig3ErrorHybrid       = "synth/fig3-error-hybrid"
+	SweepFig3Numeric           = "synth/fig3-sweep"
 )
 
 // Builtin returns a fresh registry holding the repository's named sweeps:
@@ -29,9 +31,23 @@ const (
 //     ~tens of times the trial throughput (see docs/engines.md).
 //   - lambda/natural — the natural-model surrogate's race, the trial
 //     behind Model.Characterize and the Figure 5 sweep (param = MOI).
+//   - lambda/moi-curve — the numeric form of the synthesised model's MOI
+//     response (the paper's Figure 5 curve): each trial measures the
+//     lysogeny indicator (1 lysogeny, 0 lysis or unresolved), so the
+//     merged Summary's Mean is the lysogeny fraction with its StdErr
+//     (param = MOI).
 //   - synth/fig3-error — the Figure 3 stochastic-module error experiment
 //     (outcome 1 = trial in error; param = γ).
 //   - synth/fig3-error-hybrid — Figure 3 on the hybrid engine.
+//   - synth/fig3-sweep — the numeric form of the Figure 3 sweep: each
+//     trial measures the error indicator (1 error, 0 correct), so the
+//     merged Summary's Mean is the error rate with its StdErr (param = γ).
+//
+// The numeric sweeps consume exactly the trial streams of their tally
+// counterparts (same engine construction, same classifier), so per-trial
+// outcomes agree trial for trial, and their canonical mc.Moments
+// summaries merge bit-for-bit across any partition — over the network
+// transport and through the shard journal included.
 //
 // The non-hybrid sweeps rebuild the exact engine-reuse trial bodies of the
 // single-process paths, so sharded runs merge bit-for-bit with them; the
@@ -49,8 +65,10 @@ func Builtin() *Registry {
 	reg.Register(SweepLambdaNatural, lambdaFactory(func() (*lambda.Model, error) {
 		return lambda.NaturalModel(lambda.NaturalParams{})
 	}))
+	reg.Register(SweepLambdaMOICurve, moiCurveFactory())
 	reg.Register(SweepFig3Error, fig3Factory(""))
 	reg.Register(SweepFig3ErrorHybrid, fig3Factory(sim.EngineHybrid))
+	reg.Register(SweepFig3Numeric, fig3NumericFactory())
 	return reg
 }
 
@@ -73,6 +91,58 @@ func lambdaFactory(build func() (*lambda.Model, error)) Factory {
 			return OutcomeTrial{
 				NewEngine: func(gen *rng.PCG) any { return m.NewEngine(gen) },
 				Classify:  func(eng any) int { return classify(eng.(sim.Engine)) },
+			}, nil
+		},
+	}
+}
+
+// moiCurveFactory builds the numeric MOI-response sweep on the synthetic
+// model: the per-trial lysogeny indicator, on exactly the engine and
+// classifier Characterize uses, so trial t's measurement is determined by
+// the same stream draw as trial t of the lambda/synthetic tally.
+func moiCurveFactory() Factory {
+	return Factory{
+		Numeric: true,
+		NumericF: func(param float64) (NumericTrial, error) {
+			moi := int64(math.Round(param))
+			if float64(moi) != param || moi < 1 {
+				return NumericTrial{}, fmt.Errorf("MOI grid value %v is not a positive integer", param)
+			}
+			m := lambda.SyntheticModel()
+			classify := m.Classifier(moi)
+			return NumericTrial{
+				NewEngine: func(gen *rng.PCG) any { return m.NewEngine(gen) },
+				Measure: func(eng any) float64 {
+					if classify(eng.(sim.Engine)) == lambda.Lysogeny {
+						return 1
+					}
+					return 0
+				},
+			}, nil
+		},
+	}
+}
+
+// fig3NumericFactory builds the numeric Figure 3 sweep: the per-trial
+// error indicator on the default engine, stream-identical to the
+// synth/fig3-error tally trials.
+func fig3NumericFactory() Factory {
+	return Factory{
+		Numeric: true,
+		NumericF: func(gamma float64) (NumericTrial, error) {
+			mod, err := synth.Figure3Spec(gamma).Build()
+			if err != nil {
+				return NumericTrial{}, err
+			}
+			classify := synth.Figure3Classifier(mod)
+			protected := mod.ProtectedSpecies()
+			return NumericTrial{
+				NewEngine: func(gen *rng.PCG) any {
+					return sim.MustEngineOfKind("", mod.Net, protected, gen)
+				},
+				Measure: func(eng any) float64 {
+					return float64(classify(eng.(sim.Engine)))
+				},
 			}, nil
 		},
 	}

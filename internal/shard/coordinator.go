@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // SweepSpec describes a whole sweep to be sharded: the named trial
@@ -68,7 +69,10 @@ func LocalRunner(reg *Registry) Runner {
 // ExecRunner runs each shard in a fresh OS process: it starts the given
 // command (typically a sweepd binary with its -worker flag), writes the
 // ShardSpec JSON to its stdin, and decodes the ShardResult JSON from its
-// stdout. Worker stderr is folded into the error on failure.
+// stdout. Whatever the worker wrote to stderr — its own error message, a
+// panic with its stack, a library warning — is attached to the returned
+// error on every failure path, so the coordinator's retry log says *why*
+// a worker died, not just that it did.
 func ExecRunner(command string, args ...string) Runner {
 	return func(spec ShardSpec) (ShardResult, error) {
 		payload, err := spec.Encode()
@@ -81,14 +85,33 @@ func ExecRunner(command string, args ...string) Runner {
 		cmd.Stdout = &stdout
 		cmd.Stderr = &stderr
 		if err := cmd.Run(); err != nil {
-			msg := strings.TrimSpace(stderr.String())
-			if msg != "" {
-				return ShardResult{}, fmt.Errorf("shard: worker %s: %v: %s", spec.SpanRange(), err, msg)
-			}
-			return ShardResult{}, fmt.Errorf("shard: worker %s: %v", spec.SpanRange(), err)
+			return ShardResult{}, fmt.Errorf("shard: worker %s: %v%s", spec.SpanRange(), err, stderrSuffix(&stderr))
 		}
-		return DecodeResult(stdout.Bytes())
+		res, err := DecodeResult(stdout.Bytes())
+		if err != nil {
+			// Exit 0 with undecodable output: the worker's stderr is the
+			// only clue to what it actually did.
+			return ShardResult{}, fmt.Errorf("shard: worker %s: %w%s", spec.SpanRange(), err, stderrSuffix(&stderr))
+		}
+		return res, nil
 	}
+}
+
+// maxStderrAttach caps how much worker stderr is folded into an error —
+// enough for a full panic stack, bounded so a log-spewing worker cannot
+// flood the coordinator's own logs. The tail is kept: that is where the
+// panic and the final error live.
+const maxStderrAttach = 16 << 10
+
+func stderrSuffix(stderr *bytes.Buffer) string {
+	msg := strings.TrimSpace(stderr.String())
+	if msg == "" {
+		return ""
+	}
+	if len(msg) > maxStderrAttach {
+		msg = "…" + msg[len(msg)-maxStderrAttach:]
+	}
+	return "\nworker stderr:\n" + msg
 }
 
 // Options tunes Coordinate.
@@ -100,6 +123,12 @@ type Options struct {
 	// Retries is how many times a failing shard is re-dispatched before
 	// its range is reported missing.
 	Retries int
+	// OnShardDone, when set, is called after each shard completes and —
+	// when a journal is in play (ResumeCoordinate) — after its result is
+	// durably journaled: done counts completed shards of this run, total
+	// is the number dispatched. It may be called concurrently from
+	// dispatch goroutines.
+	OnShardDone func(done, total int, res ShardResult)
 }
 
 // Coordinate partitions the sweep into shards, fans them out over run,
@@ -113,7 +142,15 @@ func Coordinate(spec SweepSpec, shards int, run Runner, opts Options) (ShardResu
 	if err := spec.Validate(); err != nil {
 		return ShardResult{}, err
 	}
-	specs := spec.Partition(shards)
+	return coordinate(spec, spec.Partition(shards), nil, nil, run, opts)
+}
+
+// coordinate is the dispatch core shared by Coordinate and
+// ResumeCoordinate: fan specs out over run with bounded parallelism and
+// retries, durably journal each completed result (when journal is
+// non-nil) before counting it done, and merge the new results with any
+// prior (journal-replayed) ones.
+func coordinate(spec SweepSpec, specs []ShardSpec, prior []ShardResult, journal *Journal, run Runner, opts Options) (ShardResult, error) {
 	parallel := opts.Parallel
 	if parallel <= 0 || parallel > len(specs) {
 		parallel = len(specs)
@@ -122,6 +159,7 @@ func Coordinate(spec SweepSpec, shards int, run Runner, opts Options) (ShardResu
 	results := make([]ShardResult, len(specs))
 	errs := make([]error, len(specs))
 	sem := make(chan struct{}, parallel)
+	var done atomic.Int64
 	var wg sync.WaitGroup
 	for i, sp := range specs {
 		wg.Add(1)
@@ -134,8 +172,21 @@ func Coordinate(spec SweepSpec, shards int, run Runner, opts Options) (ShardResu
 				if err == nil {
 					err = checkShardResult(sp, res)
 				}
+				if err == nil && journal != nil {
+					// Journal before counting the shard complete: a result
+					// that is not durable is a result a crash will lose. A
+					// journal failure is fatal rather than retryable —
+					// recomputing the shard will not fix the disk.
+					if jerr := journal.Append(res); jerr != nil {
+						errs[i] = fmt.Errorf("shard %s: %w", sp.SpanRange(), jerr)
+						return
+					}
+				}
 				if err == nil {
 					results[i], errs[i] = res, nil
+					if opts.OnShardDone != nil {
+						opts.OnShardDone(int(done.Add(1)), len(specs), res)
+					}
 					return
 				}
 				errs[i] = fmt.Errorf("shard %s (attempt %d): %w", sp.SpanRange(), attempt+1, err)
@@ -150,6 +201,17 @@ func Coordinate(spec SweepSpec, shards int, run Runner, opts Options) (ShardResu
 	merged := ShardResult{}
 	var failures []string
 	first := true
+	for _, res := range prior {
+		if first {
+			merged, first = res, false
+			continue
+		}
+		var err error
+		merged, err = MergeResults(merged, res)
+		if err != nil {
+			return ShardResult{}, err
+		}
+	}
 	for i := range specs {
 		if errs[i] != nil {
 			failures = append(failures, errs[i].Error())

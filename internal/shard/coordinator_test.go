@@ -1,10 +1,13 @@
 package shard
 
 import (
+	"bytes"
 	"fmt"
+	"net"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func testSweepSpec() SweepSpec {
@@ -112,6 +115,202 @@ func TestCoordinateRejectsWrongRangeFromWorker(t *testing.T) {
 	_, err := Coordinate(spec, 4, confused, Options{})
 	if err == nil {
 		t.Fatal("coordinator accepted wrong-range results")
+	}
+}
+
+// expectTallyBitwise asserts a merged result equals the unsharded
+// single-process sweep bit for bit.
+func expectTallyBitwise(t *testing.T, spec SweepSpec, merged ShardResult) {
+	t.Helper()
+	got, err := merged.SweepPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := singleProcessTally(spec)
+	for i := range want {
+		if want[i].Result.None != got[i].Result.None {
+			t.Fatalf("point %d: none %d, want %d", i, got[i].Result.None, want[i].Result.None)
+		}
+		for o := range want[i].Result.Counts {
+			if want[i].Result.Counts[o] != got[i].Result.Counts[o] {
+				t.Fatalf("point %d outcome %d: %d, want %d", i, o,
+					got[i].Result.Counts[o], want[i].Result.Counts[o])
+			}
+		}
+	}
+}
+
+// TestCoordinateRetriesOntoHealthyWorkersThroughFaults is the transport
+// fault-injection suite: one worker of a three-worker fleet has its
+// connections sabotaged — frames dropped mid-shard, truncated, corrupted,
+// or delayed past the shard deadline — and in every mode the coordinator
+// must route retries onto the healthy workers and still merge a sweep
+// bit-for-bit identical to the unsharded mc.Run path.
+func TestCoordinateRetriesOntoHealthyWorkersThroughFaults(t *testing.T) {
+	reg := testRegistry()
+	spec := testSweepSpec()
+
+	cases := map[string]struct {
+		opts RemoteOptions
+		wrap func(net.Conn, *atomic.Int64) net.Conn
+	}{
+		// The connection dies after ~120 bytes read: enough to survive
+		// the handshake, so the first result frame is cut off mid-stream.
+		"drops connection mid-result": {
+			wrap: func(c net.Conn, faults *atomic.Int64) net.Conn {
+				return &flakyConn{Conn: c, readLimit: 120, corruptAt: -1, faults: faults}
+			},
+		},
+		// The stream is cut inside the frame header of the first result:
+		// a truncated frame, not a clean close.
+		"truncates result frame": {
+			wrap: func(c net.Conn, faults *atomic.Int64) net.Conn {
+				return &flakyConn{Conn: c, readLimit: 82, corruptAt: -1, faults: faults}
+			},
+		},
+		// A bit flip deep in the result frame: the CRC must catch it and
+		// the coordinator must treat the worker as unusable, not merge
+		// silently corrupted tallies.
+		"corrupts result frame": {
+			wrap: func(c net.Conn, faults *atomic.Int64) net.Conn {
+				return &flakyConn{Conn: c, readLimit: -1, corruptAt: 150, faults: faults}
+			},
+		},
+		// The worker stalls: reads outlast the shard deadline.
+		"delays frames past the deadline": {
+			opts: RemoteOptions{ShardTimeout: 150 * time.Millisecond, DialTimeout: 2 * time.Second},
+			wrap: func(c net.Conn, faults *atomic.Int64) net.Conn {
+				return &flakyConn{Conn: c, readLimit: -1, corruptAt: -1, delay: 400 * time.Millisecond, faults: faults}
+			},
+		},
+	}
+
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			healthy1 := startTestServer(t, reg)
+			healthy2 := startTestServer(t, reg)
+			faulty := startTestServer(t, reg)
+			faultyAddr := faulty.Addr().String()
+
+			var faults atomic.Int64
+			opts := tc.opts
+			opts.Dial = func(addr string) (net.Conn, error) {
+				c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+				if err != nil {
+					return nil, err
+				}
+				if addr == faultyAddr {
+					return tc.wrap(c, &faults), nil
+				}
+				return c, nil
+			}
+			pool, err := NewRemotePool(
+				[]string{faultyAddr, healthy1.Addr().String(), healthy2.Addr().String()}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pool.Close()
+
+			merged, err := Coordinate(spec, 6, pool.Runner(), Options{Parallel: 3, Retries: 4})
+			if err != nil {
+				t.Fatalf("coordinator did not survive the faulty worker: %v", err)
+			}
+			if faults.Load() == 0 {
+				t.Fatal("fault injection never fired; the test proved nothing")
+			}
+			expectTallyBitwise(t, spec, merged)
+		})
+	}
+}
+
+// TestCoordinateSurvivesServerSideFlakiness drives the flakyListener
+// side of the harness: a worker whose *accepted* connections corrupt
+// traffic is indistinguishable from a broken NIC, and the coordinator
+// must still converge on the healthy worker.
+func TestCoordinateSurvivesServerSideFlakiness(t *testing.T) {
+	reg := testRegistry()
+	spec := testSweepSpec()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faults atomic.Int64
+	flaky := Serve(&flakyListener{Listener: ln, wrap: func(c net.Conn) net.Conn {
+		// Server-side read faults cut the coordinator's frames: the spec
+		// frame never arrives whole, so the worker hangs up mid-request.
+		return &flakyConn{Conn: c, readLimit: 60, corruptAt: -1, faults: &faults}
+	}}, reg)
+	defer flaky.Close()
+	healthy := startTestServer(t, reg)
+
+	pool := testPool(t, RemoteOptions{}, flaky, healthy)
+	merged, err := Coordinate(spec, 4, pool.Runner(), Options{Parallel: 2, Retries: 3})
+	if err != nil {
+		t.Fatalf("coordinator did not survive the flaky listener: %v", err)
+	}
+	if faults.Load() == 0 {
+		t.Fatal("fault injection never fired")
+	}
+	expectTallyBitwise(t, spec, merged)
+}
+
+// TestCoordinateDrainingWorkerShardsReassigned: shards answered with a
+// drain frame are retried onto the remaining worker, preserving the
+// bitwise merge.
+func TestCoordinateDrainingWorkerShardsReassigned(t *testing.T) {
+	reg := testRegistry()
+	spec := testSweepSpec()
+	draining := startTestServer(t, reg)
+	healthy := startTestServer(t, reg)
+	pool := testPool(t, RemoteOptions{}, draining, healthy)
+	draining.Drain()
+
+	merged, err := Coordinate(spec, 4, pool.Runner(), Options{Parallel: 2, Retries: 3})
+	if err != nil {
+		t.Fatalf("coordinator did not survive a draining worker: %v", err)
+	}
+	expectTallyBitwise(t, spec, merged)
+}
+
+// TestExecRunnerAttachesStderr: whatever a worker process writes to
+// stderr must land in the returned error — on non-zero exits and on
+// exit-0-with-garbage alike — so retry logs explain the failure.
+func TestExecRunnerAttachesStderr(t *testing.T) {
+	spec := testSweepSpec().Shard(0, 50)
+
+	_, err := ExecRunner("sh", "-c", "echo the-actual-reason >&2; exit 3")(spec)
+	if err == nil || !strings.Contains(err.Error(), "the-actual-reason") {
+		t.Fatalf("stderr of a failing worker not attached: %v", err)
+	}
+	if !strings.Contains(err.Error(), "exit status 3") {
+		t.Fatalf("exit status missing from error: %v", err)
+	}
+
+	_, err = ExecRunner("sh", "-c", "echo not-json; echo decode-side-clue >&2")(spec)
+	if err == nil || !strings.Contains(err.Error(), "decode-side-clue") {
+		t.Fatalf("stderr of an exit-0 worker with garbage output not attached: %v", err)
+	}
+}
+
+// TestStderrSuffixKeepsTail: a log-spewing worker is capped, keeping the
+// tail where the panic lives.
+func TestStderrSuffixKeepsTail(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 4000; i++ {
+		fmt.Fprintf(&buf, "noise line %d\n", i)
+	}
+	buf.WriteString("panic: the part that matters")
+	got := stderrSuffix(&buf)
+	if len(got) > maxStderrAttach+64 {
+		t.Fatalf("suffix not capped: %d bytes", len(got))
+	}
+	if !strings.Contains(got, "panic: the part that matters") {
+		t.Fatal("tail of stderr (the panic) was lost")
+	}
+	var empty bytes.Buffer
+	if s := stderrSuffix(&empty); s != "" {
+		t.Fatalf("empty stderr produced suffix %q", s)
 	}
 }
 

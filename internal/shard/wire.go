@@ -18,14 +18,17 @@
 //     MergeSummaries merges standalone moment forests.
 //   - A coordinator: SweepSpec.Partition splits a sweep into shards,
 //     Coordinate fans them out over a Runner (in-process via LocalRunner,
-//     or one OS process per shard via ExecRunner and the cmd/sweepd
-//     worker mode) and merges, reporting missing trial ranges when
-//     workers fail.
+//     one OS process per shard via ExecRunner and the cmd/sweepd worker
+//     mode, or a fleet of long-lived TCP workers via RemotePool/Server)
+//     and merges, reporting missing trial ranges when workers fail.
+//     ResumeCoordinate adds crash safety: completed results are written
+//     to an fsync'd, checksummed Journal, and an interrupted sweep
+//     resumes from it, re-dispatching only the missing trial ranges.
 //
 // Trial bodies are resolved by name through a Registry, so a ShardSpec is
 // runnable in a fresh process that shares nothing with the coordinator
-// but the binary. See docs/sharding.md for the format and versioning
-// policy.
+// but the binary. See docs/sharding.md for the formats (JSON messages,
+// TCP framing, journal records) and versioning policy.
 package shard
 
 import (
@@ -251,13 +254,13 @@ func (r ShardResult) Validate() error {
 // momentRanges returns the coalesced trial ranges covered by a canonical
 // moment forest.
 func momentRanges(m mc.Moments) []Range {
-	var out []Range
-	for _, n := range m {
-		if len(out) > 0 && out[len(out)-1].Hi == n.Start {
-			out[len(out)-1].Hi = n.Start + n.Size
-			continue
-		}
-		out = append(out, Range{Lo: n.Start, Hi: n.Start + n.Size})
+	spans := m.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]Range, len(spans))
+	for i, s := range spans {
+		out[i] = Range{Lo: s[0], Hi: s[1]}
 	}
 	return out
 }
