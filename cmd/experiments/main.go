@@ -47,8 +47,16 @@ func main() {
 	)
 	flag.IntVar(&fig3Shards, "shards", 1, "shards for the Figure 3 sweep (results identical for any value)")
 	flag.Parse()
+	// Engine selection fails fast, before any experiment runs: an unknown
+	// -engine value lists sim.EngineKinds(), and an engine with no
+	// registered Figure 3 sweep is rejected up front instead of silently
+	// substituting the default mid-run.
 	kind, err := sim.ParseEngineKind(*engine)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	if err := validateEngineSelection(*exp, kind); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
@@ -99,19 +107,61 @@ var fig3Shards = 1
 // (empty = each path's default, OptimizedDirect).
 var engineKind sim.EngineKind
 
+// fig3Sweeps maps the engine kinds that have a registered Figure 3 sweep
+// to its id. The Figure 3 experiment runs through the shard registry, so
+// only kinds with a builtin sweep can serve it; when a new fig3 builtin
+// lands in shard.Builtin(), add its kind here and validation, selection
+// and the error message all follow.
+var fig3Sweeps = map[sim.EngineKind]string{
+	"":                        shard.SweepFig3Error,
+	sim.EngineOptimizedDirect: shard.SweepFig3Error,
+	sim.EngineHybrid:          shard.SweepFig3ErrorHybrid,
+}
+
+// fig3SupportedKinds lists the non-default engine kinds fig3Sweeps maps,
+// in EngineKinds order, for error messages.
+func fig3SupportedKinds() []sim.EngineKind {
+	var kinds []sim.EngineKind
+	for _, k := range sim.EngineKinds() {
+		if _, ok := fig3Sweeps[k]; ok {
+			kinds = append(kinds, k)
+		}
+	}
+	return kinds
+}
+
+// validateEngineSelection rejects -exp/-engine combinations that could not
+// run as requested, so the tool fails before any experiment output instead
+// of surfacing a substitution notice mid-run. An explicit `-exp fig3` with
+// an unservable engine is refused; `-exp all` still runs (every other
+// experiment honours the engine) and figure3 announces the skip up front.
+func validateEngineSelection(exp string, kind sim.EngineKind) error {
+	if kind == "" {
+		return nil
+	}
+	if exp == "fig3" {
+		if _, ok := fig3Sweeps[kind]; !ok {
+			return fmt.Errorf("engine %q has no registered Figure 3 sweep (fig3 supports: %v); choose one of those or a different -exp",
+				kind, fig3SupportedKinds())
+		}
+	}
+	return nil
+}
+
 // figure3 reproduces the error-vs-γ sweep (Monte Carlo per γ, log-log).
 // It runs on the partition+merge core: the default single-process run is
 // the 1-shard special case of the same sharded sweep cmd/sweepd can
 // spread across worker processes.
 func figure3(trials int, seed uint64) {
 	gammas := []float64{1, 10, 100, 1e3, 1e4, 1e5}
-	sweep := shard.SweepFig3Error
-	switch engineKind {
-	case "", sim.EngineOptimizedDirect:
-	case sim.EngineHybrid:
-		sweep = shard.SweepFig3ErrorHybrid
-	default:
-		fmt.Printf("(engine %q has no registered fig3 sweep; using the default)\n", engineKind)
+	sweep, ok := fig3Sweeps[engineKind]
+	if !ok {
+		// Only reachable from `-exp all` (an explicit `-exp fig3` was
+		// refused at startup by validateEngineSelection): skip the sweep
+		// loudly rather than substituting the default engine mid-run.
+		fmt.Fprintf(os.Stderr, "experiments: skipping Figure 3: engine %q has no registered sweep (fig3 supports: %v)\n",
+			engineKind, fig3SupportedKinds())
+		return
 	}
 	spec := shard.SweepSpec{
 		Sweep: sweep, Grid: gammas, Trials: trials, Seed: seed, Outcomes: 2,

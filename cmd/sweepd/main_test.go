@@ -430,3 +430,34 @@ func TestFigure3ScaleSweepMatchesMcSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestUnknownSweepFailsFastListingBuiltins: coordinator mode with an
+// unknown or missing -sweep must fail before partitioning or dispatching
+// anything, and the error must list every registered sweep id so the user
+// can correct the command without running -list separately.
+func TestUnknownSweepFailsFastListingBuiltins(t *testing.T) {
+	bin := buildSweepd(t)
+	names := shard.Builtin().Names()
+	for _, args := range [][]string{
+		{"-sweep", "bogus/sweep", "-params", "1,2", "-trials", "10"},
+		{"-params", "1,2", "-trials", "10"}, // missing -sweep entirely
+	} {
+		var stdout, stderr bytes.Buffer
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		exitErr, ok := err.(*exec.ExitError)
+		if !ok || exitErr.ExitCode() != 1 {
+			t.Fatalf("%v: want exit code 1, got %v", args, err)
+		}
+		for _, name := range names {
+			if !strings.Contains(stderr.String(), name) {
+				t.Errorf("%v: stderr %q does not list sweep %q", args, stderr.String(), name)
+			}
+		}
+		if strings.Contains(stdout.String(), "shards") {
+			t.Errorf("%v: sweep appears to have run before the failure:\n%s", args, stdout.String())
+		}
+	}
+}

@@ -89,9 +89,24 @@ func (m *Model) WithEngine(kind sim.EngineKind) *Model {
 
 // NewEngine builds the engine Characterize uses: the model's configured
 // kind, defaulting to OptimizedDirect. The outcome species are the
-// protected set for hybrid partitioning.
+// protected set for hybrid partitioning. Each call compiles the network;
+// callers building one engine per worker should use EngineFactory, which
+// compiles once and shares the kernel.
 func (m *Model) NewEngine(gen *rng.PCG) sim.Engine {
 	return sim.MustEngineOfKind(m.Engine, m.Net, m.protected(), gen)
+}
+
+// EngineFactory compiles the network once and returns a constructor that
+// builds engines of the model's configured kind over the shared immutable
+// kernel — the per-worker factory shape mc.RunWith wants. Trajectories are
+// identical to NewEngine's (the kernel is a pure function of the network).
+func (m *Model) EngineFactory() func(gen *rng.PCG) sim.Engine {
+	comp := chem.Compile(m.Net)
+	protected := m.protected()
+	kind := m.Engine
+	return func(gen *rng.PCG) sim.Engine {
+		return sim.MustEngineOfKindCompiled(kind, comp, protected, gen)
+	}
 }
 
 func (m *Model) protected() []chem.Species {
@@ -109,8 +124,10 @@ func (m *Model) Trial(moi int64) mc.Trial {
 	if kind == "" {
 		kind = sim.EngineDirect
 	}
+	comp := chem.Compile(m.Net)
+	protected := m.protected()
 	return func(gen *rng.PCG) int {
-		return classify(sim.MustEngineOfKind(kind, m.Net, m.protected(), gen))
+		return classify(sim.MustEngineOfKindCompiled(kind, comp, protected, gen))
 	}
 }
 
@@ -127,15 +144,11 @@ func (m *Model) Classifier(moi int64) func(eng sim.Engine) int {
 	if maxSteps == 0 {
 		maxSteps = 5_000_000
 	}
-	opts := sim.RunOptions{
-		MaxSteps: maxSteps,
-		StopWhen: func(st chem.State, _ float64) bool {
-			return st[m.Cro2] >= m.Thresholds.Cro2 || st[m.CI2] >= m.Thresholds.CI2
-		},
-	}
+	lysis := sim.SpeciesThreshold{Species: m.Cro2, Count: m.Thresholds.Cro2}
+	lysogeny := sim.SpeciesThreshold{Species: m.CI2, Count: m.Thresholds.CI2}
 	return func(eng sim.Engine) int {
 		eng.Reset(st0, 0)
-		res := sim.Run(eng, opts)
+		res := sim.RunThresholdRace(eng, lysis, lysogeny, maxSteps)
 		if res.Reason != sim.StopPredicate {
 			return mc.None
 		}
@@ -156,7 +169,7 @@ func (m *Model) Characterize(moi int64, trials int, seed uint64) mc.Result {
 	classify := m.Classifier(moi)
 	return mc.RunWith(
 		mc.Config{Trials: trials, Outcomes: 2, Seed: seed},
-		m.NewEngine,
+		m.EngineFactory(),
 		classify,
 	)
 }

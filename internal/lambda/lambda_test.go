@@ -122,7 +122,9 @@ func TestNaturalModelFitRecoversResponseShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	points := SweepMOI(m, []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 800, 13)
+	// 2000 trials/point keeps the per-point sampling error near 1 point;
+	// at 800 the R² estimate straddles the 0.95 bar seed-to-seed.
+	points := SweepMOI(m, []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 2000, 13)
 	fitted, err := FitResponse(points)
 	if err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"stochsynth/internal/chem"
 	"stochsynth/internal/lambda"
 	"stochsynth/internal/rng"
 	"stochsynth/internal/sim"
@@ -88,8 +89,9 @@ func lambdaFactory(build func() (*lambda.Model, error)) Factory {
 				return OutcomeTrial{}, err
 			}
 			classify := m.Classifier(moi)
+			newEngine := m.EngineFactory()
 			return OutcomeTrial{
-				NewEngine: func(gen *rng.PCG) any { return m.NewEngine(gen) },
+				NewEngine: func(gen *rng.PCG) any { return newEngine(gen) },
 				Classify:  func(eng any) int { return classify(eng.(sim.Engine)) },
 			}, nil
 		},
@@ -110,8 +112,9 @@ func moiCurveFactory() Factory {
 			}
 			m := lambda.SyntheticModel()
 			classify := m.Classifier(moi)
+			newEngine := m.EngineFactory()
 			return NumericTrial{
-				NewEngine: func(gen *rng.PCG) any { return m.NewEngine(gen) },
+				NewEngine: func(gen *rng.PCG) any { return newEngine(gen) },
 				Measure: func(eng any) float64 {
 					if classify(eng.(sim.Engine)) == lambda.Lysogeny {
 						return 1
@@ -136,9 +139,10 @@ func fig3NumericFactory() Factory {
 			}
 			classify := synth.Figure3Classifier(mod)
 			protected := mod.ProtectedSpecies()
+			comp := chem.Compile(mod.Net)
 			return NumericTrial{
 				NewEngine: func(gen *rng.PCG) any {
-					return sim.MustEngineOfKind("", mod.Net, protected, gen)
+					return sim.MustEngineOfKindCompiled("", comp, protected, gen)
 				},
 				Measure: func(eng any) float64 {
 					return float64(classify(eng.(sim.Engine)))
@@ -160,9 +164,10 @@ func fig3Factory(kind sim.EngineKind) Factory {
 			}
 			classify := synth.Figure3Classifier(mod)
 			protected := mod.ProtectedSpecies()
+			comp := chem.Compile(mod.Net)
 			return OutcomeTrial{
 				NewEngine: func(gen *rng.PCG) any {
-					return sim.MustEngineOfKind(kind, mod.Net, protected, gen)
+					return sim.MustEngineOfKindCompiled(kind, comp, protected, gen)
 				},
 				Classify: func(eng any) int { return classify(eng.(sim.Engine)) },
 			}, nil

@@ -10,32 +10,39 @@ import (
 // Direct is Gillespie's direct method: each step draws an exponential
 // waiting time from the total propensity and selects the firing channel in
 // proportion to the individual propensities. All propensities are recomputed
-// from scratch every step, which is exact and, for the narrow networks this
-// library synthesises (tens of channels), usually fastest in practice.
+// from scratch every step over the compiled kernel's flat channel arrays,
+// which is exact and, for the narrow networks this library synthesises
+// (tens of channels), usually fastest in practice.
 type Direct struct {
-	net   *chem.Network
-	rxns  []chem.Reaction // cached net.Reactions() to keep Step call-free
+	comp  *chem.Compiled
 	gen   *rng.PCG
 	state chem.State
 	t     float64
-	prop  []float64 // scratch propensity vector
+	prop  []float64 // scratch propensity vector, compiled channel order
 }
 
 // NewDirect returns a Direct engine over net, positioned at the network's
-// default initial state at time zero.
+// default initial state at time zero. The network is compiled once
+// (chem.Compile) at construction and shared across every Reset.
 func NewDirect(net *chem.Network, gen *rng.PCG) *Direct {
+	return NewDirectCompiled(chem.Compile(net), gen)
+}
+
+// NewDirectCompiled returns a Direct engine over an already-compiled
+// kernel, sharing it with the caller (and any sibling engines) instead of
+// recompiling.
+func NewDirectCompiled(comp *chem.Compiled, gen *rng.PCG) *Direct {
 	d := &Direct{
-		net:  net,
-		rxns: net.Reactions(),
+		comp: comp,
 		gen:  gen,
-		prop: make([]float64, net.NumReactions()),
+		prop: make([]float64, comp.NumChannels()),
 	}
-	d.Reset(net.InitialState(), 0)
+	d.Reset(comp.Network().InitialState(), 0)
 	return d
 }
 
 // Network returns the simulated network.
-func (d *Direct) Network() *chem.Network { return d.net }
+func (d *Direct) Network() *chem.Network { return d.comp.Network() }
 
 // State returns the live state vector (read-only for callers).
 func (d *Direct) State() chem.State { return d.state }
@@ -45,21 +52,20 @@ func (d *Direct) Time() float64 { return d.t }
 
 // Reset repositions the engine at a copy of state and time t.
 func (d *Direct) Reset(state chem.State, t float64) {
-	if len(state) != d.net.NumSpecies() {
+	if len(state) != d.comp.NumSpecies() {
 		panic("sim: state length does not match network species count")
 	}
-	d.state = state.Clone()
+	if d.state == nil {
+		d.state = make(chem.State, len(state))
+	}
+	copy(d.state, state)
 	d.t = t
 }
 
 // Step implements Engine.
 func (d *Direct) Step(horizon float64) (int, StepStatus) {
-	total := 0.0
-	for i := range d.rxns {
-		a := chem.Propensity(&d.rxns[i], d.state)
-		d.prop[i] = a
-		total += a
-	}
+	comp := d.comp
+	total := comp.PropensitiesInto(d.state, d.prop)
 	if total <= 0 {
 		return -1, Quiescent
 	}
@@ -69,36 +75,37 @@ func (d *Direct) Step(horizon float64) (int, StepStatus) {
 		return -1, Horizon
 	}
 	d.t = tNext
-	// Channel selection: linear scan of the cumulative propensities.
+	// Channel selection: linear scan of the cumulative propensities. The
+	// compile-time propensity-descending ordering makes this scan terminate
+	// early on skewed networks.
 	target := d.gen.Float64() * total
 	acc := 0.0
-	for i, a := range d.prop {
+	for c, a := range d.prop {
 		acc += a
 		if target < acc {
-			d.state.Apply(&d.rxns[i])
-			return i, Fired
+			comp.Apply(c, d.state)
+			return int(comp.Perm[c]), Fired
 		}
 	}
 	// Floating-point slack: fire the last channel with positive propensity.
-	for i := len(d.prop) - 1; i >= 0; i-- {
-		if d.prop[i] > 0 {
-			d.state.Apply(&d.rxns[i])
-			return i, Fired
+	for c := len(d.prop) - 1; c >= 0; c-- {
+		if d.prop[c] > 0 {
+			comp.Apply(c, d.state)
+			return int(comp.Perm[c]), Fired
 		}
 	}
 	return -1, Quiescent // unreachable: total > 0 implies a positive channel
 }
 
 // OptimizedDirect is the direct method with incremental propensity
-// maintenance: a dependency graph restricts recomputation after each firing
-// to the affected channels, and the total propensity is maintained as a
-// running sum (renormalised periodically to bound floating-point drift).
-// It is exact and asymptotically faster than Direct on wide networks.
+// maintenance: the compiled kernel's CSR dependency graph restricts
+// recomputation after each firing to the affected channels, and the total
+// propensity is maintained as a running sum (renormalised periodically to
+// bound floating-point drift). It is exact and asymptotically faster than
+// Direct on wide networks.
 type OptimizedDirect struct {
-	net     *chem.Network
-	rxns    []chem.Reaction // cached net.Reactions() to keep Step call-free
+	comp    *chem.Compiled
 	gen     *rng.PCG
-	deps    [][]int
 	state   chem.State
 	t       float64
 	prop    []float64
@@ -110,27 +117,36 @@ type OptimizedDirect struct {
 // NewOptimizedDirect returns an OptimizedDirect engine over net at the
 // default initial state.
 //
-// Construction pays for the dependency graph once; Reset does not rebuild
-// it, so one engine can be reused across many Monte Carlo trials (see
-// mc.RunWith) with only an O(reactions) propensity refresh per trial.
+// Construction compiles the network once (flat term arrays, CSR dependency
+// graph); Reset does not recompile, so one engine can be reused across many
+// Monte Carlo trials (see mc.RunWith) with only an O(channels) propensity
+// refresh per trial.
 func NewOptimizedDirect(net *chem.Network, gen *rng.PCG) *OptimizedDirect {
+	return NewOptimizedDirectCompiled(chem.Compile(net), gen)
+}
+
+// NewOptimizedDirectCompiled returns an OptimizedDirect engine over an
+// already-compiled kernel, sharing it instead of recompiling.
+func NewOptimizedDirectCompiled(comp *chem.Compiled, gen *rng.PCG) *OptimizedDirect {
 	o := &OptimizedDirect{
-		net:     net,
-		rxns:    net.Reactions(),
-		gen:     gen,
-		deps:    chem.DependencyGraph(net),
-		prop:    make([]float64, net.NumReactions()),
+		comp: comp,
+		gen:  gen,
+		// The state vector is the kernel's extended form: species counts
+		// plus a trailing phantom slot holding the constant 1 that the
+		// packed refresh programs read (see chem.Compiled.NewStateVec).
+		state:   comp.NewStateVec(),
+		prop:    make([]float64, comp.NumChannels()),
 		refresh: 4096,
 	}
-	o.Reset(net.InitialState(), 0)
+	o.Reset(comp.Network().InitialState(), 0)
 	return o
 }
 
 // Network returns the simulated network.
-func (o *OptimizedDirect) Network() *chem.Network { return o.net }
+func (o *OptimizedDirect) Network() *chem.Network { return o.comp.Network() }
 
 // State returns the live state vector (read-only for callers).
-func (o *OptimizedDirect) State() chem.State { return o.state }
+func (o *OptimizedDirect) State() chem.State { return o.state[:o.comp.NumSpecies()] }
 
 // Time returns the current simulation time.
 func (o *OptimizedDirect) Time() float64 { return o.t }
@@ -138,21 +154,16 @@ func (o *OptimizedDirect) Time() float64 { return o.t }
 // Reset repositions the engine at a copy of state and time t and rebuilds
 // the propensity cache.
 func (o *OptimizedDirect) Reset(state chem.State, t float64) {
-	if len(state) != o.net.NumSpecies() {
+	if len(state) != o.comp.NumSpecies() {
 		panic("sim: state length does not match network species count")
 	}
-	o.state = state.Clone()
+	copy(o.state, state) // the trailing phantom slot stays 1
 	o.t = t
 	o.recomputeAll()
 }
 
 func (o *OptimizedDirect) recomputeAll() {
-	o.total = 0
-	for i := range o.rxns {
-		a := chem.Propensity(&o.rxns[i], o.state)
-		o.prop[i] = a
-		o.total += a
-	}
+	o.total = o.comp.PropensitiesInto(o.state, o.prop)
 	o.stale = 0
 }
 
@@ -172,10 +183,10 @@ func (o *OptimizedDirect) Step(horizon float64) (int, StepStatus) {
 	target := o.gen.Float64() * o.total
 	acc := 0.0
 	fired := -1
-	for i, a := range o.prop {
+	for c, a := range o.prop {
 		acc += a
 		if target < acc {
-			fired = i
+			fired = c
 			break
 		}
 	}
@@ -197,10 +208,10 @@ func (o *OptimizedDirect) Step(horizon float64) (int, StepStatus) {
 		}
 		target = o.gen.Float64() * o.total
 		acc = 0
-		for i, a := range o.prop {
+		for c, a := range o.prop {
 			acc += a
 			if target < acc {
-				fired = i
+				fired = c
 				break
 			}
 		}
@@ -209,17 +220,13 @@ func (o *OptimizedDirect) Step(horizon float64) (int, StepStatus) {
 		}
 	}
 	o.t = tNext
-	o.state.Apply(&o.rxns[fired])
-	for _, j := range o.deps[fired] {
-		a := chem.Propensity(&o.rxns[j], o.state)
-		o.total += a - o.prop[j]
-		o.prop[j] = a
-	}
+	comp := o.comp
+	o.total = comp.FireAndRefresh(fired, o.state, o.prop, o.total)
 	o.stale++
 	if o.stale >= o.refresh || o.total < 0 {
 		o.recomputeAll()
 	}
-	return fired, Fired
+	return int(comp.Perm[fired]), Fired
 }
 
 // FirstReaction is Gillespie's first-reaction method: each step draws a
@@ -228,7 +235,7 @@ func (o *OptimizedDirect) Step(horizon float64) (int, StepStatus) {
 // mostly useful as a cross-validation oracle whose randomness usage is
 // completely different from Direct's.
 type FirstReaction struct {
-	net   *chem.Network
+	comp  *chem.Compiled
 	gen   *rng.PCG
 	state chem.State
 	t     float64
@@ -237,13 +244,19 @@ type FirstReaction struct {
 // NewFirstReaction returns a FirstReaction engine over net at the default
 // initial state.
 func NewFirstReaction(net *chem.Network, gen *rng.PCG) *FirstReaction {
-	f := &FirstReaction{net: net, gen: gen}
-	f.Reset(net.InitialState(), 0)
+	return NewFirstReactionCompiled(chem.Compile(net), gen)
+}
+
+// NewFirstReactionCompiled returns a FirstReaction engine over an
+// already-compiled kernel.
+func NewFirstReactionCompiled(comp *chem.Compiled, gen *rng.PCG) *FirstReaction {
+	f := &FirstReaction{comp: comp, gen: gen}
+	f.Reset(comp.Network().InitialState(), 0)
 	return f
 }
 
 // Network returns the simulated network.
-func (f *FirstReaction) Network() *chem.Network { return f.net }
+func (f *FirstReaction) Network() *chem.Network { return f.comp.Network() }
 
 // State returns the live state vector (read-only for callers).
 func (f *FirstReaction) State() chem.State { return f.state }
@@ -253,26 +266,30 @@ func (f *FirstReaction) Time() float64 { return f.t }
 
 // Reset repositions the engine at a copy of state and time t.
 func (f *FirstReaction) Reset(state chem.State, t float64) {
-	if len(state) != f.net.NumSpecies() {
+	if len(state) != f.comp.NumSpecies() {
 		panic("sim: state length does not match network species count")
 	}
-	f.state = state.Clone()
+	if f.state == nil {
+		f.state = make(chem.State, len(state))
+	}
+	copy(f.state, state)
 	f.t = t
 }
 
 // Step implements Engine.
 func (f *FirstReaction) Step(horizon float64) (int, StepStatus) {
+	comp := f.comp
 	best := -1
 	bestTau := math.Inf(1)
-	for i := 0; i < f.net.NumReactions(); i++ {
-		a := chem.Propensity(f.net.Reaction(i), f.state)
+	for c := 0; c < comp.NumChannels(); c++ {
+		a := comp.Propensity(c, f.state)
 		if a <= 0 {
 			continue
 		}
 		tau := f.gen.Exp(a)
 		if tau < bestTau {
 			bestTau = tau
-			best = i
+			best = c
 		}
 	}
 	if best < 0 {
@@ -283,6 +300,6 @@ func (f *FirstReaction) Step(horizon float64) (int, StepStatus) {
 		return -1, Horizon
 	}
 	f.t += bestTau
-	f.state.Apply(f.net.Reaction(best))
-	return best, Fired
+	comp.Apply(best, f.state)
+	return int(comp.Perm[best]), Fired
 }

@@ -58,22 +58,45 @@ func ParseEngineKind(s string) (EngineKind, error) {
 // NewEngineOfKind builds an engine of the given kind over net at the
 // default initial state. protected lists the outcome/threshold species a
 // hybrid engine must keep exact; the exact engines ignore it. An empty
-// kind defaults to EngineOptimizedDirect.
+// kind defaults to EngineOptimizedDirect. The network is compiled
+// (chem.Compile) per call; callers constructing many engines over one
+// network (one per Monte Carlo worker) should compile once and use
+// NewEngineOfKindCompiled.
 func NewEngineOfKind(kind EngineKind, net *chem.Network, protected []chem.Species, gen *rng.PCG) (Engine, error) {
+	if _, err := ParseEngineKind(string(kind)); err != nil {
+		return nil, err
+	}
+	return NewEngineOfKindCompiled(kind, chem.Compile(net), protected, gen)
+}
+
+// NewEngineOfKindCompiled builds an engine of the given kind over an
+// already-compiled kernel, sharing it instead of recompiling. A Compiled is
+// immutable, so any number of engines (across goroutines) may share one.
+func NewEngineOfKindCompiled(kind EngineKind, comp *chem.Compiled, protected []chem.Species, gen *rng.PCG) (Engine, error) {
 	switch kind {
 	case EngineDirect:
-		return NewDirect(net, gen), nil
+		return NewDirectCompiled(comp, gen), nil
 	case "", EngineOptimizedDirect:
-		return NewOptimizedDirect(net, gen), nil
+		return NewOptimizedDirectCompiled(comp, gen), nil
 	case EngineFirstReaction:
-		return NewFirstReaction(net, gen), nil
+		return NewFirstReactionCompiled(comp, gen), nil
 	case EngineNextReaction:
-		return NewNextReaction(net, gen), nil
+		return NewNextReactionCompiled(comp, gen), nil
 	case EngineHybrid:
-		return NewHybrid(net, protected, gen), nil
+		return NewHybridCompiled(comp, protected, gen), nil
 	default:
 		return nil, fmt.Errorf("sim: unknown engine kind %q", kind)
 	}
+}
+
+// MustEngineOfKindCompiled is NewEngineOfKindCompiled for callers that have
+// already validated the kind; it panics on an unknown kind.
+func MustEngineOfKindCompiled(kind EngineKind, comp *chem.Compiled, protected []chem.Species, gen *rng.PCG) Engine {
+	eng, err := NewEngineOfKindCompiled(kind, comp, protected, gen)
+	if err != nil {
+		panic(err)
+	}
+	return eng
 }
 
 // MustEngineOfKind is NewEngineOfKind for callers that have already

@@ -47,16 +47,17 @@ import (
 //     forever, even though Direct would burn events indefinitely.
 //
 // Step reports only slow/exact firings (the decision events); batched
-// firings are tallied in FastEvents. Like every engine here, a Hybrid is
-// deterministic given a seeded generator and not safe for concurrent use.
+// firings are tallied in FastEvents. Internally the engine runs on the
+// compiled kernel (chem.Compiled), with the partition's reaction indices
+// remapped onto compiled channels at construction. Like every engine here,
+// a Hybrid is deterministic given a seeded generator and not safe for
+// concurrent use.
 type Hybrid struct {
-	net    *chem.Network
-	rxns   []chem.Reaction
-	gen    *rng.PCG
-	part   *chem.Partition
-	deltas [][]int64
-	state  chem.State
-	t      float64
+	comp  *chem.Compiled
+	gen   *rng.PCG
+	part  *chem.Partition
+	state chem.State
+	t     float64
 
 	// Epsilon is the relative propensity-change bound per leap for
 	// generically-leaped channels (default 0.03, as TauLeap).
@@ -67,71 +68,93 @@ type Hybrid struct {
 	// and exact.
 	LeapFactor float64
 
-	prop           []float64
+	// Partition data remapped into compiled channel indices.
+	fastEligible   []bool
+	relayProds     [][]int32 // per relay: producer channels
+	relayDeps      [][]int32 // per relay: catalytic dependent channels
 	relayActive    []bool
 	relayRate      []float64 // per relay: summed producer propensity λ
 	relayOfChannel []int     // channel → owning relay index, or -1
 	isRelaySpecies []bool
-	inLeap         []bool // channel in this iteration's generic leap set
-	counts         []int64
-	drift          []float64
-	sigma2         []float64
-	next           chem.State
-	fastEvents     int64
+
+	prop       []float64
+	inLeap     []bool // channel in this iteration's generic leap set
+	counts     []int64
+	drift      []float64
+	sigma2     []float64
+	next       chem.State
+	fastEvents int64
 
 	// cgpTau selectors, built once so the hot path never allocates.
-	leapContributes func(i int) bool
-	leapBounds      func(i int) bool
+	leapContributes func(c int) bool
+	leapBounds      func(c int) bool
 }
 
 // NewHybrid returns a Hybrid engine over net at the default initial state.
 // protected lists the outcome/threshold species whose distribution must be
 // exact; every channel that writes them (or their immediate propensity
-// inputs) is pinned to the exact set. The partition is derived once at
-// construction, so one engine can be reused across Monte Carlo trials.
+// inputs) is pinned to the exact set. The network is compiled and the
+// partition derived once at construction, so one engine can be reused
+// across Monte Carlo trials.
 func NewHybrid(net *chem.Network, protected []chem.Species, gen *rng.PCG) *Hybrid {
+	return NewHybridCompiled(chem.Compile(net), protected, gen)
+}
+
+// NewHybridCompiled returns a Hybrid engine over an already-compiled
+// kernel, sharing it instead of recompiling. The partition is still derived
+// per engine (it depends on the protected set, not only the network).
+func NewHybridCompiled(comp *chem.Compiled, protected []chem.Species, gen *rng.PCG) *Hybrid {
+	net := comp.Network()
 	h := &Hybrid{
-		net:        net,
-		rxns:       net.Reactions(),
+		comp:       comp,
 		gen:        gen,
 		part:       chem.NewPartition(net, protected),
 		Epsilon:    0.03,
 		LeapFactor: 10,
-		prop:       make([]float64, net.NumReactions()),
-		inLeap:     make([]bool, net.NumReactions()),
-		counts:     make([]int64, net.NumReactions()),
-		drift:      make([]float64, net.NumSpecies()),
-		sigma2:     make([]float64, net.NumSpecies()),
-		next:       make(chem.State, net.NumSpecies()),
+		prop:       make([]float64, comp.NumChannels()),
+		inLeap:     make([]bool, comp.NumChannels()),
+		counts:     make([]int64, comp.NumChannels()),
+		drift:      make([]float64, comp.NumSpecies()),
+		sigma2:     make([]float64, comp.NumSpecies()),
+		next:       make(chem.State, comp.NumSpecies()),
+	}
+	// Remap the partition's original reaction indices onto compiled
+	// channels once, so the hot loops never translate.
+	h.fastEligible = make([]bool, comp.NumChannels())
+	for c := range h.fastEligible {
+		h.fastEligible[c] = h.part.FastEligible[comp.Perm[c]]
 	}
 	h.relayActive = make([]bool, len(h.part.Relays))
 	h.relayRate = make([]float64, len(h.part.Relays))
-	h.isRelaySpecies = make([]bool, net.NumSpecies())
-	h.relayOfChannel = make([]int, net.NumReactions())
-	for i := range h.relayOfChannel {
-		h.relayOfChannel[i] = -1
+	h.relayProds = make([][]int32, len(h.part.Relays))
+	h.relayDeps = make([][]int32, len(h.part.Relays))
+	h.isRelaySpecies = make([]bool, comp.NumSpecies())
+	h.relayOfChannel = make([]int, comp.NumChannels())
+	for c := range h.relayOfChannel {
+		h.relayOfChannel[c] = -1
 	}
 	for k, r := range h.part.Relays {
 		h.isRelaySpecies[r.Species] = true
 		for _, i := range r.Producers {
-			h.relayOfChannel[i] = k
+			ch := comp.Channel[i]
+			h.relayOfChannel[ch] = k
+			h.relayProds[k] = append(h.relayProds[k], ch)
 		}
 		for _, i := range r.Sinks {
-			h.relayOfChannel[i] = k
+			h.relayOfChannel[comp.Channel[i]] = k
+		}
+		for _, i := range r.Dependents {
+			h.relayDeps[k] = append(h.relayDeps[k], comp.Channel[i])
 		}
 	}
-	h.deltas = make([][]int64, net.NumReactions())
-	for i := 0; i < net.NumReactions(); i++ {
-		h.deltas[i] = chem.Delta(net.Reaction(i), net.NumSpecies())
-	}
-	h.leapContributes = func(i int) bool { return h.inLeap[i] }
-	h.leapBounds = func(i int) bool { return !h.relayHandledActive(i) }
+	h.leapContributes = func(c int) bool { return h.inLeap[c] }
+	h.leapBounds = func(c int) bool { return !h.relayHandledActive(c) }
 	h.Reset(net.InitialState(), 0)
 	return h
 }
 
 // Network returns the simulated network.
-func (h *Hybrid) Network() *chem.Network { return h.net }
+func (h *Hybrid) Network() *chem.Network { return h.comp.Network() }
 
 // State returns the live state vector (read-only for callers).
 func (h *Hybrid) State() chem.State { return h.state }
@@ -144,12 +167,13 @@ func (h *Hybrid) Time() float64 { return h.t }
 // stepped one by one.
 func (h *Hybrid) FastEvents() int64 { return h.fastEvents }
 
-// Partition exposes the derived channel partition (read-only).
+// Partition exposes the derived channel partition (read-only, in original
+// reaction indices).
 func (h *Hybrid) Partition() *chem.Partition { return h.part }
 
 // Reset repositions the engine at a copy of state and time t.
 func (h *Hybrid) Reset(state chem.State, t float64) {
-	if len(state) != h.net.NumSpecies() {
+	if len(state) != h.comp.NumSpecies() {
 		panic("sim: state length does not match network species count")
 	}
 	if h.state == nil {
@@ -163,9 +187,8 @@ func (h *Hybrid) Reset(state chem.State, t float64) {
 // refresh recomputes all propensities and relay activity, returning the
 // exact-set and leap-set totals for this iteration.
 func (h *Hybrid) refresh() (aExact, aLeap float64) {
-	for i := range h.rxns {
-		h.prop[i] = chem.Propensity(&h.rxns[i], h.state)
-	}
+	comp := h.comp
+	comp.PropensitiesInto(h.state, h.prop)
 	// A relay is analytic only while each catalytic dependent is blocked by
 	// a missing non-relay reactant: then the dependent cannot fire no
 	// matter how the relay count evolves, and nothing outside the relay
@@ -173,8 +196,8 @@ func (h *Hybrid) refresh() (aExact, aLeap float64) {
 	for k := range h.part.Relays {
 		r := &h.part.Relays[k]
 		active := true
-		for _, dep := range r.Dependents {
-			if !h.blockedBesides(dep, r.Species) {
+		for _, dep := range h.relayDeps[k] {
+			if !h.blockedBesides(int(dep), r.Species) {
 				active = false
 				break
 			}
@@ -182,7 +205,7 @@ func (h *Hybrid) refresh() (aExact, aLeap float64) {
 		h.relayActive[k] = active
 		h.relayRate[k] = 0
 		if active {
-			for _, pr := range r.Producers {
+			for _, pr := range h.relayProds[k] {
 				h.relayRate[k] += h.prop[pr]
 			}
 		}
@@ -190,38 +213,40 @@ func (h *Hybrid) refresh() (aExact, aLeap float64) {
 	// Classify the remaining channels. Fast-eligible channels form the leap
 	// candidate pool; whether the pool actually leaps is decided by the
 	// caller from the totals.
-	for i := range h.rxns {
-		h.inLeap[i] = false
-		if h.relayHandledActive(i) {
+	for c := range h.prop {
+		h.inLeap[c] = false
+		if h.relayHandledActive(c) {
 			continue
 		}
-		if h.part.FastEligible[i] {
-			aLeap += h.prop[i]
-			h.inLeap[i] = true
+		if h.fastEligible[c] {
+			aLeap += h.prop[c]
+			h.inLeap[c] = true
 		} else {
-			aExact += h.prop[i]
+			aExact += h.prop[c]
 		}
 	}
 	return aExact, aLeap
 }
 
-// relayHandledActive reports whether channel i belongs to a currently
+// relayHandledActive reports whether channel c belongs to a currently
 // active relay (and is therefore advanced analytically this iteration).
-func (h *Hybrid) relayHandledActive(i int) bool {
-	k := h.relayOfChannel[i]
+func (h *Hybrid) relayHandledActive(c int) bool {
+	k := h.relayOfChannel[c]
 	return k >= 0 && h.relayActive[k]
 }
 
-// blockedBesides reports whether reaction i lacks some reactant other than
+// blockedBesides reports whether channel c lacks some reactant other than
 // species s, where the blocker is itself no relay species (a relay count
 // can rise spontaneously during analytic propagation, so it can never be
 // trusted to keep a dependent blocked).
-func (h *Hybrid) blockedBesides(i int, s chem.Species) bool {
-	for _, term := range h.rxns[i].Reactants {
-		if term.Species == s || h.isRelaySpecies[term.Species] {
+func (h *Hybrid) blockedBesides(c int, s chem.Species) bool {
+	comp := h.comp
+	for k := comp.ReactStart[c]; k < comp.ReactStart[c+1]; k++ {
+		sp := comp.ReactSpecies[k]
+		if chem.Species(sp) == s || h.isRelaySpecies[sp] {
 			continue
 		}
-		if h.state[term.Species] < term.Coeff {
+		if h.state[sp] < comp.ReactCoeff[k] {
 			return true
 		}
 	}
@@ -230,8 +255,8 @@ func (h *Hybrid) blockedBesides(i int, s chem.Species) bool {
 
 // demoteLeaps moves every leap-set channel into the exact set.
 func (h *Hybrid) demoteLeaps() {
-	for i := range h.inLeap {
-		h.inLeap[i] = false
+	for c := range h.inLeap {
+		h.inLeap[c] = false
 	}
 }
 
@@ -287,8 +312,8 @@ func (h *Hybrid) Step(horizon float64) (int, StepStatus) {
 			if fired < 0 {
 				return -1, Quiescent // unreachable: total > 0
 			}
-			h.state.Apply(&h.rxns[fired])
-			return fired, Fired
+			h.comp.Apply(fired, h.state)
+			return int(h.comp.Perm[fired]), Fired
 		}
 
 		// Leap sub-interval: cap τ by the remaining slow budget and the
@@ -348,8 +373,8 @@ func (h *Hybrid) Step(horizon float64) (int, StepStatus) {
 			if fired < 0 {
 				continue
 			}
-			h.state.Apply(&h.rxns[fired])
-			return fired, Fired
+			h.comp.Apply(fired, h.state)
+			return int(h.comp.Perm[fired]), Fired
 		}
 		// τ was CGP-limited: keep leaping against the remaining budget.
 	}
@@ -358,38 +383,39 @@ func (h *Hybrid) Step(horizon float64) (int, StepStatus) {
 // refreshExactOnly recomputes propensities and returns the exact-set total
 // under the current (already computed) classification.
 func (h *Hybrid) refreshExactOnly() (aExact, aLeap float64) {
-	for i := range h.rxns {
-		h.prop[i] = chem.Propensity(&h.rxns[i], h.state)
-		if h.relayHandledActive(i) {
+	h.comp.PropensitiesInto(h.state, h.prop)
+	for c := range h.prop {
+		if h.relayHandledActive(c) {
 			continue
 		}
-		if h.inLeap[i] {
-			aLeap += h.prop[i]
+		if h.inLeap[c] {
+			aLeap += h.prop[c]
 		} else {
-			aExact += h.prop[i]
+			aExact += h.prop[c]
 		}
 	}
 	return aExact, aLeap
 }
 
 // pickExact selects a non-relay, non-leap channel in proportion to the
-// current propensities, or -1 if none is positive.
+// current propensities, or -1 if none is positive. The result is a compiled
+// channel index.
 func (h *Hybrid) pickExact(total float64) int {
 	target := h.gen.Float64() * total
 	acc := 0.0
 	last := -1
-	for i := range h.rxns {
-		if h.inLeap[i] || h.relayHandledActive(i) {
+	for c := range h.prop {
+		if h.inLeap[c] || h.relayHandledActive(c) {
 			continue
 		}
-		a := h.prop[i]
+		a := h.prop[c]
 		if a <= 0 {
 			continue
 		}
 		acc += a
-		last = i
+		last = c
 		if target < acc {
-			return i
+			return c
 		}
 	}
 	return last // floating-point slack: last positive channel
@@ -399,7 +425,7 @@ func (h *Hybrid) pickExact(total float64) int {
 // restricted to the leap set, with relay-handled channels' reactants
 // exempt from the bound (the propagator owns them).
 func (h *Hybrid) selectLeapTau(aLeap float64) float64 {
-	tau := cgpTau(h.rxns, h.deltas, h.prop, h.state, h.Epsilon, h.drift, h.sigma2,
+	tau := cgpTau(h.comp, h.prop, h.state, h.Epsilon, h.drift, h.sigma2,
 		h.leapContributes, h.leapBounds)
 	if math.IsInf(tau, 1) {
 		// Leap channels whose products nothing consumes: any τ is safe;
@@ -415,23 +441,24 @@ func (h *Hybrid) selectLeapTau(aLeap float64) float64 {
 // caller books time and slow budget for the applied length and retries the
 // remainder at fresh propensities) and whether any application succeeded.
 func (h *Hybrid) fireLeaps(tau float64) (applied float64, ok bool) {
+	comp := h.comp
 	for attempt := 0; attempt < 30; attempt++ {
 		var n int64
-		for i := range h.rxns {
-			if h.inLeap[i] && h.prop[i] > 0 {
-				h.counts[i] = h.gen.Poisson(h.prop[i] * tau)
-				n += h.counts[i]
+		for c := range h.prop {
+			if h.inLeap[c] && h.prop[c] > 0 {
+				h.counts[c] = h.gen.Poisson(h.prop[c] * tau)
+				n += h.counts[c]
 			} else {
-				h.counts[i] = 0
+				h.counts[c] = 0
 			}
 		}
 		copy(h.next, h.state)
-		for i, k := range h.counts {
+		for c, k := range h.counts {
 			if k == 0 {
 				continue
 			}
-			for s, d := range h.deltas[i] {
-				h.next[s] += d * k
+			for j := comp.DeltaStart[c]; j < comp.DeltaStart[c+1]; j++ {
+				h.next[comp.DeltaSpecies[j]] += comp.DeltaCoeff[j] * k
 			}
 		}
 		if h.next.NonNegative() {
@@ -466,8 +493,8 @@ func (h *Hybrid) exactFallback(horizon float64) (int, StepStatus) {
 	if fired < 0 {
 		return -1, Quiescent
 	}
-	h.state.Apply(&h.rxns[fired])
-	return fired, Fired
+	h.comp.Apply(fired, h.state)
+	return int(h.comp.Perm[fired]), Fired
 }
 
 // propagateRelays advances every active relay over dt with the exact

@@ -10,40 +10,45 @@ import (
 // NextReaction is the Gibson–Bruck next-reaction method: every channel keeps
 // an absolute tentative firing time in an indexed binary min-heap; firing
 // the minimum costs O(log M), and only dependency-affected channels are
-// rescheduled. Unfired channels reuse their random number by rescaling,
-// so the method consumes a single exponential variate per event.
+// rescheduled through the compiled kernel's CSR dependency graph. Unfired
+// channels reuse their random number by rescaling, so the method consumes a
+// single exponential variate per event.
 type NextReaction struct {
-	net   *chem.Network
+	comp  *chem.Compiled
 	gen   *rng.PCG
-	deps  [][]int
 	state chem.State
 	t     float64
 	prop  []float64
 
-	// Indexed min-heap over absolute firing times.
-	times []float64 // times[r]: tentative absolute firing time of reaction r
-	heap  []int     // heap of reaction indices ordered by times
-	pos   []int     // pos[r]: index of reaction r within heap
+	// Indexed min-heap over absolute firing times, in compiled channels.
+	times []float64 // times[c]: tentative absolute firing time of channel c
+	heap  []int     // heap of channel indices ordered by times
+	pos   []int     // pos[c]: index of channel c within heap
 }
 
 // NewNextReaction returns a NextReaction engine over net at the default
 // initial state.
 func NewNextReaction(net *chem.Network, gen *rng.PCG) *NextReaction {
+	return NewNextReactionCompiled(chem.Compile(net), gen)
+}
+
+// NewNextReactionCompiled returns a NextReaction engine over an
+// already-compiled kernel.
+func NewNextReactionCompiled(comp *chem.Compiled, gen *rng.PCG) *NextReaction {
 	n := &NextReaction{
-		net:   net,
+		comp:  comp,
 		gen:   gen,
-		deps:  chem.DependencyGraph(net),
-		prop:  make([]float64, net.NumReactions()),
-		times: make([]float64, net.NumReactions()),
-		heap:  make([]int, net.NumReactions()),
-		pos:   make([]int, net.NumReactions()),
+		prop:  make([]float64, comp.NumChannels()),
+		times: make([]float64, comp.NumChannels()),
+		heap:  make([]int, comp.NumChannels()),
+		pos:   make([]int, comp.NumChannels()),
 	}
-	n.Reset(net.InitialState(), 0)
+	n.Reset(comp.Network().InitialState(), 0)
 	return n
 }
 
 // Network returns the simulated network.
-func (n *NextReaction) Network() *chem.Network { return n.net }
+func (n *NextReaction) Network() *chem.Network { return n.comp.Network() }
 
 // State returns the live state vector (read-only for callers).
 func (n *NextReaction) State() chem.State { return n.state }
@@ -54,21 +59,24 @@ func (n *NextReaction) Time() float64 { return n.t }
 // Reset repositions the engine at a copy of state and time t, drawing fresh
 // tentative times for every channel.
 func (n *NextReaction) Reset(state chem.State, t float64) {
-	if len(state) != n.net.NumSpecies() {
+	if len(state) != n.comp.NumSpecies() {
 		panic("sim: state length does not match network species count")
 	}
-	n.state = state.Clone()
+	if n.state == nil {
+		n.state = make(chem.State, len(state))
+	}
+	copy(n.state, state)
 	n.t = t
-	for i := 0; i < n.net.NumReactions(); i++ {
-		a := chem.Propensity(n.net.Reaction(i), n.state)
-		n.prop[i] = a
+	for c := 0; c < n.comp.NumChannels(); c++ {
+		a := n.comp.Propensity(c, n.state)
+		n.prop[c] = a
 		if a > 0 {
-			n.times[i] = t + n.gen.Exp(a)
+			n.times[c] = t + n.gen.Exp(a)
 		} else {
-			n.times[i] = math.Inf(1)
+			n.times[c] = math.Inf(1)
 		}
-		n.heap[i] = i
-		n.pos[i] = i
+		n.heap[c] = c
+		n.pos[c] = c
 	}
 	// Heapify.
 	for i := len(n.heap)/2 - 1; i >= 0; i-- {
@@ -91,11 +99,12 @@ func (n *NextReaction) Step(horizon float64) (int, StepStatus) {
 		return -1, Horizon
 	}
 	n.t = tNext
-	n.state.Apply(n.net.Reaction(fired))
+	comp := n.comp
+	comp.Apply(fired, n.state)
 	// The fired channel consumed its clock: it always needs a fresh
 	// exponential, whether or not its propensity changed (the dependency
 	// graph omits self-edges for pure catalysts).
-	aFired := chem.Propensity(n.net.Reaction(fired), n.state)
+	aFired := comp.Propensity(fired, n.state)
 	n.prop[fired] = aFired
 	if aFired > 0 {
 		n.times[fired] = n.t + n.gen.Exp(aFired)
@@ -103,12 +112,13 @@ func (n *NextReaction) Step(horizon float64) (int, StepStatus) {
 		n.times[fired] = math.Inf(1)
 	}
 	n.fix(n.pos[fired])
-	for _, j := range n.deps[fired] {
+	for _, j32 := range comp.Deps(fired) {
+		j := int(j32)
 		if j == fired {
 			continue // already redrawn above
 		}
 		aOld := n.prop[j]
-		aNew := chem.Propensity(n.net.Reaction(j), n.state)
+		aNew := comp.Propensity(j, n.state)
 		n.prop[j] = aNew
 		switch {
 		case math.IsInf(n.times[j], 1):
@@ -129,7 +139,7 @@ func (n *NextReaction) Step(horizon float64) (int, StepStatus) {
 		}
 		n.fix(n.pos[j])
 	}
-	return fired, Fired
+	return int(comp.Perm[fired]), Fired
 }
 
 // fix restores the heap property at heap position i after times changed.

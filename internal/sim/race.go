@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"stochsynth/internal/chem"
+)
+
+// SpeciesThreshold is one outcome threshold of a two-way race: reached when
+// the count of Species is at least Count.
+type SpeciesThreshold struct {
+	Species chem.Species
+	Count   int64
+}
+
+// thresholdRacer is implemented by engines with an internal fused loop for
+// racing two species thresholds on the embedded jump chain.
+type thresholdRacer interface {
+	raceThresholds(a, b SpeciesThreshold, maxSteps int64) RunResult
+}
+
+// RunThresholdRace drives eng until the count of a.Species reaches a.Count,
+// the count of b.Species reaches b.Count, the engine goes quiescent, or
+// maxSteps events fire (0 means no step bound).
+//
+// The race is computed on the *embedded jump chain*: the winner of a
+// threshold race, the event count, and quiescence are functions of the
+// jump-chain alone — P(next event = channel i) = aᵢ/Σa regardless of the
+// holding times — so engines with a fused loop (Direct, OptimizedDirect)
+// skip the per-event waiting-time draw entirely. This is exact for every
+// time-free statistic (anything derived from Reason, Steps, and the final
+// state) and is worth ~35% of trial throughput on the lambda outcome
+// races, the package's hottest Monte Carlo path.
+//
+// Time() consequently does not advance over a fused race — callers must
+// not derive timing statistics from it. Engines without a fused loop fall
+// back to Run (which does advance time); outcome, step count and final
+// state keep the same distribution either way, but randomness consumption
+// differs, so the two paths are not trajectory-for-trajectory identical.
+func RunThresholdRace(eng Engine, a, b SpeciesThreshold, maxSteps int64) RunResult {
+	if r, ok := eng.(thresholdRacer); ok {
+		return r.raceThresholds(a, b, maxSteps)
+	}
+	return Run(eng, RunOptions{
+		MaxSteps: maxSteps,
+		StopWhen: func(st chem.State, _ float64) bool {
+			return st[a.Species] >= a.Count || st[b.Species] >= b.Count
+		},
+	})
+}
+
+// raceThresholds implements thresholdRacer for OptimizedDirect: the Step
+// body inlined into the race loop, with the infinite horizon specialised
+// away and the waiting-time draw elided (jump-chain exactness; see
+// RunThresholdRace). Mirrors Run's control flow: predicate before the
+// first event, step bound checked before each event, predicate after each.
+func (o *OptimizedDirect) raceThresholds(a, b SpeciesThreshold, maxSteps int64) RunResult {
+	st := o.state
+	if st[a.Species] >= a.Count || st[b.Species] >= b.Count {
+		return RunResult{Steps: 0, Time: o.t, Reason: StopPredicate}
+	}
+	comp := o.comp
+	gen := o.gen
+	hasTails := len(comp.Tails) > 0
+	if maxSteps <= 0 {
+		maxSteps = int64(^uint64(0) >> 1)
+	}
+	// total and stale live in registers across the event loop; they are
+	// written back to the engine at every exit and around recomputeAll.
+	total, stale := o.total, o.stale
+	sync := func(steps int64, reason StopReason) RunResult {
+		o.total, o.stale = total, stale
+		return RunResult{Steps: steps, Time: o.t, Reason: reason}
+	}
+	var steps int64
+	for {
+		if steps >= maxSteps {
+			return sync(steps, StopSteps)
+		}
+		if total <= 1e-300 { // fully drained (or drifted to noise): recheck exactly
+			o.recomputeAll()
+			total, stale = o.total, 0
+			if total <= 0 {
+				return sync(steps, StopQuiescent)
+			}
+		}
+		target := gen.Float64() * total
+		acc := 0.0
+		fired := -1
+		for c, p := range o.prop {
+			acc += p
+			if target < acc {
+				fired = c
+				break
+			}
+		}
+		if fired < 0 {
+			// Drift artifact: the cached total exceeded the true sum.
+			// Recompute exactly and redraw the selection, as Step does.
+			o.recomputeAll()
+			total, stale = o.total, 0
+			if total <= 0 {
+				return sync(steps, StopQuiescent)
+			}
+			target = gen.Float64() * total
+			acc = 0
+			for c, p := range o.prop {
+				acc += p
+				if target < acc {
+					fired = c
+					break
+				}
+			}
+			if fired < 0 {
+				return sync(steps, StopQuiescent)
+			}
+		}
+		// chem.Compiled.FireAndRefresh, manually inlined so st, prop and
+		// total stay in registers across the whole event body (~7% of
+		// race throughput). TestRaceRefreshLockstep pins the two
+		// implementations to the same bit-exact refresh results; see
+		// chem.RefreshInstr for the record's exactness argument.
+		prop := o.prop
+		for _, ins := range comp.Refs[comp.RefStart[fired]:comp.RefStart[fired+1]] {
+			xA := st[ins.S1] + int64(ins.DA)
+			xB := st[ins.S2] + int64(ins.DB)
+			fA := xA + int64(ins.Dim)*(xA*(xA-1)>>1-xA)
+			p := (ins.Rate * float64(fA)) * float64(xB)
+			total += p - prop[ins.J]
+			prop[ins.J] = p
+		}
+		for _, ins := range comp.FireDelta[comp.FireDeltaStart[fired]:comp.FireDeltaStart[fired+1]] {
+			st[ins.S] += ins.D
+		}
+		if hasTails {
+			for _, ins := range comp.Tails[comp.TailStart[fired]:comp.TailStart[fired+1]] {
+				p := comp.Propensity(int(ins.J), st)
+				total += p - prop[ins.J]
+				prop[ins.J] = p
+			}
+		}
+		stale++
+		if stale >= o.refresh || total < 0 {
+			o.total = total
+			o.recomputeAll()
+			total, stale = o.total, 0
+		}
+		steps++
+		if st[a.Species] >= a.Count || st[b.Species] >= b.Count {
+			return sync(steps, StopPredicate)
+		}
+	}
+}
+
+// raceThresholds implements thresholdRacer for Direct: full recompute per
+// event, jump-chain selection, no waiting-time draw.
+func (d *Direct) raceThresholds(a, b SpeciesThreshold, maxSteps int64) RunResult {
+	st := d.state
+	if st[a.Species] >= a.Count || st[b.Species] >= b.Count {
+		return RunResult{Steps: 0, Time: d.t, Reason: StopPredicate}
+	}
+	comp := d.comp
+	gen := d.gen
+	var steps int64
+	for {
+		if maxSteps > 0 && steps >= maxSteps {
+			return RunResult{Steps: steps, Time: d.t, Reason: StopSteps}
+		}
+		total := comp.PropensitiesInto(st, d.prop)
+		if total <= 0 {
+			return RunResult{Steps: steps, Time: d.t, Reason: StopQuiescent}
+		}
+		target := gen.Float64() * total
+		acc := 0.0
+		fired := -1
+		for c, p := range d.prop {
+			acc += p
+			if target < acc {
+				fired = c
+				break
+			}
+		}
+		if fired < 0 {
+			// Floating-point slack: fire the last positive channel.
+			for c := len(d.prop) - 1; c >= 0; c-- {
+				if d.prop[c] > 0 {
+					fired = c
+					break
+				}
+			}
+			if fired < 0 {
+				return RunResult{Steps: steps, Time: d.t, Reason: StopQuiescent}
+			}
+		}
+		comp.Apply(fired, st)
+		steps++
+		if st[a.Species] >= a.Count || st[b.Species] >= b.Count {
+			return RunResult{Steps: steps, Time: d.t, Reason: StopPredicate}
+		}
+	}
+}

@@ -22,15 +22,14 @@ import (
 // sweeps, benchmarks, and as the generic batching layer inside Hybrid; all
 // reported experiment statistics come from exact or hybrid engines.
 //
-// A TauLeap allocates all of its scratch state at construction; Leap itself
-// is allocation-free.
+// A TauLeap compiles the network and allocates all of its scratch state at
+// construction; Leap itself is allocation-free.
 type TauLeap struct {
-	net     *chem.Network
+	comp    *chem.Compiled
 	gen     *rng.PCG
 	state   chem.State
 	t       float64
 	prop    []float64
-	deltas  [][]int64
 	Epsilon float64 // relative-change bound per leap (default 0.03)
 
 	// Reusable scratch buffers (hoisted so Leap performs zero allocations).
@@ -43,26 +42,28 @@ type TauLeap struct {
 // NewTauLeap returns a TauLeap accelerator over net at the default initial
 // state.
 func NewTauLeap(net *chem.Network, gen *rng.PCG) *TauLeap {
+	return NewTauLeapCompiled(chem.Compile(net), gen)
+}
+
+// NewTauLeapCompiled returns a TauLeap accelerator over an already-compiled
+// kernel.
+func NewTauLeapCompiled(comp *chem.Compiled, gen *rng.PCG) *TauLeap {
 	tl := &TauLeap{
-		net:     net,
+		comp:    comp,
 		gen:     gen,
-		prop:    make([]float64, net.NumReactions()),
+		prop:    make([]float64, comp.NumChannels()),
 		Epsilon: 0.03,
-		counts:  make([]int64, net.NumReactions()),
-		drift:   make([]float64, net.NumSpecies()),
-		sigma2:  make([]float64, net.NumSpecies()),
-		next:    make(chem.State, net.NumSpecies()),
+		counts:  make([]int64, comp.NumChannels()),
+		drift:   make([]float64, comp.NumSpecies()),
+		sigma2:  make([]float64, comp.NumSpecies()),
+		next:    make(chem.State, comp.NumSpecies()),
 	}
-	tl.deltas = make([][]int64, net.NumReactions())
-	for i := 0; i < net.NumReactions(); i++ {
-		tl.deltas[i] = chem.Delta(net.Reaction(i), net.NumSpecies())
-	}
-	tl.Reset(net.InitialState(), 0)
+	tl.Reset(comp.Network().InitialState(), 0)
 	return tl
 }
 
 // Network returns the simulated network.
-func (tl *TauLeap) Network() *chem.Network { return tl.net }
+func (tl *TauLeap) Network() *chem.Network { return tl.comp.Network() }
 
 // State returns the live state vector (read-only for callers).
 func (tl *TauLeap) State() chem.State { return tl.state }
@@ -72,7 +73,7 @@ func (tl *TauLeap) Time() float64 { return tl.t }
 
 // Reset repositions the accelerator at a copy of state and time t.
 func (tl *TauLeap) Reset(state chem.State, t float64) {
-	if len(state) != tl.net.NumSpecies() {
+	if len(state) != tl.comp.NumSpecies() {
 		panic("sim: state length does not match network species count")
 	}
 	if tl.state == nil {
@@ -86,12 +87,8 @@ func (tl *TauLeap) Reset(state chem.State, t float64) {
 // profitable), returning the number of reaction firings applied and a step
 // status. On Horizon the state is unchanged and time is clamped to horizon.
 func (tl *TauLeap) Leap(horizon float64) (events int64, status StepStatus) {
-	total := 0.0
-	for i := 0; i < tl.net.NumReactions(); i++ {
-		a := chem.Propensity(tl.net.Reaction(i), tl.state)
-		tl.prop[i] = a
-		total += a
-	}
+	comp := tl.comp
+	total := comp.PropensitiesInto(tl.state, tl.prop)
 	if total <= 0 {
 		return 0, Quiescent
 	}
@@ -113,12 +110,12 @@ func (tl *TauLeap) Leap(horizon float64) (events int64, status StepStatus) {
 	// Try the leap, halving tau on any negative excursion.
 	for attempt := 0; attempt < 30; attempt++ {
 		var n int64
-		for i, a := range tl.prop {
+		for c, a := range tl.prop {
 			if a > 0 {
-				tl.counts[i] = tl.gen.Poisson(a * tau)
-				n += tl.counts[i]
+				tl.counts[c] = tl.gen.Poisson(a * tau)
+				n += tl.counts[c]
 			} else {
-				tl.counts[i] = 0
+				tl.counts[c] = 0
 			}
 		}
 		if tl.applyIfNonNegative(tl.counts) {
@@ -137,8 +134,7 @@ func (tl *TauLeap) Leap(horizon float64) (events int64, status StepStatus) {
 // of every reactant species over one leap. A τ of +Inf (nothing
 // constrains the leap) falls back to one mean event time.
 func (tl *TauLeap) selectTau(total float64) float64 {
-	tau := cgpTau(tl.net.Reactions(), tl.deltas, tl.prop, tl.state, tl.Epsilon,
-		tl.drift, tl.sigma2, nil, nil)
+	tau := cgpTau(tl.comp, tl.prop, tl.state, tl.Epsilon, tl.drift, tl.sigma2, nil, nil)
 	if math.IsInf(tau, 1) {
 		tau = 1 / total
 	}
@@ -152,38 +148,39 @@ func (tl *TauLeap) selectTau(total float64) float64 {
 //	max(εx_s, 1) / |Σ_j a_j·d_js|   and   max(εx_s, 1)² / Σ_j a_j·d_js²,
 //
 // with the drift and variance sums running over contributes-selected
-// channels with positive propensity. A nil selector means "every channel".
-// The second bound matters precisely when the first is loose: opposing
-// high-flux channels (a production clock against a decay) cancel to
-// |drift| ≈ 0, but their fluctuations still scatter the species count by
-// √(σ²τ) per leap, which without the variance bound would blow far past
-// the ε target. drift and sigma2 are caller-owned scratch, overwritten
-// here. Returns +Inf when no selected channel constrains τ.
-func cgpTau(rxns []chem.Reaction, deltas [][]int64, prop []float64, state chem.State,
-	eps float64, drift, sigma2 []float64, contributes, bounds func(i int) bool) float64 {
+// channels with positive propensity, over the compiled kernel's CSR delta
+// and reactant rows. A nil selector means "every channel". The second bound
+// matters precisely when the first is loose: opposing high-flux channels (a
+// production clock against a decay) cancel to |drift| ≈ 0, but their
+// fluctuations still scatter the species count by √(σ²τ) per leap, which
+// without the variance bound would blow far past the ε target. drift and
+// sigma2 are caller-owned scratch, overwritten here. Channel selectors are
+// in compiled channel indices. Returns +Inf when no selected channel
+// constrains τ.
+func cgpTau(comp *chem.Compiled, prop []float64, state chem.State,
+	eps float64, drift, sigma2 []float64, contributes, bounds func(c int) bool) float64 {
 	for s := range drift {
 		drift[s] = 0
 		sigma2[s] = 0
 	}
-	for i, a := range prop {
-		if a <= 0 || (contributes != nil && !contributes(i)) {
+	for c, a := range prop {
+		if a <= 0 || (contributes != nil && !contributes(c)) {
 			continue
 		}
-		for s, d := range deltas[i] {
-			if d != 0 {
-				fd := float64(d)
-				drift[s] += a * fd
-				sigma2[s] += a * fd * fd
-			}
+		for k := comp.DeltaStart[c]; k < comp.DeltaStart[c+1]; k++ {
+			s := comp.DeltaSpecies[k]
+			fd := float64(comp.DeltaCoeff[k])
+			drift[s] += a * fd
+			sigma2[s] += a * fd * fd
 		}
 	}
 	tau := math.Inf(1)
-	for i := range rxns {
-		if bounds != nil && !bounds(i) {
+	for c := 0; c < comp.NumChannels(); c++ {
+		if bounds != nil && !bounds(c) {
 			continue
 		}
-		for _, term := range rxns[i].Reactants {
-			s := term.Species
+		for k := comp.ReactStart[c]; k < comp.ReactStart[c+1]; k++ {
+			s := comp.ReactSpecies[k]
 			if sigma2[s] == 0 {
 				continue // no selected channel changes s
 			}
@@ -202,13 +199,14 @@ func cgpTau(rxns []chem.Reaction, deltas [][]int64, prop []float64, state chem.S
 }
 
 func (tl *TauLeap) applyIfNonNegative(counts []int64) bool {
+	comp := tl.comp
 	copy(tl.next, tl.state)
-	for i, k := range counts {
+	for c, k := range counts {
 		if k == 0 {
 			continue
 		}
-		for s, d := range tl.deltas[i] {
-			tl.next[s] += d * k
+		for j := comp.DeltaStart[c]; j < comp.DeltaStart[c+1]; j++ {
+			tl.next[comp.DeltaSpecies[j]] += comp.DeltaCoeff[j] * k
 		}
 	}
 	if !tl.next.NonNegative() {
@@ -226,18 +224,18 @@ func (tl *TauLeap) exactStep(total, horizon float64) (int64, StepStatus) {
 	}
 	target := tl.gen.Float64() * total
 	acc := 0.0
-	for i, a := range tl.prop {
+	for c, a := range tl.prop {
 		acc += a
 		if target < acc {
 			tl.t = tNext
-			tl.state.Apply(tl.net.Reaction(i))
+			tl.comp.Apply(c, tl.state)
 			return 1, Fired
 		}
 	}
-	for i := len(tl.prop) - 1; i >= 0; i-- {
-		if tl.prop[i] > 0 {
+	for c := len(tl.prop) - 1; c >= 0; c-- {
+		if tl.prop[c] > 0 {
 			tl.t = tNext
-			tl.state.Apply(tl.net.Reaction(i))
+			tl.comp.Apply(c, tl.state)
 			return 1, Fired
 		}
 	}

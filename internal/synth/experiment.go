@@ -116,9 +116,10 @@ func Figure3ErrorRateWith(gamma float64, trials int, seed uint64, kind sim.Engin
 		return 0, err
 	}
 	protected := mod.ProtectedSpecies()
+	comp := chem.Compile(mod.Net)
 	res := mc.RunWith(mc.Config{Trials: trials, Outcomes: 2, Seed: seed},
 		func(gen *rng.PCG) sim.Engine {
-			return sim.MustEngineOfKind(kind, mod.Net, protected, gen)
+			return sim.MustEngineOfKindCompiled(kind, comp, protected, gen)
 		},
 		Figure3Classifier(mod))
 	return res.Fraction(1), nil
