@@ -1,0 +1,81 @@
+// Command stochlint is the repository's determinism/hot-path linter: a
+// multichecker over the internal/analysis suite (detrand, mapiter,
+// floataccum, noalloc). See docs/linting.md for the invariants each
+// analyzer guards and the //stochlint: annotation grammar.
+//
+// Usage:
+//
+//	go run ./cmd/stochlint ./...          # whole module (the CI lint job)
+//	go run ./cmd/stochlint ./internal/mc  # one package
+//	go run ./cmd/stochlint -only detrand,mapiter ./...
+//	go run ./cmd/stochlint -list
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stochsynth/internal/analysis/load"
+	"stochsynth/internal/analysis/stochlint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("stochlint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range stochlint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	var names []string
+	if *only != "" {
+		names = strings.Split(*only, ",")
+	}
+	analyzers, err := stochlint.Select(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	loader, err := load.NewModuleLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	units, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	n, err := stochlint.Check(units, analyzers, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "stochlint: %d diagnostic(s)\n", n)
+		return 1
+	}
+	return 0
+}

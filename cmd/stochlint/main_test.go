@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"stochsynth/internal/analysis/load"
+	"stochsynth/internal/analysis/stochlint"
+)
+
+// TestSmokeKnownBad drives the full suite over a fixture package that
+// violates every invariant and checks each analyzer contributes at least
+// one diagnostic to the multichecker output.
+func TestSmokeKnownBad(t *testing.T) {
+	loader := load.NewSrcLoader("testdata/src")
+	units, err := loader.Load("stochsynth/internal/mc")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	var buf strings.Builder
+	n, err := stochlint.Check(units, stochlint.Analyzers(), &buf)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("known-bad fixture produced zero diagnostics")
+	}
+	out := buf.String()
+	for _, name := range []string{"detrand", "mapiter", "floataccum", "noalloc"} {
+		if !strings.Contains(out, ": "+name+": ") {
+			t.Errorf("no %s diagnostic over the known-bad fixture; output:\n%s", name, out)
+		}
+	}
+}
+
+func TestListExitsClean(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Fatalf("run(-list) = %d, want 0", got)
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	if got := run([]string{"-only", "nosuch"}); got != 2 {
+		t.Fatalf("run(-only nosuch) = %d, want 2", got)
+	}
+}
+
+// TestRepoClean asserts the real tree carries zero diagnostics — the
+// in-process mirror of CI's `go run ./cmd/stochlint ./...`.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide type-check is slow; the CI lint job runs stochlint directly")
+	}
+	if got := run([]string{"./..."}); got != 0 {
+		t.Fatalf("stochlint ./... exit = %d, want 0 (repo must stay lint-clean)", got)
+	}
+}

@@ -1,0 +1,46 @@
+// Package mc is cmd/stochlint's known-bad fixture: it impersonates the
+// statistics core's import path and violates every analyzer at least
+// once, so the smoke test can prove the multichecker wires each analyzer
+// into its output.
+package mc
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter trips detrand: the globally seeded math/rand generator in a
+// pinned simulation package.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Stamp trips detrand's wall-clock check.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Keys trips mapiter: map-iteration-ordered append escaping unsorted.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Mean trips floataccum: an exported serial float fold in internal/mc.
+func Mean(values []float64) float64 {
+	total := 0.0
+	for _, v := range values {
+		total += v
+	}
+	return total / float64(len(values))
+}
+
+// Scratch trips noalloc: annotated allocation-free yet allocating.
+//
+//stochlint:noalloc
+func Scratch(n int) []float64 {
+	return make([]float64, n)
+}

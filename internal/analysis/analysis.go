@@ -1,0 +1,169 @@
+// Package analysis is a self-contained mirror of the
+// golang.org/x/tools/go/analysis API surface this repository needs: an
+// Analyzer runs over one type-checked package (a Pass) and reports
+// Diagnostics. The container this repo builds in cannot fetch x/tools, so
+// the framework is implemented on the standard library's go/ast, go/types
+// and go/importer alone; the types are shaped so the analyzers under
+// internal/analysis/... could be ported to real x/tools analyzers by
+// swapping this import.
+//
+// The framework also owns the //stochlint: annotation grammar shared by
+// every analyzer (see docs/linting.md):
+//
+//	//stochlint:allow <check> [<check>...]   suppress named checks on a line
+//	//stochlint:noalloc                      opt a function into the noalloc check
+//
+// An allow comment suppresses diagnostics either on its own line (trailing
+// comment) or, when it stands alone, on the next source line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is the one-paragraph description shown by `stochlint -list`.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+	allow map[allowKey]bool
+}
+
+// A Diagnostic is one reported finding, already resolved to a position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether a //stochlint:allow comment names check on the
+// line of pos (trailing form) or the line above it (standalone form).
+func (p *Pass) Allowed(pos token.Pos, check string) bool {
+	position := p.Fset.Position(pos)
+	return p.allow[allowKey{position.Filename, position.Line, check}]
+}
+
+// AnnotationPrefix is the comment prefix of every stochlint annotation.
+const AnnotationPrefix = "//stochlint:"
+
+// FuncAnnotated reports whether fn carries the given stochlint annotation
+// (e.g. "noalloc") in its doc comment or on any comment line of the group
+// directly above it.
+func FuncAnnotated(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == AnnotationPrefix+name {
+			return true
+		}
+	}
+	return false
+}
+
+// scanAllows indexes every //stochlint:allow comment of the pass's files.
+func (p *Pass) scanAllows() {
+	p.allow = make(map[allowKey]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, AnnotationPrefix+"allow ") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, check := range strings.Fields(strings.TrimPrefix(text, AnnotationPrefix+"allow ")) {
+					// The comment covers its own line (trailing form) and the
+					// next line (standalone form); a trailing comment's own
+					// line is the flagged construct's line either way.
+					p.allow[allowKey{pos.Filename, pos.Line, check}] = true
+					p.allow[allowKey{pos.Filename, pos.Line + 1, check}] = true
+				}
+			}
+		}
+	}
+}
+
+// Unit is one loaded, type-checked package an analyzer can run over.
+// internal/analysis/load produces them.
+type Unit struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Run executes every analyzer over every unit and returns the merged
+// diagnostics sorted by position.
+func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, u := range units {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      u.Fset,
+				Files:     u.Files,
+				Pkg:       u.Types,
+				TypesInfo: u.Info,
+				diags:     &diags,
+			}
+			pass.scanAllows()
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, u.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

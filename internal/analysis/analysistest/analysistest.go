@@ -1,0 +1,150 @@
+// Package analysistest runs a stochlint analyzer over fixture packages
+// and checks its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// alone.
+//
+// Fixtures live in a GOPATH-style tree, testdata/src/<import/path>/*.go,
+// so package-path-conditional analyzers (detrand, floataccum) see the
+// import paths they key on. An expectation is a trailing comment
+//
+//	// want "regexp" "another regexp"
+//
+// every diagnostic on that line must match one expectation and every
+// expectation must be consumed by a diagnostic; a line with diagnostics
+// but no want comment (or vice versa) fails the test.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"stochsynth/internal/analysis"
+	"stochsynth/internal/analysis/load"
+)
+
+// Run loads each fixture package under testdata/src and checks analyzer
+// diagnostics against its want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := load.NewSrcLoader(filepath.Join(testdata, "src"))
+	units, err := loader.Load(pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := analysis.Run(units, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, units)
+
+	type key struct {
+		file string
+		line int
+	}
+	unmatched := map[key][]*want{}
+	for i := range wants {
+		w := &wants[i]
+		k := key{w.file, w.line}
+		unmatched[k] = append(unmatched[k], w)
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range unmatched[k] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s: %s:%d: no diagnostic matched want %q", a.Name, w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, units []*analysis.Unit) []want {
+	t.Helper()
+	var wants []want
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := u.Fset.Position(c.Pos())
+					for _, pat := range splitPatterns(t, pos, m[1]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses the space-separated quoted (or backquoted) regexps
+// of one want comment.
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern in %q", pos, s)
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %q: %v", pos, s[:end+1], err)
+			}
+			pats = append(pats, unq)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern in %q", pos, s)
+			}
+			pats = append(pats, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("%s: want patterns must be quoted, got %q", pos, s)
+		}
+	}
+	if len(pats) == 0 {
+		t.Fatalf("%s: want comment with no patterns", pos)
+	}
+	return pats
+}

@@ -1,0 +1,115 @@
+// Package detrand forbids the two ambient-nondeterminism entry points —
+// the global math/rand generators and the wall clock — in every package
+// whose results feed the repository's bit-for-bit reproducibility
+// contract.
+//
+// Every simulation draw must come from an explicitly seeded stream
+// (internal/rng); every trial result must be a pure function of (network,
+// seed, trial index). A single rand.Float64() or time.Now() buried in an
+// engine breaks shard-merge equivalence and journal-resume identity in
+// ways only flaky statistics would ever catch, so the check is static:
+//
+//   - references to the package-level (globally seeded) functions of
+//     math/rand and math/rand/v2 are flagged; constructing explicit
+//     generators (rand.New, rand.NewSource, rand.NewPCG, ...) is fine;
+//   - calls to time.Now, time.Since and time.Until are flagged.
+//
+// Transport and CLI code legitimately reads the clock (deadlines,
+// keepalives, progress timing), so the packages in Allowlist are exempt —
+// except that the packages in Pinned are always checked, even if a later
+// edit adds them to the allowlist. Individual lines are exempted with
+// `//stochlint:allow wallclock` (time) or `//stochlint:allow rand`.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"stochsynth/internal/analysis"
+)
+
+// Analyzer is the detrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand and wall-clock reads in simulation/statistics packages",
+	Run:  run,
+}
+
+// Pinned lists the packages that are always checked: the simulation and
+// statistics core whose determinism the merge and resume contracts rest
+// on. Entries here beat the allowlist.
+var Pinned = []string{
+	"stochsynth/internal/sim",
+	"stochsynth/internal/mc",
+	"stochsynth/internal/chem",
+	"stochsynth/internal/rng",
+	"stochsynth/internal/exact",
+}
+
+// Allowlist names package prefixes exempt from the check: shard transport
+// and keepalive code and the CLIs, which read the wall clock for
+// deadlines and user-facing timing.
+var Allowlist = []string{
+	"stochsynth/internal/shard",
+	"stochsynth/cmd/",
+}
+
+// wallclockFuncs are the time package functions that read the wall clock.
+var wallclockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand(/v2) package-level functions that
+// build explicit, seedable generators rather than using the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func applies(pkgPath string) bool {
+	for _, p := range Pinned {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	for _, p := range Allowlist {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p) {
+			return false
+		}
+	}
+	return true
+}
+
+func run(pass *analysis.Pass) error {
+	if !applies(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions: methods on injected generator
+			// values (rand.Rand, rng.PCG) are explicitly seeded and fine.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallclockFuncs[fn.Name()] && !pass.Allowed(sel.Pos(), "wallclock") {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock in a determinism-critical package (inject a clock or annotate //stochlint:allow wallclock)", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] && !pass.Allowed(sel.Pos(), "rand") {
+					pass.Reportf(sel.Pos(), "%s.%s uses the globally seeded math/rand generator; use an explicit seeded stream (internal/rng) or annotate //stochlint:allow rand", fn.Pkg().Path(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

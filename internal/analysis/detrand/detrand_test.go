@@ -1,0 +1,16 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"stochsynth/internal/analysis/analysistest"
+	"stochsynth/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer,
+		"stochsynth/internal/sim",   // pinned: flagged + escape hatches
+		"stochsynth/internal/shard", // allowlisted: clean despite time.Now
+		"stochsynth/internal/fit",   // default scope: flagged
+	)
+}

@@ -1,0 +1,10 @@
+// Package fit is a detrand fixture for a package that is neither pinned
+// nor allowlisted: the check applies by default everywhere outside the
+// allowlist.
+package fit
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want `wall clock`
+}

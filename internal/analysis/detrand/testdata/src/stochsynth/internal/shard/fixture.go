@@ -1,0 +1,13 @@
+// Package shard is a detrand fixture for the allowlisted transport
+// layer: wall-clock reads (deadlines, keepalives) are exempt wholesale.
+package shard
+
+import "time"
+
+func deadline() time.Time {
+	return time.Now().Add(5 * time.Second)
+}
+
+func cooldownOver(since time.Time) bool {
+	return time.Since(since) > time.Second
+}

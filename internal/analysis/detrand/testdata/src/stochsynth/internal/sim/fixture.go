@@ -1,0 +1,56 @@
+// Package sim is a detrand fixture emulating a pinned simulation
+// package: global randomness and wall-clock reads are flagged, explicit
+// generators and annotated lines are not.
+package sim
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func globalRand() float64 {
+	return rand.Float64() // want `globally seeded`
+}
+
+func globalRandV2() int {
+	return randv2.IntN(10) // want `globally seeded`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `globally seeded`
+}
+
+func wallClock() time.Time {
+	return time.Now() // want `wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall clock`
+}
+
+// seeded generators are the sanctioned path: constructors are fine, and
+// methods on an explicit *rand.Rand are fine.
+func seeded() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}
+
+func seededV2() uint64 {
+	pcg := randv2.NewPCG(1, 2)
+	return pcg.Uint64()
+}
+
+// annotated escape hatches suppress the diagnostics line by line.
+func annotated() (time.Time, float64) {
+	t := time.Now()            //stochlint:allow wallclock
+	v := rand.Float64()        //stochlint:allow rand
+	_ = time.Unix(0, 0).Unix() // time functions that do not read the clock are fine
+	return t, v
+}
+
+// the standalone form covers the next line.
+func annotatedAbove() time.Time {
+	//stochlint:allow wallclock
+	return time.Now()
+}

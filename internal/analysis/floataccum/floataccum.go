@@ -1,0 +1,112 @@
+// Package floataccum guards the bit-for-bit shard-merge contract: it
+// flags serial floating-point accumulation (`x += e`, `x -= e`,
+// `x = x + e`) in exported functions of internal/mc and internal/shard.
+//
+// Floating-point addition is not associative, so any exported
+// statistics-path function that folds values with a serial running sum
+// produces results that depend on evaluation order — exactly what the
+// canonical mc.Moments pairwise tree (combineNodes/pushNode, the approved
+// accumulation path, which contains no serial float sums) was built to
+// avoid. New summary code must either route through Moments or be
+// explicitly exempted with `//stochlint:allow floataccum` plus a comment
+// arguing why its accumulation order is fixed (e.g. a serial fold over a
+// slice that is never computed distributed).
+//
+// Only exported functions are checked: they are the package surface that
+// sharded callers can reach. Integer accumulation is exact and exempt.
+package floataccum
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"stochsynth/internal/analysis"
+)
+
+// Analyzer is the floataccum check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floataccum",
+	Doc:  "flag serial floating-point accumulation in exported mc/shard functions",
+	Run:  run,
+}
+
+// Packages lists the import-path prefixes the check applies to: the
+// statistics core and the shard merge layer.
+var Packages = []string{
+	"stochsynth/internal/mc",
+	"stochsynth/internal/shard",
+}
+
+func applies(pkgPath string) bool {
+	for _, p := range Packages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !applies(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhsT := pass.TypesInfo.TypeOf(as.Lhs[0])
+		if lhsT == nil || !isFloat(lhsT) {
+			return true
+		}
+		serial := false
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			serial = true
+		case token.ASSIGN:
+			// x = x + e / x = x - e with the accumulator as left operand.
+			if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok && (bin.Op == token.ADD || bin.Op == token.SUB) {
+				serial = sameObject(pass, as.Lhs[0], bin.X)
+			}
+		}
+		if !serial || pass.Allowed(as.Pos(), "floataccum") {
+			return true
+		}
+		pass.Reportf(as.Pos(), "serial floating-point accumulation in exported %s.%s; order-dependent sums break the bit-for-bit merge contract — use the mc.Moments pairwise tree, or annotate //stochlint:allow floataccum with a fixed-order argument", pass.Pkg.Name(), fn.Name.Name)
+		return true
+	})
+}
+
+// sameObject reports whether a and b are identifiers naming one variable.
+func sameObject(pass *analysis.Pass, a, b ast.Expr) bool {
+	ai, ok := a.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	bi, ok := b.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	oa := pass.TypesInfo.ObjectOf(ai)
+	return oa != nil && oa == pass.TypesInfo.ObjectOf(bi)
+}

@@ -1,0 +1,15 @@
+package floataccum_test
+
+import (
+	"testing"
+
+	"stochsynth/internal/analysis/analysistest"
+	"stochsynth/internal/analysis/floataccum"
+)
+
+func TestFloataccum(t *testing.T) {
+	analysistest.Run(t, "testdata", floataccum.Analyzer,
+		"stochsynth/internal/mc",     // checked package: flagged + approved shapes
+		"stochsynth/internal/lambda", // out of scope: clean
+	)
+}

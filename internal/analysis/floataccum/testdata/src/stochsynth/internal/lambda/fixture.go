@@ -1,0 +1,14 @@
+// Package lambda is a floataccum fixture for a package outside the
+// checked set: serial float sums are not the merge contract's problem
+// here.
+package lambda
+
+// Integrate is exported and accumulates serially, but the package is not
+// internal/mc or internal/shard.
+func Integrate(values []float64) float64 {
+	total := 0.0
+	for _, v := range values {
+		total += v
+	}
+	return total
+}

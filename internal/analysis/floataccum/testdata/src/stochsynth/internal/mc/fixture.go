@@ -1,0 +1,80 @@
+// Package mc is the floataccum fixture emulating the statistics core:
+// serial float accumulation in exported functions is flagged; the
+// pairwise-combine shape, unexported helpers, integer sums and annotated
+// lines are not.
+package mc
+
+// Sum is the violation: an exported serial float fold.
+func Sum(values []float64) float64 {
+	total := 0.0
+	for _, v := range values {
+		total += v // want `serial floating-point accumulation in exported mc.Sum`
+	}
+	return total
+}
+
+// SpelledOut catches the x = x + e form too.
+func SpelledOut(values []float64) float64 {
+	total := 0.0
+	for _, v := range values {
+		total = total + v // want `serial floating-point accumulation in exported mc.SpelledOut`
+	}
+	return total
+}
+
+// Residual catches subtraction as well.
+func Residual(total float64, parts []float64) float64 {
+	for _, p := range parts {
+		total -= p // want `serial floating-point accumulation in exported mc.Residual`
+	}
+	return total
+}
+
+// sum is unexported: not part of the shard-reachable surface.
+func sum(values []float64) float64 {
+	total := 0.0
+	for _, v := range values {
+		total += v
+	}
+	return total
+}
+
+// Count is integer accumulation: exact, exempt.
+func Count(values []int64) int64 {
+	var n int64
+	for _, v := range values {
+		n += v
+	}
+	return n
+}
+
+// node mirrors the canonical pairwise shape: combining via a pure
+// function instead of a running sum is the approved path.
+type node struct {
+	mean float64
+	size float64
+}
+
+func combine(a, b node) node {
+	n := a.size + b.size
+	return node{mean: a.mean + (b.mean-a.mean)*b.size/n, size: n}
+}
+
+// Fold is exported but accumulates through combine: clean.
+func Fold(nodes []node) node {
+	acc := nodes[0]
+	for _, n := range nodes[1:] {
+		acc = combine(acc, n)
+	}
+	return acc
+}
+
+// Diagnostic justifies its fixed-order serial sum with the annotation.
+func Diagnostic(values []float64) float64 {
+	total := 0.0
+	for _, v := range values {
+		// Fixed slice order, single-process statistic.
+		total += v //stochlint:allow floataccum
+	}
+	return total
+}

@@ -1,0 +1,279 @@
+// Package load type-checks this module's packages (and analysistest
+// fixture packages) for the stochlint analyzers without depending on
+// golang.org/x/tools/go/packages: directories are walked and parsed with
+// go/parser, module-local imports are resolved recursively by path prefix,
+// and standard-library imports are type-checked from $GOROOT/src by the
+// go/importer "source" importer.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"stochsynth/internal/analysis"
+)
+
+// A Loader resolves and type-checks packages under one root directory.
+// Exactly one of two modes applies:
+//
+//   - Module mode (ModulePath != ""): Root is a module root; the import
+//     path of a directory is ModulePath joined with its relative path, and
+//     imports with the ModulePath prefix resolve back into Root.
+//   - Src mode (ModulePath == ""): Root is a GOPATH-style src tree (the
+//     analysistest layout, testdata/src); any import whose directory
+//     exists under Root resolves there, everything else is stdlib.
+type Loader struct {
+	Root       string
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	units   map[string]*analysis.Unit
+	loading map[string]bool
+}
+
+// NewModuleLoader returns a loader rooted at the module containing dir
+// (found by walking up to go.mod).
+func NewModuleLoader(dir string) (*Loader, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("load: no go.mod at or above %s", dir)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modulePath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modulePath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modulePath == "" {
+		return nil, fmt.Errorf("load: no module directive in %s/go.mod", root)
+	}
+	return newLoader(root, modulePath), nil
+}
+
+// NewSrcLoader returns a loader over a GOPATH-style src tree (fixtures).
+func NewSrcLoader(srcRoot string) *Loader {
+	return newLoader(srcRoot, "")
+}
+
+func newLoader(root, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:       root,
+		ModulePath: modulePath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		units:      make(map[string]*analysis.Unit),
+		loading:    make(map[string]bool),
+	}
+}
+
+// Load resolves patterns into type-checked units. A pattern is either an
+// import path ("stochsynth/internal/mc", or any path in src mode), "./..."
+// for every package under Root, or a path ending in "/..." for every
+// package under that subtree.
+func (l *Loader) Load(patterns ...string) ([]*analysis.Unit, error) {
+	var paths []string
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := l.walk(l.Root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				if p := l.pathOf(d); !seen[p] {
+					seen[p] = true
+					paths = append(paths, p)
+				}
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			base = strings.TrimPrefix(base, "./")
+			dirs, err := l.walk(filepath.Join(l.Root, base))
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				if p := l.pathOf(d); !seen[p] {
+					seen[p] = true
+					paths = append(paths, p)
+				}
+			}
+		default:
+			p := strings.TrimPrefix(pat, "./")
+			if l.ModulePath != "" && !strings.HasPrefix(p, l.ModulePath) {
+				p = l.pathOf(filepath.Join(l.Root, p))
+			}
+			if !seen[p] {
+				seen[p] = true
+				paths = append(paths, p)
+			}
+		}
+	}
+	sort.Strings(paths)
+	units := make([]*analysis.Unit, 0, len(paths))
+	for _, p := range paths {
+		u, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// walk returns every directory under base holding at least one non-test
+// .go file, skipping testdata, vendor and hidden directories.
+func (l *Loader) walk(base string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if len(goFiles(path)) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func (l *Loader) pathOf(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	rel = filepath.ToSlash(rel)
+	if l.ModulePath == "" {
+		return rel
+	}
+	return l.ModulePath + "/" + rel
+}
+
+func (l *Loader) dirOf(path string) string {
+	if l.ModulePath == "" {
+		return filepath.Join(l.Root, filepath.FromSlash(path))
+	}
+	if path == l.ModulePath {
+		return l.Root
+	}
+	return filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/")))
+}
+
+// goFiles lists the non-test .go files of dir, sorted.
+func goFiles(dir string) []string {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// load parses and type-checks one package by import path, memoized.
+func (l *Loader) load(path string) (*analysis.Unit, error) {
+	if u, ok := l.units[path]; ok {
+		return u, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirOf(path)
+	files := goFiles(dir)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s (package %s)", dir, path)
+	}
+	var parsed []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importerFor(l)}
+	tpkg, err := conf.Check(path, l.fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	u := &analysis.Unit{Path: path, Fset: l.fset, Files: parsed, Types: tpkg, Info: info}
+	l.units[path] = u
+	return u, nil
+}
+
+// importerFor adapts the loader into the go/types Importer interface:
+// local paths re-enter the loader, everything else goes to the stdlib
+// source importer.
+type loaderImporter struct{ l *Loader }
+
+func importerFor(l *Loader) types.Importer { return loaderImporter{l} }
+
+func (li loaderImporter) Import(path string) (*types.Package, error) {
+	l := li.l
+	local := false
+	if l.ModulePath != "" {
+		local = path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+	} else if fi, err := os.Stat(l.dirOf(path)); err == nil && fi.IsDir() && len(goFiles(l.dirOf(path))) > 0 {
+		local = true
+	}
+	if local {
+		u, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.Types, nil
+	}
+	return l.std.ImportFrom(path, l.Root, 0)
+}

@@ -1,0 +1,232 @@
+// Package mapiter flags `range` loops over maps whose bodies perform
+// order-sensitive accumulation — the pattern that leaks Go's randomized
+// map iteration order into wire formats, merged results and user-visible
+// listings.
+//
+// Ranging over a map is fine when the body is order-insensitive (writing
+// another map, counting, taking a max). It corrupts reproducibility when
+// the body's effect depends on visit order and the result escapes:
+//
+//   - appending map keys/values to a slice that is never sorted afterwards
+//     (the sorted-keys idiom — append then sort.* / slices.Sort* in the
+//     same function — is recognized and accepted);
+//   - accumulating floats (addition is not associative) or strings into a
+//     variable declared outside the loop;
+//   - writing to a strings.Builder or bytes.Buffer declared outside the
+//     loop, or printing with the fmt package.
+//
+// Integer accumulation is deliberately not flagged: integer addition is
+// associative and commutative, so visit order cannot change the result.
+// A loop can be exempted with `//stochlint:allow mapiter` on (or above)
+// the range statement.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"stochsynth/internal/analysis"
+)
+
+// Analyzer is the mapiter check.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag order-sensitive accumulation under range-over-map",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFunc(pass, fn.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pass.Allowed(rng.Pos(), "mapiter") {
+			return true
+		}
+		checkMapRange(pass, body, rng)
+		return true
+	})
+}
+
+// checkMapRange inspects one range-over-map body for order-sensitive
+// accumulation. funcBody is the enclosing function body, searched after
+// the loop for the sort-cure of append accumulators.
+func checkMapRange(pass *analysis.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	outer := func(id *ast.Ident) bool {
+		obj := pass.TypesInfo.ObjectOf(id)
+		return obj != nil && (obj.Pos() < rng.Pos() || obj.Pos() > rng.End())
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok || !outer(id) {
+				return true
+			}
+			if pass.Allowed(n.Pos(), "mapiter") {
+				return true
+			}
+			switch n.Tok {
+			case token.ASSIGN:
+				if isAppendTo(pass, n.Rhs[0], id) && !sortedAfter(pass, funcBody, rng, id) {
+					pass.Reportf(n.Pos(), "append to %s under range over map leaks iteration order (sort %s afterwards, iterate sorted keys, or annotate //stochlint:allow mapiter)", id.Name, id.Name)
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN:
+				if bt := basicKind(pass.TypesInfo.TypeOf(id)); bt == orderFloat || bt == orderString {
+					pass.Reportf(n.Pos(), "%s accumulation into %s under range over map is iteration-order dependent (collect and sort keys first, or annotate //stochlint:allow mapiter)", bt, id.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+type orderKind string
+
+const (
+	orderNone   orderKind = ""
+	orderFloat  orderKind = "floating-point"
+	orderString orderKind = "string"
+)
+
+func basicKind(t types.Type) orderKind {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return orderNone
+	}
+	switch {
+	case b.Info()&types.IsFloat != 0 || b.Info()&types.IsComplex != 0:
+		return orderFloat
+	case b.Info()&types.IsString != 0:
+		return orderString
+	}
+	return orderNone
+}
+
+// isAppendTo reports whether e is append(id, ...).
+func isAppendTo(pass *analysis.Pass, e ast.Expr, id *ast.Ident) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(first) == pass.TypesInfo.ObjectOf(id)
+}
+
+// checkCall flags order-sensitive sinks called under the loop: fmt
+// printing and Builder/Buffer writes.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+			if !pass.Allowed(call.Pos(), "mapiter") {
+				pass.Reportf(call.Pos(), "fmt.%s under range over map prints in random iteration order (sort keys first, or annotate //stochlint:allow mapiter)", fn.Name())
+			}
+			return
+		}
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil && strings.HasPrefix(fn.Name(), "Write") {
+			if named := namedOf(recv.Type()); named != nil {
+				obj := named.Obj()
+				if obj.Pkg() != nil && (obj.Pkg().Path() == "strings" && obj.Name() == "Builder" ||
+					obj.Pkg().Path() == "bytes" && obj.Name() == "Buffer") {
+					if !pass.Allowed(call.Pos(), "mapiter") {
+						pass.Reportf(call.Pos(), "%s.%s.%s under range over map appends in random iteration order (sort keys first, or annotate //stochlint:allow mapiter)", obj.Pkg().Name(), obj.Name(), fn.Name())
+					}
+				}
+			}
+		}
+	}
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// sortedAfter reports whether id is passed to a sort.* or slices.* call
+// somewhere after the range loop in the same function body — the
+// collect-then-sort idiom that neutralizes map iteration order.
+func sortedAfter(pass *analysis.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, id *ast.Ident) bool {
+	target := pass.TypesInfo.ObjectOf(id)
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			// The accumulator may be wrapped (sort.Sort(sort.IntSlice(out)),
+			// sort.Slice(out, less)): search the whole argument expression.
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if aid, ok := m.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(aid) == target {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"stochsynth/internal/analysis/analysistest"
+	"stochsynth/internal/analysis/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, "testdata", mapiter.Analyzer, "mapiter/a")
+}

@@ -1,0 +1,143 @@
+// Package a is the mapiter fixture: order-sensitive accumulation under
+// range-over-map is flagged; sorted-keys idioms, order-insensitive
+// bodies, and annotated loops are not.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// unsorted append: the classic wire-format corrupter.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out under range over map`
+	}
+	return out
+}
+
+// append then sort in the same function: the sanctioned idiom.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// slices.Sort also cures (spelled via the sort package here to keep the
+// fixture's import set small; both packages are recognized).
+func keysSortedSlice(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Sort(sort.IntSlice(out))
+	return out
+}
+
+// float accumulation is order-dependent bit-for-bit.
+func sumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `floating-point accumulation`
+	}
+	return total
+}
+
+// integer accumulation is associative: not flagged.
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// string concatenation leaks order.
+func joined(m map[string]string) string {
+	s := ""
+	for k := range m {
+		s += k // want `string accumulation`
+	}
+	return s
+}
+
+// builder writes leak order.
+func built(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `strings.Builder.WriteString under range over map`
+	}
+	return b.String()
+}
+
+// buffer writes leak order.
+func buffered(m map[string]int) []byte {
+	var b bytes.Buffer
+	for k := range m {
+		b.WriteByte(k[0]) // want `bytes.Buffer.WriteByte under range over map`
+	}
+	return b.Bytes()
+}
+
+// printing under the loop leaks order to the user.
+func printed(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt.Printf under range over map`
+	}
+}
+
+// order-insensitive bodies: map-to-map copies, counting, max tracking.
+func copied(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func maxVal(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// appends into a slice declared inside the loop body are scoped per
+// iteration and fine.
+func perIteration(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		doubled = append(doubled, vs...)
+		n += len(doubled)
+	}
+	return n
+}
+
+// the annotation silences a loop whose order-dependence is intended.
+func annotated(m map[string]int) []string {
+	var out []string
+	//stochlint:allow mapiter
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// trailing-form annotation on the accumulating line.
+func annotatedInline(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v //stochlint:allow mapiter
+	}
+	return total
+}

@@ -1,0 +1,163 @@
+// Package a is the noalloc fixture: allocating constructs inside
+// functions annotated //stochlint:noalloc are flagged; un-annotated
+// twins, allocation-free bodies and annotated escape lines are not.
+package a
+
+import "fmt"
+
+type state struct {
+	buf   []float64
+	total float64
+}
+
+// hot is annotated and clean: index writes, arithmetic, slicing,
+// struct-by-value returns, calls with concrete parameters.
+//
+//stochlint:noalloc
+func hot(s *state, xs []float64) float64 {
+	acc := 0.0
+	for i, x := range xs {
+		s.buf[i%len(s.buf)] = x
+		acc += x
+	}
+	s.total = acc
+	return acc
+}
+
+type result struct {
+	n    int
+	mean float64
+}
+
+// structLiteralOK: plain (non-pointer) struct composite literals live on
+// the stack.
+//
+//stochlint:noalloc
+func structLiteralOK(n int) result {
+	return result{n: n, mean: 0}
+}
+
+// makes is annotated and allocates all over.
+//
+//stochlint:noalloc
+func makes(n int) []float64 {
+	out := make([]float64, n) // want `make allocates`
+	return out
+}
+
+//stochlint:noalloc
+func news() *state {
+	return new(state) // want `new allocates`
+}
+
+//stochlint:noalloc
+func appends(xs []int, x int) []int {
+	return append(xs, x) // want `append may grow`
+}
+
+//stochlint:noalloc
+func sliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates`
+}
+
+//stochlint:noalloc
+func mapLit() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates`
+}
+
+//stochlint:noalloc
+func mapWrite(m map[string]int) {
+	m["k"] = 1 // want `map assignment may allocate`
+}
+
+//stochlint:noalloc
+func ptrLit() *state {
+	return &state{} // want `composite literal may escape`
+}
+
+//stochlint:noalloc
+func closure(xs []int) func() int {
+	f := func() int { return len(xs) } // want `closure may capture`
+	return f
+}
+
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+//stochlint:noalloc
+func methodValue(c *counter) func() {
+	f := c.inc // want `method value allocates`
+	return f
+}
+
+// methodCallOK: calling a method directly is not a method value.
+//
+//stochlint:noalloc
+func methodCallOK(c *counter) {
+	c.inc()
+}
+
+//stochlint:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//stochlint:noalloc
+func convert(b []byte) string {
+	return string(b) // want `allocates a copy`
+}
+
+//stochlint:noalloc
+func boxes(v float64) {
+	sink(v) // want `boxes the value`
+}
+
+func sink(v any) { _ = v }
+
+//stochlint:noalloc
+func variadicBox(a, b int) string {
+	return fmt.Sprintf("%d/%d", a, b) // want `boxes the value` `boxes the value` `variadic call allocates`
+}
+
+//stochlint:noalloc
+func deferred(f func()) {
+	defer f() // want `defer may allocate`
+	f()
+}
+
+//stochlint:noalloc
+func spawns(f func()) {
+	go f() // want `go statement allocates`
+}
+
+// coldPanic: panic arguments are exempt — a panicking hot path is
+// already off the fast path.
+//
+//stochlint:noalloc
+func coldPanic(n int) {
+	if n < 0 {
+		panic("negative length")
+	}
+}
+
+// unannotated twin of makes: not checked at all.
+func unannotated(n int) []float64 {
+	return make([]float64, n)
+}
+
+// allowedEscape demonstrates the line-level escape hatch for constructs
+// escape analysis provably keeps on the stack.
+//
+//stochlint:noalloc
+func allowedEscape(xs []float64) float64 {
+	// Non-escaping closure, pinned by a runtime AllocsPerRun test.
+	sum := func() float64 { //stochlint:allow alloc
+		t := 0.0
+		for _, x := range xs {
+			t += x
+		}
+		return t
+	}
+	return sum()
+}

@@ -1,0 +1,59 @@
+// Package stochlint assembles the repository's analyzer suite and drives
+// it over package patterns — the multichecker behind cmd/stochlint and
+// the in-process smoke/clean tests.
+package stochlint
+
+import (
+	"fmt"
+	"io"
+
+	"stochsynth/internal/analysis"
+	"stochsynth/internal/analysis/detrand"
+	"stochsynth/internal/analysis/floataccum"
+	"stochsynth/internal/analysis/mapiter"
+	"stochsynth/internal/analysis/noalloc"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		mapiter.Analyzer,
+		floataccum.Analyzer,
+		noalloc.Analyzer,
+	}
+}
+
+// Select filters the suite by name; an empty names list keeps everything.
+func Select(names []string) ([]*analysis.Analyzer, error) {
+	all := Analyzers()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("stochlint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Check runs analyzers over the given units and writes one line per
+// diagnostic to w, returning the diagnostic count.
+func Check(units []*analysis.Unit, analyzers []*analysis.Analyzer, w io.Writer) (int, error) {
+	diags, err := analysis.Run(units, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	return len(diags), nil
+}

@@ -461,6 +461,8 @@ func (c *Compiled) genericPropensity(ch int, st State) float64 {
 // channel and summing, so totals are bit-for-bit reproducible. This is the
 // batch form engines use on full refreshes: one call per step instead of
 // one per channel, with the opcode switch kept in-loop.
+//
+//stochlint:noalloc
 func (c *Compiled) PropensitiesInto(st State, prop []float64) float64 {
 	op, rate, s1, s2 := c.Op, c.Rate, c.S1, c.S2
 	total := 0.0
@@ -503,6 +505,8 @@ func (c *Compiled) PropensitiesInto(st State, prop []float64) float64 {
 // the caller has established applicability. st must be an *extended* state
 // vector from NewStateVec: the packed refresh records read its trailing
 // phantom slot as their multiplicative identity operand.
+//
+//stochlint:noalloc
 func (c *Compiled) FireAndRefresh(ch int, st State, prop []float64, total float64) float64 {
 	// One branchless loop over the unified refresh records (RefreshInstr
 	// documents the formula and its exactness): the records carry the
@@ -544,6 +548,8 @@ func (c *Compiled) FireAndRefresh(ch int, st State, prop []float64, total float6
 // caller has established applicability (a positive propensity implies
 // sufficient reactants); unlike State.Apply it performs no negative-count
 // check, so it is only for engine hot paths.
+//
+//stochlint:noalloc
 func (c *Compiled) Apply(ch int, st State) {
 	for k := c.DeltaStart[ch]; k < c.DeltaStart[ch+1]; k++ {
 		st[c.DeltaSpecies[k]] += c.DeltaCoeff[k]

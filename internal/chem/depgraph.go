@@ -1,5 +1,7 @@
 package chem
 
+import "sort"
+
 // DependencyGraph computes, for each reaction, the set of reactions whose
 // propensity may change when it fires. Reaction j depends on reaction i when
 // some species whose count i changes appears among j's reactants. A
@@ -60,6 +62,9 @@ func changedSpecies(r *Reaction) []Species {
 			out = append(out, s)
 		}
 	}
+	// Sorted so the species order (and everything derived from it) is
+	// independent of map iteration order.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

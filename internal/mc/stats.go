@@ -91,14 +91,20 @@ func (h *Hist) Count(v int64) int64 { return h.counts[v] }
 // meaningful when N > 0.
 func (h *Hist) Bounds() (min, max int64) { return h.min, h.max }
 
-// Mean returns the sample mean.
+// Mean returns the sample mean. The sum runs over the value range in
+// increasing order — never over map iteration order — so the result is
+// bit-for-bit reproducible across runs.
 func (h *Hist) Mean() float64 {
 	if h.n == 0 {
 		return 0
 	}
 	sum := 0.0
-	for v, c := range h.counts {
-		sum += float64(v) * float64(c)
+	for v := h.min; v <= h.max; v++ {
+		if c := h.counts[v]; c != 0 {
+			// Fixed ascending-value order; a Hist is a single-process
+			// diagnostic, never merged across shards.
+			sum += float64(v) * float64(c) //stochlint:allow floataccum
+		}
 	}
 	return sum / float64(h.n)
 }

@@ -63,6 +63,8 @@ func (d *Direct) Reset(state chem.State, t float64) {
 }
 
 // Step implements Engine.
+//
+//stochlint:noalloc
 func (d *Direct) Step(horizon float64) (int, StepStatus) {
 	comp := d.comp
 	total := comp.PropensitiesInto(d.state, d.prop)
@@ -168,6 +170,8 @@ func (o *OptimizedDirect) recomputeAll() {
 }
 
 // Step implements Engine.
+//
+//stochlint:noalloc
 func (o *OptimizedDirect) Step(horizon float64) (int, StepStatus) {
 	if o.total <= 1e-300 { // fully drained (or drifted to noise): recheck exactly
 		o.recomputeAll()

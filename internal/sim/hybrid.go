@@ -501,6 +501,8 @@ func (h *Hybrid) exactFallback(horizon float64) (int, StepStatus) {
 // immigration-death transient: of x current molecules each survives with
 // probability e^{-μ dt}; births are Poisson(λ dt) and each survives with
 // the uniform-arrival probability (1 - e^{-μ dt})/(μ dt).
+//
+//stochlint:noalloc
 func (h *Hybrid) propagateRelays(dt float64) {
 	if dt <= 0 {
 		return

@@ -52,6 +52,8 @@ func RunThresholdRace(eng Engine, a, b SpeciesThreshold, maxSteps int64) RunResu
 // away and the waiting-time draw elided (jump-chain exactness; see
 // RunThresholdRace). Mirrors Run's control flow: predicate before the
 // first event, step bound checked before each event, predicate after each.
+//
+//stochlint:noalloc
 func (o *OptimizedDirect) raceThresholds(a, b SpeciesThreshold, maxSteps int64) RunResult {
 	st := o.state
 	if st[a.Species] >= a.Count || st[b.Species] >= b.Count {
@@ -66,7 +68,9 @@ func (o *OptimizedDirect) raceThresholds(a, b SpeciesThreshold, maxSteps int64) 
 	// total and stale live in registers across the event loop; they are
 	// written back to the engine at every exit and around recomputeAll.
 	total, stale := o.total, o.stale
-	sync := func(steps int64, reason StopReason) RunResult {
+	// Non-escaping closure: stays on the stack (TestThresholdRaceZeroAllocs
+	// pins the whole race at zero allocations).
+	sync := func(steps int64, reason StopReason) RunResult { //stochlint:allow alloc
 		o.total, o.stale = total, stale
 		return RunResult{Steps: steps, Time: o.t, Reason: reason}
 	}
@@ -152,6 +156,8 @@ func (o *OptimizedDirect) raceThresholds(a, b SpeciesThreshold, maxSteps int64) 
 
 // raceThresholds implements thresholdRacer for Direct: full recompute per
 // event, jump-chain selection, no waiting-time draw.
+//
+//stochlint:noalloc
 func (d *Direct) raceThresholds(a, b SpeciesThreshold, maxSteps int64) RunResult {
 	st := d.state
 	if st[a.Species] >= a.Count || st[b.Species] >= b.Count {

@@ -72,12 +72,15 @@ func (tl *TauLeap) State() chem.State { return tl.state }
 func (tl *TauLeap) Time() float64 { return tl.t }
 
 // Reset repositions the accelerator at a copy of state and time t.
+//
+//stochlint:noalloc
 func (tl *TauLeap) Reset(state chem.State, t float64) {
 	if len(state) != tl.comp.NumSpecies() {
 		panic("sim: state length does not match network species count")
 	}
 	if tl.state == nil {
-		tl.state = make(chem.State, len(state))
+		// One-time lazy buffer on the first Reset; every later Reset reuses it.
+		tl.state = make(chem.State, len(state)) //stochlint:allow alloc
 	}
 	copy(tl.state, state)
 	tl.t = t
@@ -86,6 +89,8 @@ func (tl *TauLeap) Reset(state chem.State, t float64) {
 // Leap advances by one leap (or one exact event when leaping is not
 // profitable), returning the number of reaction firings applied and a step
 // status. On Horizon the state is unchanged and time is clamped to horizon.
+//
+//stochlint:noalloc
 func (tl *TauLeap) Leap(horizon float64) (events int64, status StepStatus) {
 	comp := tl.comp
 	total := comp.PropensitiesInto(tl.state, tl.prop)
