@@ -446,3 +446,74 @@ func BenchmarkSynthesis(b *testing.B) {
 		}
 	}
 }
+
+// distMergeParts builds the shard-merge benchmark fixtures: 64 shard
+// distribution summaries of 256 trials each, produced by the same
+// collector the sharded sweeps use.
+func distMergeParts() []mc.DistSummary {
+	const shards, per = 64, 256
+	cfg := mc.Config{Seed: 23, Outcomes: 2, Workers: 1}
+	hcfg := mc.HistConfig{Lo: -16, Width: 2, Bins: 64}
+	parts := make([]mc.DistSummary, shards)
+	for s := range parts {
+		parts[s] = mc.RunDistRangeWith(cfg, hcfg, s*per, (s+1)*per,
+			func(gen *rng.PCG) *rng.PCG { return gen },
+			func(gen *rng.PCG) mc.Obs {
+				v := gen.Normal(0, 8)
+				o := gen.Intn(2)
+				return mc.Obs{Value: v, IValue: int64(v), Outcome: o, Steps: int64(gen.Intn(4096))}
+			})
+	}
+	return parts
+}
+
+// BenchmarkMergeDistSummaries measures the coordinator-side cost of
+// folding 64 shard distribution summaries (256 trials each) into one run
+// summary — the merge work behind every -dist sweep, journal replay and
+// network gather. The component benches below split the cost out.
+func BenchmarkMergeDistSummaries(b *testing.B) {
+	parts := distMergeParts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var merged mc.DistSummary
+		for _, p := range parts {
+			var err error
+			if merged, err = mc.MergeDist(merged, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMergeQuantileSketches isolates the aligned-tree sketch merge —
+// the only dist component whose merge does real work (deterministic
+// rank-block compaction at every tree level).
+func BenchmarkMergeQuantileSketches(b *testing.B) {
+	parts := distMergeParts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var merged mc.Sketch
+		for _, p := range parts {
+			var err error
+			if merged, err = mc.MergeSketches(merged, p.Sketch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMergeHistSummaries isolates the fixed-bin histogram merge —
+// pure integer column sums.
+func BenchmarkMergeHistSummaries(b *testing.B) {
+	parts := distMergeParts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var merged mc.HistSummary
+		for _, p := range parts {
+			var err error
+			if merged, err = mc.MergeHist(merged, p.Hist); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -20,7 +20,10 @@
 // fresh worker process (this binary re-exec'd with -worker), and with
 // -workers the shards are dispatched over TCP to a fleet of -serve
 // workers. Either way the merged tallies are bit-for-bit identical to a
-// single-process mc.Sweep run. With -journal every completed shard is
+// single-process mc.Sweep run. The -dist sweeps accumulate full
+// distribution summaries per grid point (moments, quantile sketch,
+// fixed-bin histogram, first-passage steps) with the same bit-for-bit
+// merge guarantee. With -journal every completed shard is
 // durably logged first, so a killed coordinator rerun with the same
 // command resumes from the journal and computes only the missing trials.
 //
@@ -170,7 +173,7 @@ func coordinate(reg *shard.Registry, sweep, params string, trials int, seed uint
 	}
 	spec := shard.SweepSpec{
 		Sweep: sweep, Grid: grid, Trials: trials, Seed: seed,
-		Outcomes: factory.Outcomes, Numeric: factory.Numeric,
+		Outcomes: factory.Outcomes, Numeric: factory.Numeric, Dist: factory.Dist,
 	}
 
 	runner := shard.LocalRunner(reg)
@@ -221,9 +224,12 @@ func coordinate(reg *shard.Registry, sweep, params string, trials int, seed uint
 	}
 	elapsed := time.Since(start).Round(time.Millisecond)
 
-	if spec.Numeric {
+	switch {
+	case spec.Dist:
+		renderDist(merged, grid, spec.Outcomes)
+	case spec.Numeric:
 		renderNumeric(merged, grid)
-	} else {
+	default:
 		renderTally(merged, grid, spec.Outcomes)
 	}
 	fmt.Printf("%d shards (%s), %s\n", shards_, mode, elapsed)
@@ -292,6 +298,44 @@ func renderNumeric(merged shard.ShardResult, grid []float64) {
 			fmt.Sprintf("%g", s.Min),
 			fmt.Sprintf("%g", s.Max),
 		)
+	}
+	fmt.Print(tab.Render())
+}
+
+// renderDist prints one row per grid point of a distribution sweep: the
+// moment summary of the continuous observable, its sketch quantiles, the
+// histogram's mode bin, and the per-outcome mean first-passage step
+// counts.
+func renderDist(merged shard.ShardResult, grid []float64, outcomes int) {
+	headers := []string{"param", "trials", "mean", "p10", "p50", "p90", "hist mode"}
+	for o := 0; o < outcomes; o++ {
+		headers = append(headers, fmt.Sprintf("p%d", o), fmt.Sprintf("steps%d", o))
+	}
+	headers = append(headers, "none")
+	tab := plot.Table{Headers: headers}
+	for i := range grid {
+		d, err := merged.DistAt(i)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		s := d.Moments.Summary()
+		row := []string{
+			fmt.Sprintf("%g", grid[i]),
+			fmt.Sprintf("%d", d.N()),
+			fmt.Sprintf("%.6g", s.Mean),
+			fmt.Sprintf("%.6g", d.Sketch.Quantile(0.1)),
+			fmt.Sprintf("%.6g", d.Sketch.Quantile(0.5)),
+			fmt.Sprintf("%.6g", d.Sketch.Quantile(0.9)),
+			fmt.Sprintf("%d", d.Hist.Mode()),
+		}
+		for o := 0; o < outcomes; o++ {
+			row = append(row,
+				fmt.Sprintf("%.4f", d.FPT.Proportion(o).Estimate()),
+				fmt.Sprintf("%.1f", d.FPT.MeanSteps(o)))
+		}
+		row = append(row, fmt.Sprintf("%d", d.FPT.Unresolved.Count))
+		tab.Add(row...)
 	}
 	fmt.Print(tab.Render())
 }

@@ -138,6 +138,40 @@ func (m *Model) Trial(moi int64) mc.Trial {
 // registry can rebuild the exact Characterize trial in a fresh worker
 // process; pair it with one engine per worker (mc.RunWith/RunRangeWith).
 func (m *Model) Classifier(moi int64) func(eng sim.Engine) int {
+	race := m.racer(moi)
+	return func(eng sim.Engine) int {
+		outcome, _ := race(eng)
+		return outcome
+	}
+}
+
+// Observer returns the distribution-trial body of the MOI race for
+// internal/shard's dist sweeps: it runs exactly Classifier's race —
+// identical stream consumption, so per-trial outcomes agree trial for
+// trial with Characterize — and returns the full mc.Obs bundle: the
+// CI2−Cro2 decision margin as the continuous measurement, the jump-chain
+// event count as the integer measurement, and the race outcome with its
+// first-passage step count (see docs/engines.md on why the step count is
+// the exact time-free first-passage statistic).
+func (m *Model) Observer(moi int64) func(eng sim.Engine) mc.Obs {
+	race := m.racer(moi)
+	ci2, cro2 := m.CI2, m.Cro2
+	return func(eng sim.Engine) mc.Obs {
+		outcome, steps := race(eng)
+		st := eng.State()
+		return mc.Obs{
+			Value:   float64(st[ci2]) - float64(st[cro2]),
+			IValue:  steps,
+			Outcome: outcome,
+			Steps:   steps,
+		}
+	}
+}
+
+// racer is the single race body behind Classifier and Observer: reset,
+// race, classify, and report the jump-chain event count. Keeping one code
+// path guarantees the two consume identical rng streams.
+func (m *Model) racer(moi int64) func(eng sim.Engine) (outcome int, steps int64) {
 	st0 := m.Net.InitialState()
 	st0.Set(m.MOI, moi)
 	maxSteps := m.MaxSteps
@@ -146,16 +180,16 @@ func (m *Model) Classifier(moi int64) func(eng sim.Engine) int {
 	}
 	lysis := sim.SpeciesThreshold{Species: m.Cro2, Count: m.Thresholds.Cro2}
 	lysogeny := sim.SpeciesThreshold{Species: m.CI2, Count: m.Thresholds.CI2}
-	return func(eng sim.Engine) int {
+	return func(eng sim.Engine) (int, int64) {
 		eng.Reset(st0, 0)
 		res := sim.RunThresholdRace(eng, lysis, lysogeny, maxSteps)
 		if res.Reason != sim.StopPredicate {
-			return mc.None
+			return mc.None, res.Steps
 		}
 		if eng.State()[m.CI2] >= m.Thresholds.CI2 {
-			return Lysogeny
+			return Lysogeny, res.Steps
 		}
-		return Lysis
+		return Lysis, res.Steps
 	}
 }
 

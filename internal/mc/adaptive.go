@@ -10,6 +10,11 @@ package mc
 // informative. Each batch uses a fresh seed block, so no rng stream is
 // ever reused.
 func RunAdaptive(cfg Config, halfWidth float64, maxTrials int, trial Trial) Result {
+	if cfg.Trials <= 0 {
+		// A zero batch would make every iteration a no-op and the loop below
+		// would never terminate.
+		panic("mc: RunAdaptive with non-positive batch size (Config.Trials)")
+	}
 	if halfWidth <= 0 {
 		panic("mc: RunAdaptive with non-positive halfWidth")
 	}
@@ -21,6 +26,11 @@ func RunAdaptive(cfg Config, halfWidth float64, maxTrials int, trial Trial) Resu
 	for {
 		batchCfg := cfg
 		batchCfg.Seed = cfg.Seed + uint64(batch)*0x9e3779b97f4a7c15
+		// The last batch may be partial: spend exactly the remaining budget
+		// instead of stopping a batch short of maxTrials.
+		if remaining := maxTrials - int(total.Trials); batchCfg.Trials > remaining {
+			batchCfg.Trials = remaining
+		}
 		res := Run(batchCfg, trial)
 		for i, c := range res.Counts {
 			total.Counts[i] += c
@@ -37,7 +47,7 @@ func RunAdaptive(cfg Config, halfWidth float64, maxTrials int, trial Trial) Resu
 				break
 			}
 		}
-		if done || int(total.Trials)+cfg.Trials > maxTrials {
+		if done || int(total.Trials) >= maxTrials {
 			return total
 		}
 	}

@@ -52,6 +52,33 @@ func TestRunAdaptiveStopsImmediatelyWhenEasy(t *testing.T) {
 	}
 }
 
+func TestRunAdaptivePanicsOnZeroBatch(t *testing.T) {
+	// Regression: a zero batch size used to make every iteration a no-op
+	// and spin the loop forever. It must panic instead.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RunAdaptive(Config{Trials: 0, Outcomes: 1}, 0.01, 100, func(*rng.PCG) int { return 0 })
+}
+
+func TestRunAdaptiveSpendsWholeBudget(t *testing.T) {
+	// Regression: with a cap that is not a multiple of the batch size, the
+	// loop used to stop a full batch short of maxTrials (4000 of 4500 here).
+	// The final batch must be partial so the whole budget is spendable.
+	trial := func(gen *rng.PCG) int {
+		if gen.Float64() < 0.5 {
+			return 0
+		}
+		return 1
+	}
+	res := RunAdaptive(Config{Trials: 1000, Outcomes: 2, Seed: 3}, 1e-9, 4500, trial)
+	if res.Trials != 4500 {
+		t.Fatalf("spent %d trials, want the whole 4500 budget", res.Trials)
+	}
+}
+
 func TestRunAdaptivePanicsOnBadWidth(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,124 @@
+package mc
+
+import "fmt"
+
+// This file holds the aligned-forest mechanics shared by every
+// tree-canonical summary (Moments, Sketch): a summary of a trial range is
+// *defined* as the fold of per-trial accumulators up a fixed binary tree
+// over the trial index space. A node of size 2^k covers the aligned range
+// [s, s+2^k) with s ≡ 0 (mod 2^k) and is always computed by combining its
+// two half-size children — so every node's value depends only on the
+// trial values beneath it, never on which shard computed it or in what
+// order shards were merged. A forest is the maximal aligned-node
+// decomposition of the covered ranges: sorted by start, pairwise
+// disjoint, no two siblings left uncombined.
+//
+// The combine callback is always invoked as combine(left, right) with
+// right the immediate right sibling of left, exactly once per internal
+// tree node — it need not be commutative, only deterministic.
+
+// alignedNode is the interface a forest's node type exposes to the shared
+// mechanics: its aligned trial span.
+type alignedNode interface {
+	alignedSpan() (start, size int)
+}
+
+// alignedSiblings reports whether b is a's right sibling in the canonical
+// tree: same size, immediately adjacent, and a aligned on the parent
+// boundary.
+func alignedSiblings[N alignedNode](a, b N) bool {
+	as, az := a.alignedSpan()
+	bs, bz := b.alignedSpan()
+	return az == bz && as+az == bs && as%(2*az) == 0
+}
+
+// pushAligned appends n to the forest and cascades sibling combinations.
+// Nodes must be pushed in increasing start order.
+func pushAligned[N alignedNode](nodes []N, n N, combine func(a, b N) N) []N {
+	nodes = append(nodes, n)
+	for len(nodes) >= 2 && alignedSiblings(nodes[len(nodes)-2], nodes[len(nodes)-1]) {
+		nodes[len(nodes)-2] = combine(nodes[len(nodes)-2], nodes[len(nodes)-1])
+		nodes = nodes[:len(nodes)-1]
+	}
+	return nodes
+}
+
+// mergeAligned unions two canonical forests covering disjoint trial
+// ranges and combines every completed sibling pair, yielding the
+// canonical forest of the union. It is associative and commutative
+// bit-for-bit: the fully merged forest depends only on the set of trials
+// covered, never on the partition or the merge order. Overlapping inputs
+// are an error.
+func mergeAligned[N alignedNode](a, b []N, combine func(a, b N) N) ([]N, error) {
+	merged := make([]N, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var next N
+		switch {
+		case i == len(a):
+			next, j = b[j], j+1
+		case j == len(b):
+			next, i = a[i], i+1
+		default:
+			as, _ := a[i].alignedSpan()
+			bs, _ := b[j].alignedSpan()
+			if as <= bs {
+				next, i = a[i], i+1
+			} else {
+				next, j = b[j], j+1
+			}
+		}
+		if len(merged) > 0 {
+			ls, lz := merged[len(merged)-1].alignedSpan()
+			if ns, _ := next.alignedSpan(); ns < ls+lz {
+				return nil, fmt.Errorf("mc: summary ranges overlap at trial %d (duplicate shard?)", ns)
+			}
+		}
+		merged = pushAligned(merged, next, combine)
+	}
+	return merged, nil
+}
+
+// validateAlignedShape checks the structural forest invariants shared by
+// every tree-canonical summary: power-of-two sizes, alignment, ordering,
+// disjointness, and no uncombined siblings. Node-content invariants are
+// the caller's job.
+func validateAlignedShape[N alignedNode](nodes []N) error {
+	for i, n := range nodes {
+		start, size := n.alignedSpan()
+		if size <= 0 || size&(size-1) != 0 {
+			return fmt.Errorf("mc: summary node %d has non-power-of-two size %d", i, size)
+		}
+		if start < 0 || start%size != 0 {
+			return fmt.Errorf("mc: summary node %d ([%d,%d)) is misaligned", i, start, start+size)
+		}
+		if i > 0 {
+			ps, pz := nodes[i-1].alignedSpan()
+			if start < ps+pz {
+				return fmt.Errorf("mc: summary nodes %d and %d overlap", i-1, i)
+			}
+			if alignedSiblings(nodes[i-1], n) {
+				return fmt.Errorf("mc: summary nodes %d and %d are uncombined siblings", i-1, i)
+			}
+		}
+	}
+	return nil
+}
+
+// spansAligned returns the coalesced trial-index ranges covered by the
+// forest as {lo, hi} pairs (half-open, in index order). Adjacent nodes
+// collapse into one span, so a forest covering a contiguous shard range
+// [lo, hi) reports exactly one pair — the shape internal/shard validates
+// results against and the journal replays coverage from.
+func spansAligned[N alignedNode](nodes []N) [][2]int {
+	var out [][2]int
+	for _, n := range nodes {
+		start, size := n.alignedSpan()
+		if len(out) > 0 && out[len(out)-1][1] == start {
+			out[len(out)-1][1] = start + size
+			continue
+		}
+		out = append(out, [2]int{start, start + size})
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package mc
+
+import (
+	"reflect"
+	"testing"
+
+	"stochsynth/internal/rng"
+)
+
+func TestFPTSummaryAddAndStats(t *testing.T) {
+	f := NewFPTSummary(2)
+	f.Add(0, 0)
+	f.Add(0, 5)
+	f.Add(1, 9)
+	f.Add(None, 100)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 4 {
+		t.Fatalf("N = %d", f.N())
+	}
+	// Steps 0 lands in log bin 0, steps 5 in bin 3 ([4,8)).
+	want0 := FPTClass{Count: 2, Steps: 5, MinSteps: 0, MaxSteps: 5, LogBins: []int64{1, 0, 0, 1}}
+	if !reflect.DeepEqual(f.Classes[0], want0) {
+		t.Fatalf("class 0 = %+v, want %+v", f.Classes[0], want0)
+	}
+	if f.Classes[1].Count != 1 || f.Classes[1].Steps != 9 {
+		t.Fatalf("class 1 = %+v", f.Classes[1])
+	}
+	if f.Unresolved.Count != 1 || f.Unresolved.Steps != 100 {
+		t.Fatalf("unresolved = %+v", f.Unresolved)
+	}
+	if got := f.MeanSteps(0); got != 2.5 {
+		t.Fatalf("mean steps = %v", got)
+	}
+	// Unresolved trials stay in the denominator, mirroring Result.Proportion.
+	if p := f.Proportion(0); p.Successes != 2 || p.Trials != 4 {
+		t.Fatalf("proportion = %+v", p)
+	}
+}
+
+// TestMergeFPTBitForBitForRandomPartitions: every field is an integer
+// tally or sum, so the merged summary of any partition of the trials, in
+// any merge order, must equal the unsharded summary exactly — including
+// the trimmed log-histogram encodings.
+func TestMergeFPTBitForBitForRandomPartitions(t *testing.T) {
+	gen := rng.New(29)
+	const outcomes = 3
+	for rep := 0; rep < 200; rep++ {
+		n := 1 + gen.Intn(300)
+		outcome := make([]int, n)
+		steps := make([]int64, n)
+		for i := range outcome {
+			if k := gen.Intn(outcomes + 1); k < outcomes {
+				outcome[i] = k
+			} else {
+				outcome[i] = None
+			}
+			steps[i] = int64(gen.Intn(100_000))
+		}
+		whole := NewFPTSummary(outcomes)
+		for i := range outcome {
+			whole.Add(outcome[i], steps[i])
+		}
+
+		cuts := []int{0, n}
+		for c := gen.Intn(8); c > 0; c-- {
+			cuts = append(cuts, gen.Intn(n+1))
+		}
+		sortInts(cuts)
+		var parts []FPTSummary
+		for i := 1; i < len(cuts); i++ {
+			p := NewFPTSummary(outcomes)
+			for j := cuts[i-1]; j < cuts[i]; j++ {
+				p.Add(outcome[j], steps[j])
+			}
+			parts = append(parts, p)
+		}
+		gen.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+
+		var merged FPTSummary
+		for _, p := range parts {
+			var err error
+			if merged, err = MergeFPT(merged, p); err != nil {
+				t.Fatalf("rep %d: merge: %v", rep, err)
+			}
+		}
+		if !reflect.DeepEqual(merged, whole) {
+			t.Fatalf("rep %d: merged %+v, want %+v", rep, merged, whole)
+		}
+	}
+}
+
+func TestMergeFPTRejectsArityMismatch(t *testing.T) {
+	a := NewFPTSummary(2)
+	b := NewFPTSummary(3)
+	a.Add(0, 1)
+	b.Add(0, 1)
+	if _, err := MergeFPT(a, b); err == nil {
+		t.Fatal("arity mismatch merged without error")
+	}
+	m, err := MergeFPT(FPTSummary{}, a)
+	if err != nil || !reflect.DeepEqual(m, a) {
+		t.Fatalf("identity merge = %+v, %v", m, err)
+	}
+}
+
+func TestFPTValidateCatchesCorruption(t *testing.T) {
+	cases := map[string]func(f *FPTSummary){
+		"negative count":      func(f *FPTSummary) { f.Classes[0].Count = -1 },
+		"empty with tallies":  func(f *FPTSummary) { f.Classes[0].Count = 0 },
+		"min above max":       func(f *FPTSummary) { f.Classes[0].MinSteps = 9 },
+		"steps outside range": func(f *FPTSummary) { f.Classes[0].Steps = 99 },
+		"untrimmed zero bin":  func(f *FPTSummary) { f.Classes[0].LogBins = append(f.Classes[0].LogBins, 0) },
+		"bin sum mismatch":    func(f *FPTSummary) { f.Classes[0].LogBins[0] = 5 },
+	}
+	for name, corrupt := range cases {
+		f := NewFPTSummary(1)
+		f.Add(0, 5)
+		corrupt(&f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, f)
+		}
+	}
+	if err := (FPTSummary{}).Validate(); err == nil {
+		t.Error("zero-arity summary accepted")
+	}
+}
+
+func TestFPTAddPanicsOnNegativeSteps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	f := NewFPTSummary(1)
+	f.Add(0, -1)
+}

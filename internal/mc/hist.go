@@ -1,0 +1,208 @@
+package mc
+
+import "fmt"
+
+// HistConfig fixes the bin layout of a mergeable integer histogram: Bins
+// bins of Width consecutive integer values starting at Lo, so bin k
+// counts values in [Lo + k·Width, Lo + (k+1)·Width). Values below Lo land
+// in the underflow tally, values at or above Lo + Bins·Width in the
+// overflow tally. The layout is part of a sweep's identity: summaries
+// with different configs refuse to merge.
+type HistConfig struct {
+	Lo    int64 `json:"lo"`
+	Width int64 `json:"width"`
+	Bins  int   `json:"bins"`
+}
+
+// Validate checks the layout.
+func (c HistConfig) Validate() error {
+	if c.Width <= 0 || c.Bins <= 0 {
+		return fmt.Errorf("mc: histogram config needs positive width and bins (got width=%d bins=%d)", c.Width, c.Bins)
+	}
+	return nil
+}
+
+// BinLo returns the lowest value of bin k.
+func (c HistConfig) BinLo(k int) int64 { return c.Lo + int64(k)*c.Width }
+
+// HistSummary is a shard-mergeable fixed-bin integer histogram. All
+// tallies are integers, so merging is an exact sum: the merged summary is
+// bit-for-bit identical for every partition of the trial range and every
+// merge order — the same contract mc.Moments gives numeric moments, here
+// without needing the aligned tree at all.
+//
+// The zero value is the empty summary, which acts as a merge identity
+// (it carries no config and adopts the other operand's). The JSON field
+// names are part of the shard wire format v2 (see internal/shard).
+type HistSummary struct {
+	Cfg HistConfig `json:"cfg"`
+	// Counts[k] tallies observed values in bin k. A non-empty summary
+	// always carries exactly Cfg.Bins counts.
+	Counts []int64 `json:"counts,omitempty"`
+	// Under and Over tally out-of-range observations.
+	Under int64 `json:"under,omitempty"`
+	Over  int64 `json:"over,omitempty"`
+	// N is the total number of observations (in-range + out-of-range).
+	N int64 `json:"n"`
+	// Min and Max are the exact observed extremes (meaningful when N > 0).
+	Min int64 `json:"min"`
+	Max int64 `json:"max"`
+}
+
+// NewHistSummary returns an empty summary with the given layout.
+func NewHistSummary(cfg HistConfig) HistSummary {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return HistSummary{Cfg: cfg, Counts: make([]int64, cfg.Bins)}
+}
+
+// Add records one observation. The receiver must have been built by
+// NewHistSummary (the zero value has no bins).
+func (h *HistSummary) Add(v int64) {
+	if h.N == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.N == 0 || v > h.Max {
+		h.Max = v
+	}
+	switch {
+	case v < h.Cfg.Lo:
+		h.Under++
+	case v >= h.Cfg.Lo+int64(h.Cfg.Bins)*h.Cfg.Width:
+		h.Over++
+	default:
+		h.Counts[(v-h.Cfg.Lo)/h.Cfg.Width]++
+	}
+	h.N++
+}
+
+// Validate checks the summary's structural invariants.
+func (h HistSummary) Validate() error {
+	if h.N == 0 {
+		if len(h.Counts) != 0 && len(h.Counts) != h.Cfg.Bins {
+			return fmt.Errorf("mc: empty histogram carries %d counts", len(h.Counts))
+		}
+		for _, c := range h.Counts {
+			if c != 0 {
+				return fmt.Errorf("mc: empty histogram has nonzero counts")
+			}
+		}
+		if h.Under != 0 || h.Over != 0 {
+			return fmt.Errorf("mc: empty histogram has nonzero under/over tallies")
+		}
+		return nil
+	}
+	if err := h.Cfg.Validate(); err != nil {
+		return err
+	}
+	if len(h.Counts) != h.Cfg.Bins {
+		return fmt.Errorf("mc: histogram has %d counts for %d bins", len(h.Counts), h.Cfg.Bins)
+	}
+	if h.Under < 0 || h.Over < 0 {
+		return fmt.Errorf("mc: histogram has negative out-of-range tallies")
+	}
+	sum := h.Under + h.Over
+	for k, c := range h.Counts {
+		if c < 0 {
+			return fmt.Errorf("mc: histogram bin %d has negative count", k)
+		}
+		sum += c
+	}
+	if sum != h.N {
+		return fmt.Errorf("mc: histogram tallies sum to %d, N claims %d", sum, h.N)
+	}
+	if h.Min > h.Max {
+		return fmt.Errorf("mc: histogram min %d above max %d", h.Min, h.Max)
+	}
+	return nil
+}
+
+// MergeHist merges the histograms of two disjoint trial ranges by exact
+// integer sums. An empty operand is the identity; non-empty operands must
+// agree on the bin layout.
+func MergeHist(a, b HistSummary) (HistSummary, error) {
+	if a.N == 0 {
+		return b, nil
+	}
+	if b.N == 0 {
+		return a, nil
+	}
+	if a.Cfg != b.Cfg {
+		return HistSummary{}, fmt.Errorf("mc: histogram configs differ (%+v vs %+v)", a.Cfg, b.Cfg)
+	}
+	out := HistSummary{
+		Cfg:    a.Cfg,
+		Counts: make([]int64, len(a.Counts)),
+		Under:  a.Under + b.Under,
+		Over:   a.Over + b.Over,
+		N:      a.N + b.N,
+		Min:    min(a.Min, b.Min),
+		Max:    max(a.Max, b.Max),
+	}
+	for k := range a.Counts {
+		out.Counts[k] = a.Counts[k] + b.Counts[k]
+	}
+	return out, nil
+}
+
+// Fraction returns the fraction of observations in bin k.
+func (h HistSummary) Fraction(k int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[k]) / float64(h.N)
+}
+
+// Mode returns the lower bound of the most populated bin (the lowest such
+// bin on ties). Out-of-range tallies are ignored. Meaningful when N > 0.
+func (h HistSummary) Mode() int64 {
+	best, bestCount := 0, int64(-1)
+	for k, c := range h.Counts {
+		if c > bestCount {
+			best, bestCount = k, c
+		}
+	}
+	return h.Cfg.BinLo(best)
+}
+
+// Quantile returns the lower bound of the bin holding the q-quantile
+// observation (by the lower nearest-rank rule), clamping q to [0, 1].
+// Underflow observations report the exact Min, overflow the exact Max.
+// Meaningful when N > 0.
+func (h HistSummary) Quantile(q float64) int64 {
+	if h.N == 0 {
+		return 0
+	}
+	rank := nearestRank(q, h.N)
+	if rank < h.Under {
+		return h.Min
+	}
+	at := h.Under
+	for k, c := range h.Counts {
+		at += c
+		if rank < at {
+			return h.Cfg.BinLo(k)
+		}
+	}
+	return h.Max
+}
+
+// nearestRank maps a quantile q to the 0-indexed lower nearest rank in a
+// population of n: the smallest r with (r+1)/n ≥ q.
+func nearestRank(q float64, n int64) int64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return n - 1
+	}
+	r := int64(q * float64(n))
+	if float64(r) >= q*float64(n) && r > 0 {
+		r--
+	}
+	if r >= n {
+		r = n - 1
+	}
+	return r
+}

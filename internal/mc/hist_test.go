@@ -1,0 +1,126 @@
+package mc
+
+import (
+	"reflect"
+	"testing"
+
+	"stochsynth/internal/rng"
+)
+
+func TestHistSummaryAddCountsAndQuantiles(t *testing.T) {
+	h := NewHistSummary(HistConfig{Lo: 0, Width: 10, Bins: 4})
+	for _, v := range []int64{-5, 3, 7, 12, 12, 25, 39, 44} {
+		h.Add(v)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 8 || h.Under != 1 || h.Over != 1 || h.Min != -5 || h.Max != 44 {
+		t.Fatalf("summary = %+v", h)
+	}
+	if want := []int64{2, 2, 1, 1}; !reflect.DeepEqual(h.Counts, want) {
+		t.Fatalf("counts = %v, want %v", h.Counts, want)
+	}
+	// Bins 0 and 1 tie at 2 observations; Mode picks the lowest.
+	if got := h.Mode(); got != 0 {
+		t.Fatalf("mode = %d", got)
+	}
+	if got := h.Quantile(0); got != -5 {
+		t.Fatalf("q0 = %d, want exact min", got)
+	}
+	if got := h.Quantile(1); got != 44 {
+		t.Fatalf("q1 = %d, want exact max", got)
+	}
+	// Rank 3 (lower nearest rank of the median) lands in bin 1.
+	if got := h.Quantile(0.5); got != 10 {
+		t.Fatalf("median bin = %d, want 10", got)
+	}
+	if got := h.Fraction(0); got != 0.25 {
+		t.Fatalf("fraction(0) = %v", got)
+	}
+}
+
+// TestMergeHistBitForBitForRandomPartitions: every tally is an integer,
+// so the merged histogram of any partition of the trials, in any merge
+// order, must equal the unsharded histogram exactly — the HistSummary
+// analogue of TestMergeMomentsBitForBitForRandomPartitions.
+func TestMergeHistBitForBitForRandomPartitions(t *testing.T) {
+	cfg := HistConfig{Lo: -8, Width: 4, Bins: 6}
+	gen := rng.New(41)
+	for rep := 0; rep < 200; rep++ {
+		n := 1 + gen.Intn(300)
+		values := make([]int64, n)
+		for i := range values {
+			values[i] = int64(gen.Intn(64)) - 24 // spills past both ends of [-8, 16)
+		}
+		whole := NewHistSummary(cfg)
+		for _, v := range values {
+			whole.Add(v)
+		}
+
+		cuts := []int{0, n}
+		for c := gen.Intn(8); c > 0; c-- {
+			cuts = append(cuts, gen.Intn(n+1))
+		}
+		sortInts(cuts)
+		var parts []HistSummary
+		for i := 1; i < len(cuts); i++ {
+			p := NewHistSummary(cfg)
+			for _, v := range values[cuts[i-1]:cuts[i]] {
+				p.Add(v)
+			}
+			parts = append(parts, p)
+		}
+		gen.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+
+		var merged HistSummary
+		for _, p := range parts {
+			var err error
+			if merged, err = MergeHist(merged, p); err != nil {
+				t.Fatalf("rep %d: merge: %v", rep, err)
+			}
+		}
+		if !reflect.DeepEqual(merged, whole) {
+			t.Fatalf("rep %d: merged %+v, want %+v", rep, merged, whole)
+		}
+	}
+}
+
+func TestMergeHistRejectsConfigMismatch(t *testing.T) {
+	a := NewHistSummary(HistConfig{Lo: 0, Width: 1, Bins: 4})
+	b := NewHistSummary(HistConfig{Lo: 0, Width: 2, Bins: 4})
+	a.Add(1)
+	b.Add(1)
+	if _, err := MergeHist(a, b); err == nil {
+		t.Fatal("layout mismatch merged without error")
+	}
+	// The empty summary is an identity whatever its layout says.
+	m, err := MergeHist(HistSummary{}, a)
+	if err != nil || !reflect.DeepEqual(m, a) {
+		t.Fatalf("identity merge = %+v, %v", m, err)
+	}
+}
+
+func TestHistSummaryValidateCatchesCorruption(t *testing.T) {
+	ok := NewHistSummary(HistConfig{Lo: 0, Width: 1, Bins: 2})
+	ok.Add(0)
+	cases := map[string]func(h *HistSummary){
+		"count sum below n": func(h *HistSummary) { h.N++ },
+		"negative bin":      func(h *HistSummary) { h.Counts[0] = -1 },
+		"negative under":    func(h *HistSummary) { h.Under = -1; h.Counts[0]++ },
+		"min above max":     func(h *HistSummary) { h.Min = 9 },
+		"wrong bin count":   func(h *HistSummary) { h.Counts = h.Counts[:1] },
+		"empty with tally":  func(h *HistSummary) { h.N = 0; h.Min, h.Max = 0, 0 },
+	}
+	for name, corrupt := range cases {
+		h := ok
+		h.Counts = append([]int64(nil), ok.Counts...)
+		corrupt(&h)
+		if err := h.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, h)
+		}
+	}
+	if err := (HistSummary{}).Validate(); err != nil {
+		t.Errorf("empty summary rejected: %v", err)
+	}
+}

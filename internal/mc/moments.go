@@ -11,15 +11,9 @@ import (
 // Floating-point addition is not associative, so a naive "merge the
 // partial sums" protocol would make a sharded run's Mean/Var depend on how
 // the trial range was partitioned. Instead, the moments of a run are
-// *defined* as the result of combining per-trial accumulators up a fixed
-// binary tree over the trial index space: a node of size 2^k covers the
-// aligned range [s, s+2^k) with s ≡ 0 (mod 2^k), and is always computed by
-// Chan-merging its two half-size children. A shard covering any range
-// [lo, hi) reports the maximal aligned nodes contained in its range
-// (O(log n) of them); merging shards unions the forests and combines
-// completed sibling pairs. Because every node's value depends only on the
-// trial values beneath it — never on which shard computed it or in what
-// order shards were merged — the fully merged forest, and therefore the
+// *defined* as the result of combining per-trial accumulators up the fixed
+// aligned binary tree of aligned.go, with Chan et al.'s parallel Welford
+// update as the combine step. The fully merged forest, and therefore the
 // final Summary, is bit-for-bit identical to the unsharded computation for
 // every partition and every merge order.
 
@@ -45,6 +39,8 @@ type MomentNode struct {
 // present). The zero value is the empty forest.
 type Moments []MomentNode
 
+func (n MomentNode) alignedSpan() (start, size int) { return n.Start, n.Size }
+
 // combineNodes merges node b into node a (b immediately follows a) with
 // Chan et al.'s parallel Welford update. It is the single code path for
 // every moment combination — building sibling pairs into parents and
@@ -64,22 +60,6 @@ func combineNodes(a, b MomentNode) MomentNode {
 	}
 }
 
-// siblings reports whether b is a's right sibling in the canonical tree:
-// same size, immediately adjacent, and a aligned on the parent boundary.
-func siblings(a, b MomentNode) bool {
-	return a.Size == b.Size && a.Start+a.Size == b.Start && a.Start%(2*a.Size) == 0
-}
-
-// pushNode appends n to the forest and cascades sibling combinations.
-func pushNode(nodes Moments, n MomentNode) Moments {
-	nodes = append(nodes, n)
-	for len(nodes) >= 2 && siblings(nodes[len(nodes)-2], nodes[len(nodes)-1]) {
-		nodes[len(nodes)-2] = combineNodes(nodes[len(nodes)-2], nodes[len(nodes)-1])
-		nodes = nodes[:len(nodes)-1]
-	}
-	return nodes
-}
-
 // NewMoments builds the canonical moment forest of the trial values
 // values[0:], where values[i] is the measurement of global trial index
 // lo+i. The result is the maximal aligned-node decomposition of
@@ -90,9 +70,9 @@ func NewMoments(lo int, values []float64) Moments {
 	}
 	var nodes Moments
 	for i, v := range values {
-		nodes = pushNode(nodes, MomentNode{
+		nodes = pushAligned(nodes, MomentNode{
 			Start: lo + i, Size: 1, Mean: v, Min: v, Max: v,
-		})
+		}, combineNodes)
 	}
 	return nodes
 }
@@ -101,13 +81,10 @@ func NewMoments(lo int, values []float64) Moments {
 // are powers of two, nodes are aligned, sorted, disjoint, non-negative,
 // and no two siblings are left uncombined.
 func (m Moments) Validate() error {
+	if err := validateAlignedShape(m); err != nil {
+		return err
+	}
 	for i, n := range m {
-		if n.Size <= 0 || n.Size&(n.Size-1) != 0 {
-			return fmt.Errorf("mc: moment node %d has non-power-of-two size %d", i, n.Size)
-		}
-		if n.Start < 0 || n.Start%n.Size != 0 {
-			return fmt.Errorf("mc: moment node %d ([%d,%d)) is misaligned", i, n.Start, n.Start+n.Size)
-		}
 		if math.IsNaN(n.Mean) || math.IsInf(n.Mean, 0) || math.IsNaN(n.M2) || math.IsInf(n.M2, 0) ||
 			math.IsNaN(n.Min) || math.IsInf(n.Min, 0) || math.IsNaN(n.Max) || math.IsInf(n.Max, 0) {
 			return fmt.Errorf("mc: moment node %d has non-finite moments", i)
@@ -118,15 +95,6 @@ func (m Moments) Validate() error {
 		if n.Min > n.Max || (n.Size == 1 && n.M2 != 0) {
 			return fmt.Errorf("mc: moment node %d is internally inconsistent (corrupt shard?)", i)
 		}
-		if i > 0 {
-			prev := m[i-1]
-			if n.Start < prev.Start+prev.Size {
-				return fmt.Errorf("mc: moment nodes %d and %d overlap", i-1, i)
-			}
-			if siblings(prev, n) {
-				return fmt.Errorf("mc: moment nodes %d and %d are uncombined siblings", i-1, i)
-			}
-		}
 	}
 	return nil
 }
@@ -136,17 +104,7 @@ func (m Moments) Validate() error {
 // one span, so a forest covering a contiguous shard range [lo, hi) reports
 // exactly one pair — the shape internal/shard validates results against
 // and the journal replays coverage from.
-func (m Moments) Spans() [][2]int {
-	var out [][2]int
-	for _, n := range m {
-		if len(out) > 0 && out[len(out)-1][1] == n.Start {
-			out[len(out)-1][1] = n.Start + n.Size
-			continue
-		}
-		out = append(out, [2]int{n.Start, n.Start + n.Size})
-	}
-	return out
-}
+func (m Moments) Spans() [][2]int { return spansAligned(m) }
 
 // N returns the total number of trials summarised by the forest.
 func (m Moments) N() int64 {
@@ -163,29 +121,7 @@ func (m Moments) N() int64 {
 // fully merged forest depends only on the set of trials covered, never on
 // the partition or the merge order. Overlapping inputs are an error.
 func MergeMoments(a, b Moments) (Moments, error) {
-	merged := make(Moments, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) || j < len(b) {
-		var next MomentNode
-		switch {
-		case i == len(a):
-			next, j = b[j], j+1
-		case j == len(b):
-			next, i = a[i], i+1
-		case a[i].Start <= b[j].Start:
-			next, i = a[i], i+1
-		default:
-			next, j = b[j], j+1
-		}
-		if len(merged) > 0 {
-			last := merged[len(merged)-1]
-			if next.Start < last.Start+last.Size {
-				return nil, fmt.Errorf("mc: moment ranges overlap at trial %d (duplicate shard?)", next.Start)
-			}
-		}
-		merged = pushNode(merged, next)
-	}
-	return merged, nil
+	return mergeAligned(a, b, combineNodes)
 }
 
 // Summary folds the forest into a Summary by Chan-merging the maximal

@@ -1,0 +1,266 @@
+package mc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// A Sketch is a shard-mergeable quantile sketch with a fixed compression
+// and a deterministic, merge-order-invariant definition: like mc.Moments,
+// the sketch of a trial range is *defined* as the fold of per-trial
+// singletons up the fixed aligned binary tree of aligned.go. Each aligned
+// node of size 2^k holds at most SketchCompression weighted values — a
+// deterministic rank-quantized compaction of its two children — so every
+// node is a pure function of the trial values beneath it, and the fully
+// merged forest is bit-for-bit identical for every partition of the run
+// and every merge order. There is no randomized compaction coin anywhere:
+// unlike KLL-style sketches, two equal inputs always yield byte-equal
+// sketches, which is what makes the journal, resume, and result-cache
+// comparisons sound.
+//
+// Accuracy: each compaction step quantizes ranks to 1/SketchCompression
+// of the node's weight, and compactions nest O(log n) deep, so quantile
+// estimates carry a rank error on the order of log(n)/SketchCompression —
+// coarse next to an optimal sketch of equal size, but exactly
+// reproducible, which is the contract this repository cares about. The
+// exact extremes are carried alongside (Min/Max per node), so Quantile(0)
+// and Quantile(1) are exact.
+
+// SketchCompression is the fixed per-node capacity of the sketch. It is
+// part of the wire format: changing it changes every encoded sketch and
+// requires a shard format-version bump.
+const SketchCompression = 64
+
+// SketchItem is one weighted value of a sketch node: the node's subtree
+// contained W observations represented by the value V.
+//
+// The JSON field names are part of the shard wire format v2.
+type SketchItem struct {
+	V float64 `json:"v"`
+	W int64   `json:"w"`
+}
+
+// SketchNode is one canonical sketch node covering the aligned trial
+// range [Start, Start+Size). Items are sorted by strictly increasing
+// value and their weights sum to Size; Min and Max are the exact extremes
+// of the covered observations.
+type SketchNode struct {
+	Start int          `json:"start"`
+	Size  int          `json:"size"`
+	Min   float64      `json:"min"`
+	Max   float64      `json:"max"`
+	Items []SketchItem `json:"items"`
+}
+
+func (n SketchNode) alignedSpan() (start, size int) { return n.Start, n.Size }
+
+// Sketch is a canonical forest of aligned sketch nodes; the zero value is
+// the empty sketch.
+type Sketch []SketchNode
+
+// combineSketchNodes merges node b into node a (b immediately follows a):
+// merge the sorted item lists (coalescing equal values by summing
+// weights), then, if more than SketchCompression distinct values remain,
+// compact deterministically — partition the combined weight N into
+// SketchCompression contiguous rank blocks of exact integer sizes
+// ⌊(i+1)N/C⌋−⌊iN/C⌋ and represent each block by the value at its middle
+// rank, carrying the block's whole weight. Pure integer rank arithmetic:
+// no randomness, no float accumulation, so the result is a deterministic
+// function of (a, b) alone.
+func combineSketchNodes(a, b SketchNode) SketchNode {
+	merged := make([]SketchItem, 0, len(a.Items)+len(b.Items))
+	i, j := 0, 0
+	push := func(it SketchItem) {
+		if n := len(merged); n > 0 && merged[n-1].V == it.V {
+			merged[n-1].W += it.W
+			return
+		}
+		merged = append(merged, it)
+	}
+	for i < len(a.Items) || j < len(b.Items) {
+		switch {
+		case i == len(a.Items):
+			push(b.Items[j])
+			j++
+		case j == len(b.Items) || a.Items[i].V <= b.Items[j].V:
+			push(a.Items[i])
+			i++
+		default:
+			push(b.Items[j])
+			j++
+		}
+	}
+	out := SketchNode{
+		Start: a.Start,
+		Size:  a.Size + b.Size,
+		Min:   math.Min(a.Min, b.Min),
+		Max:   math.Max(a.Max, b.Max),
+		Items: merged,
+	}
+	if len(merged) > SketchCompression {
+		out.Items = compactItems(merged, int64(out.Size))
+	}
+	return out
+}
+
+// compactItems quantizes a sorted weighted value list of total weight n
+// down to at most SketchCompression items.
+func compactItems(items []SketchItem, n int64) []SketchItem {
+	const c = SketchCompression
+	out := make([]SketchItem, 0, c)
+	at := 0              // index into items
+	cumEnd := items[0].W // total weight of items[:at+1]
+	for i := 0; i < c; i++ {
+		lo := int64(i) * n / c
+		hi := int64(i+1) * n / c
+		if hi == lo {
+			continue // n < c cannot happen here (len(items) > c implies n > c)
+		}
+		mid := lo + (hi-lo-1)/2
+		// Advance to the item holding rank mid (0-indexed by weight); mid
+		// is non-decreasing across blocks, so the walk is one monotone pass.
+		for cumEnd <= mid {
+			at++
+			cumEnd += items[at].W
+		}
+		w := hi - lo
+		if k := len(out); k > 0 && out[k-1].V == items[at].V {
+			out[k-1].W += w
+		} else {
+			out = append(out, SketchItem{V: items[at].V, W: w})
+		}
+	}
+	return out
+}
+
+// NewSketch builds the canonical sketch forest of the trial values
+// values[0:], where values[i] is the measurement of global trial index
+// lo+i — the sketch analogue of NewMoments.
+func NewSketch(lo int, values []float64) Sketch {
+	if lo < 0 {
+		panic("mc: NewSketch with negative range start")
+	}
+	var nodes Sketch
+	for i, v := range values {
+		nodes = pushAligned(nodes, SketchNode{
+			Start: lo + i, Size: 1, Min: v, Max: v,
+			Items: []SketchItem{{V: v, W: 1}},
+		}, combineSketchNodes)
+	}
+	return nodes
+}
+
+// MergeSketches unions two canonical sketch forests covering disjoint
+// trial ranges. Like MergeMoments it is associative and commutative
+// bit-for-bit; overlapping inputs are an error.
+func MergeSketches(a, b Sketch) (Sketch, error) {
+	return mergeAligned(a, b, combineSketchNodes)
+}
+
+// Validate checks the structural invariants of a canonical sketch forest.
+func (s Sketch) Validate() error {
+	if err := validateAlignedShape(s); err != nil {
+		return err
+	}
+	for i, n := range s {
+		if len(n.Items) == 0 || len(n.Items) > SketchCompression {
+			return fmt.Errorf("mc: sketch node %d has %d items, want 1..%d", i, len(n.Items), SketchCompression)
+		}
+		if math.IsNaN(n.Min) || math.IsInf(n.Min, 0) || math.IsNaN(n.Max) || math.IsInf(n.Max, 0) || n.Min > n.Max {
+			return fmt.Errorf("mc: sketch node %d has invalid extremes [%v, %v]", i, n.Min, n.Max)
+		}
+		var weight int64
+		for k, it := range n.Items {
+			if math.IsNaN(it.V) || math.IsInf(it.V, 0) {
+				return fmt.Errorf("mc: sketch node %d item %d is not finite", i, k)
+			}
+			if it.W <= 0 {
+				return fmt.Errorf("mc: sketch node %d item %d has non-positive weight", i, k)
+			}
+			if k > 0 && n.Items[k-1].V >= it.V {
+				return fmt.Errorf("mc: sketch node %d items are not strictly increasing", i)
+			}
+			weight += it.W
+		}
+		if weight != int64(n.Size) {
+			return fmt.Errorf("mc: sketch node %d weights sum to %d, size is %d", i, weight, n.Size)
+		}
+		if n.Items[0].V < n.Min || n.Items[len(n.Items)-1].V > n.Max {
+			return fmt.Errorf("mc: sketch node %d items fall outside [%v, %v]", i, n.Min, n.Max)
+		}
+	}
+	return nil
+}
+
+// Spans returns the coalesced trial-index ranges covered by the forest
+// (see Moments.Spans).
+func (s Sketch) Spans() [][2]int { return spansAligned(s) }
+
+// N returns the total number of observations summarised by the forest.
+func (s Sketch) N() int64 {
+	var n int64
+	for _, node := range s {
+		n += int64(node.Size)
+	}
+	return n
+}
+
+// Quantile estimates the q-quantile of the sketched observations by the
+// lower nearest-rank rule over the forest's weighted values, clamping q
+// to [0, 1]. Quantile(0) and Quantile(1) return the exact Min and Max.
+// The estimate depends only on the multiset of (value, weight) items, so
+// it is identical for every partition and merge order. Meaningful when
+// N > 0.
+func (s Sketch) Quantile(q float64) float64 {
+	n := s.N()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.MinValue()
+	}
+	if q >= 1 {
+		return s.MaxValue()
+	}
+	items := make([]SketchItem, 0, len(s)*SketchCompression/4)
+	for _, node := range s {
+		items = append(items, node.Items...)
+	}
+	// Equal values are interchangeable at any rank, so an unstable sort
+	// cannot affect the answer.
+	sort.Slice(items, func(i, j int) bool { return items[i].V < items[j].V })
+	rank := nearestRank(q, n)
+	var cum int64
+	for _, it := range items {
+		cum += it.W
+		if rank < cum {
+			return it.V
+		}
+	}
+	return s.MaxValue()
+}
+
+// MinValue returns the exact minimum observation (meaningful when N > 0).
+func (s Sketch) MinValue() float64 {
+	out := math.Inf(1)
+	for _, n := range s {
+		out = math.Min(out, n.Min)
+	}
+	if math.IsInf(out, 1) {
+		return 0
+	}
+	return out
+}
+
+// MaxValue returns the exact maximum observation (meaningful when N > 0).
+func (s Sketch) MaxValue() float64 {
+	out := math.Inf(-1)
+	for _, n := range s {
+		out = math.Max(out, n.Max)
+	}
+	if math.IsInf(out, -1) {
+		return 0
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package mc
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"stochsynth/internal/rng"
+)
+
+func TestNewSketchExactWhenSmall(t *testing.T) {
+	// With n ≤ SketchCompression no node ever compacts, so the sketch
+	// carries every observation and quantiles are exact nearest-rank.
+	values := []float64{5, 1, 4, 2, 2, 9, 0, 7}
+	s := NewSketch(0, values)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != int64(len(values)) {
+		t.Fatalf("N = %d", s.N())
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		want := sorted[nearestRank(q, int64(len(values)))]
+		if got := s.Quantile(q); got != want {
+			t.Errorf("q%.2f = %v, want %v", q, got, want)
+		}
+	}
+	if s.MinValue() != 0 || s.MaxValue() != 9 {
+		t.Fatalf("extremes = [%v, %v]", s.MinValue(), s.MaxValue())
+	}
+}
+
+// TestMergeSketchesBitForBitForRandomPartitions: the sketch of a trial
+// range is defined as a fold up the fixed aligned tree, so — exactly like
+// mc.Moments — the merged forest of any random partition, in any merge
+// order, must be node-for-node bit-identical to the unsharded sketch,
+// including through the deterministic compaction paths (n ≫ compression).
+func TestMergeSketchesBitForBitForRandomPartitions(t *testing.T) {
+	gen := rng.New(17)
+	for rep := 0; rep < 100; rep++ {
+		n := 1 + gen.Intn(400)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = gen.Normal(0, 5)
+		}
+		whole := NewSketch(0, values)
+		if err := whole.Validate(); err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+
+		cuts := []int{0, n}
+		for c := gen.Intn(8); c > 0; c-- {
+			cuts = append(cuts, gen.Intn(n+1))
+		}
+		sortInts(cuts)
+		var parts []Sketch
+		for i := 1; i < len(cuts); i++ {
+			parts = append(parts, NewSketch(cuts[i-1], values[cuts[i-1]:cuts[i]]))
+		}
+		gen.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+
+		merged := Sketch(nil)
+		for _, p := range parts {
+			var err error
+			if merged, err = MergeSketches(merged, p); err != nil {
+				t.Fatalf("rep %d: merge: %v", rep, err)
+			}
+		}
+		if len(merged) != len(whole) {
+			t.Fatalf("rep %d: merged forest has %d nodes, want %d", rep, len(merged), len(whole))
+		}
+		for i := range merged {
+			if !sketchNodesIdentical(merged[i], whole[i]) {
+				t.Fatalf("rep %d: node %d differs: %+v vs %+v", rep, i, merged[i], whole[i])
+			}
+		}
+	}
+}
+
+func TestSketchQuantileAccuracyUnderCompaction(t *testing.T) {
+	// 4096 uniform observations force ~6 nested compaction levels; the rank
+	// quantization error is O(log(n)/compression) ≈ 0.1, so estimated
+	// quantiles must sit near the true ones — coarse but sane. The exact
+	// extremes ride alongside, so q=0 and q=1 stay exact.
+	gen := rng.New(5)
+	const n = 4096
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = gen.Float64()
+	}
+	s := NewSketch(0, values)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		if got := s.Quantile(q); math.Abs(got-q) > 0.15 {
+			t.Errorf("q%.2f = %v, rank error too large", q, got)
+		}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if s.Quantile(0) != sorted[0] || s.Quantile(1) != sorted[n-1] {
+		t.Fatalf("extreme quantiles [%v, %v] not exact [%v, %v]",
+			s.Quantile(0), s.Quantile(1), sorted[0], sorted[n-1])
+	}
+}
+
+func TestMergeSketchesRejectsOverlap(t *testing.T) {
+	a := NewSketch(0, []float64{1, 2, 3})
+	b := NewSketch(2, []float64{9, 9})
+	if _, err := MergeSketches(a, b); err == nil {
+		t.Fatal("overlapping merge did not error")
+	}
+	if _, err := MergeSketches(a, a); err == nil {
+		t.Fatal("duplicate merge did not error")
+	}
+}
+
+func TestSketchValidateCatchesCorruption(t *testing.T) {
+	tooMany := make([]SketchItem, SketchCompression+1)
+	for i := range tooMany {
+		tooMany[i] = SketchItem{V: float64(i), W: 1}
+	}
+	cases := map[string]Sketch{
+		"no items":       {{Start: 0, Size: 1, Min: 1, Max: 1}},
+		"too many items": {{Start: 0, Size: 128, Min: 0, Max: 128, Items: tooMany}},
+		"weight mismatch": {{Start: 0, Size: 2, Min: 1, Max: 1,
+			Items: []SketchItem{{V: 1, W: 1}}}},
+		"non-increasing": {{Start: 0, Size: 2, Min: 1, Max: 2,
+			Items: []SketchItem{{V: 2, W: 1}, {V: 1, W: 1}}}},
+		"item outside extremes": {{Start: 0, Size: 1, Min: 2, Max: 3,
+			Items: []SketchItem{{V: 1, W: 1}}}},
+		"nan extreme": {{Start: 0, Size: 1, Min: math.NaN(), Max: 1,
+			Items: []SketchItem{{V: 1, W: 1}}}},
+		"misaligned": {{Start: 1, Size: 2, Min: 1, Max: 1,
+			Items: []SketchItem{{V: 1, W: 2}}}},
+	}
+	for name, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, s)
+		}
+	}
+	if err := (Sketch{}).Validate(); err != nil {
+		t.Errorf("empty sketch rejected: %v", err)
+	}
+}
+
+func sketchNodesIdentical(a, b SketchNode) bool {
+	if a.Start != b.Start || a.Size != b.Size ||
+		math.Float64bits(a.Min) != math.Float64bits(b.Min) ||
+		math.Float64bits(a.Max) != math.Float64bits(b.Max) ||
+		len(a.Items) != len(b.Items) {
+		return false
+	}
+	for i := range a.Items {
+		if a.Items[i].W != b.Items[i].W ||
+			math.Float64bits(a.Items[i].V) != math.Float64bits(b.Items[i].V) {
+			return false
+		}
+	}
+	return true
+}

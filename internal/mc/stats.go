@@ -1,6 +1,9 @@
 package mc
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Proportion is a binomial proportion estimator: Successes out of Trials.
 type Proportion struct {
@@ -91,7 +94,20 @@ func (h *Hist) Count(v int64) int64 { return h.counts[v] }
 // meaningful when N > 0.
 func (h *Hist) Bounds() (min, max int64) { return h.min, h.max }
 
-// Mean returns the sample mean. The sum runs over the value range in
+// sortedValues returns the observed values in increasing order. Mean and
+// Mode iterate these instead of scanning every integer in [min, max]: the
+// observation set is usually sparse next to its bounds, and one outlier
+// must not turn a walk into a billion-iteration scan.
+func (h *Hist) sortedValues() []int64 {
+	vs := make([]int64, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// Mean returns the sample mean. The sum runs over the observed values in
 // increasing order — never over map iteration order — so the result is
 // bit-for-bit reproducible across runs.
 func (h *Hist) Mean() float64 {
@@ -99,12 +115,10 @@ func (h *Hist) Mean() float64 {
 		return 0
 	}
 	sum := 0.0
-	for v := h.min; v <= h.max; v++ {
-		if c := h.counts[v]; c != 0 {
-			// Fixed ascending-value order; a Hist is a single-process
-			// diagnostic, never merged across shards.
-			sum += float64(v) * float64(c) //stochlint:allow floataccum
-		}
+	for _, v := range h.sortedValues() {
+		// Fixed ascending-value order; a Hist is a single-process
+		// diagnostic, never merged across shards.
+		sum += float64(v) * float64(h.counts[v]) //stochlint:allow floataccum
 	}
 	return sum / float64(h.n)
 }
@@ -114,7 +128,7 @@ func (h *Hist) Mean() float64 {
 func (h *Hist) Mode() int64 {
 	var best int64
 	var bestCount int64 = -1
-	for v := h.min; v <= h.max; v++ {
+	for _, v := range h.sortedValues() {
 		if c := h.counts[v]; c > bestCount {
 			best, bestCount = v, c
 		}

@@ -107,6 +107,43 @@ func TestHistBasics(t *testing.T) {
 	}
 }
 
+func TestHistSparseWideBounds(t *testing.T) {
+	// Regression: Mean and Mode used to scan every integer in [min, max],
+	// so a single far outlier turned them into a trillion-iteration walk.
+	// They now iterate the observed values in the same ascending order,
+	// which must leave the results bit-for-bit unchanged.
+	h := NewHist()
+	h.Add(-7)
+	for i := 0; i < 10; i++ {
+		h.Add(3)
+	}
+	h.Add(1_000_000_000_000)
+	sum := 0.0
+	sum += float64(-7) * 1
+	sum += float64(3) * 10
+	sum += float64(1_000_000_000_000) * 1
+	if got, want := h.Mean(), sum/12; math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("mean = %v, want bit-identical %v", got, want)
+	}
+	if h.Mode() != 3 {
+		t.Fatalf("mode = %d", h.Mode())
+	}
+	if min, max := h.Bounds(); min != -7 || max != 1_000_000_000_000 {
+		t.Fatalf("bounds = %d,%d", min, max)
+	}
+}
+
+func TestHistModePrefersSmallestOnTies(t *testing.T) {
+	h := NewHist()
+	h.Add(9)
+	h.Add(4)
+	h.Add(9)
+	h.Add(4)
+	if h.Mode() != 4 {
+		t.Fatalf("mode = %d, want smallest tied value", h.Mode())
+	}
+}
+
 func TestHistEmpty(t *testing.T) {
 	h := NewHist()
 	if h.Mean() != 0 || h.FractionAt(0) != 0 || h.N() != 0 {

@@ -6,6 +6,7 @@ import (
 
 	"stochsynth/internal/chem"
 	"stochsynth/internal/lambda"
+	"stochsynth/internal/mc"
 	"stochsynth/internal/rng"
 	"stochsynth/internal/sim"
 	"stochsynth/internal/synth"
@@ -21,6 +22,16 @@ const (
 	SweepFig3Error             = "synth/fig3-error"
 	SweepFig3ErrorHybrid       = "synth/fig3-error-hybrid"
 	SweepFig3Numeric           = "synth/fig3-sweep"
+
+	// Distribution forms (wire format v2): every builtin trial body above
+	// has a -dist counterpart that observes the same races through
+	// lambda.Model.Observer / synth.Figure3Observer and accumulates the
+	// full mc.DistSummary bundle per grid point.
+	SweepLambdaSyntheticDist       = "lambda/synthetic-dist"
+	SweepLambdaSyntheticHybridDist = "lambda/synthetic-hybrid-dist"
+	SweepLambdaNaturalDist         = "lambda/natural-dist"
+	SweepFig3Dist                  = "synth/fig3-dist"
+	SweepFig3HybridDist            = "synth/fig3-hybrid-dist"
 )
 
 // Builtin returns a fresh registry holding the repository's named sweeps:
@@ -43,6 +54,15 @@ const (
 //   - synth/fig3-sweep — the numeric form of the Figure 3 sweep: each
 //     trial measures the error indicator (1 error, 0 correct), so the
 //     merged Summary's Mean is the error rate with its StdErr (param = γ).
+//
+// Each trial body also has a distribution form (the -dist sweeps): the
+// lambda races observe the CI2−Cro2 decision margin (moments + quantile
+// sketch), the jump-chain event count (fixed-bin histogram), and the
+// lysis/lysogeny outcome with its first-passage step count (first-passage
+// summary); the Figure 3 races observe the race length in events and the
+// error indicator the same way. The -dist sweeps consume exactly the trial
+// streams of their tally counterparts, so per-trial outcomes — and hence
+// the first-passage class counts — agree with the tallies trial for trial.
 //
 // The numeric sweeps consume exactly the trial streams of their tally
 // counterparts (same engine construction, same classifier), so per-trial
@@ -70,7 +90,80 @@ func Builtin() *Registry {
 	reg.Register(SweepFig3Error, fig3Factory(""))
 	reg.Register(SweepFig3ErrorHybrid, fig3Factory(sim.EngineHybrid))
 	reg.Register(SweepFig3Numeric, fig3NumericFactory())
+	reg.Register(SweepLambdaSyntheticDist, lambdaDistFactory(func() (*lambda.Model, error) {
+		return lambda.SyntheticModel(), nil
+	}))
+	reg.Register(SweepLambdaSyntheticHybridDist, lambdaDistFactory(func() (*lambda.Model, error) {
+		return lambda.SyntheticModel().WithEngine(sim.EngineHybrid), nil
+	}))
+	reg.Register(SweepLambdaNaturalDist, lambdaDistFactory(func() (*lambda.Model, error) {
+		return lambda.NaturalModel(lambda.NaturalParams{})
+	}))
+	reg.Register(SweepFig3Dist, fig3DistFactory(""))
+	reg.Register(SweepFig3HybridDist, fig3DistFactory(sim.EngineHybrid))
 	return reg
+}
+
+// lambdaHist is the histogram layout of the lambda -dist sweeps: the
+// integer observable is the jump-chain event count, binned 512×256 events
+// over [0, 131072) with overflow tallied exactly.
+var lambdaHist = mc.HistConfig{Lo: 0, Width: 256, Bins: 512}
+
+// fig3Hist is the histogram layout of the Figure 3 -dist sweeps: races to
+// threshold 10 are short, so 512×64 events over [0, 32768).
+var fig3Hist = mc.HistConfig{Lo: 0, Width: 64, Bins: 512}
+
+// lambdaDistFactory adapts a lambda model constructor into a distribution
+// factory whose parameter is the MOI, observing through Model.Observer on
+// the same per-worker engines as lambdaFactory.
+func lambdaDistFactory(build func() (*lambda.Model, error)) Factory {
+	return Factory{
+		Outcomes: 2,
+		Dist:     true,
+		Hist:     lambdaHist,
+		DistF: func(param float64) (DistTrial, error) {
+			moi := int64(math.Round(param))
+			if float64(moi) != param || moi < 1 {
+				return DistTrial{}, fmt.Errorf("MOI grid value %v is not a positive integer", param)
+			}
+			m, err := build()
+			if err != nil {
+				return DistTrial{}, err
+			}
+			observe := m.Observer(moi)
+			newEngine := m.EngineFactory()
+			return DistTrial{
+				NewEngine: func(gen *rng.PCG) any { return newEngine(gen) },
+				Observe:   func(eng any) mc.Obs { return observe(eng.(sim.Engine)) },
+			}, nil
+		},
+	}
+}
+
+// fig3DistFactory builds the distribution form of the Figure 3 sweep on
+// the given engine kind (empty = OptimizedDirect), observing through
+// synth.Figure3Observer on the same engines as fig3Factory.
+func fig3DistFactory(kind sim.EngineKind) Factory {
+	return Factory{
+		Outcomes: 2,
+		Dist:     true,
+		Hist:     fig3Hist,
+		DistF: func(gamma float64) (DistTrial, error) {
+			mod, err := synth.Figure3Spec(gamma).Build()
+			if err != nil {
+				return DistTrial{}, err
+			}
+			observe := synth.Figure3Observer(mod)
+			protected := mod.ProtectedSpecies()
+			comp := chem.Compile(mod.Net)
+			return DistTrial{
+				NewEngine: func(gen *rng.PCG) any {
+					return sim.MustEngineOfKindCompiled(kind, comp, protected, gen)
+				},
+				Observe: func(eng any) mc.Obs { return observe(eng.(sim.Engine)) },
+			}, nil
+		},
+	}
 }
 
 // lambdaFactory adapts a lambda model constructor into a tally factory

@@ -33,7 +33,7 @@ func TestGoldenFig3NumericResult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "shardresult_fig3sweep.v1.json", enc)
+	checkGolden(t, "shardresult_fig3sweep.v2.json", enc)
 }
 
 // TestFig3NumericSweepAgreesWithTallyTrialForTrial: the numeric Figure 3
@@ -107,6 +107,71 @@ func TestFig3NumericSweepAgreesWithTallyTrialForTrial(t *testing.T) {
 	}
 }
 
+// TestFig3DistSweepAgreesWithTallyTrialForTrial: the synth/fig3-dist
+// sweep observes the same single race per trial as the synth/fig3-error
+// tally (synth.Figure3Observer wraps one RunRaceWith call on the same
+// engines), so its first-passage class counts equal the tally's counts
+// trial for trial, and its shards — aligned sketch forests included —
+// merge bit-for-bit.
+func TestFig3DistSweepAgreesWithTallyTrialForTrial(t *testing.T) {
+	reg := Builtin()
+	grid := []float64{1, 100}
+	const (
+		trials = 60
+		seed   = uint64(3)
+	)
+	distSpec := SweepSpec{Sweep: SweepFig3Dist, Grid: grid, Trials: trials, Seed: seed, Outcomes: 2, Dist: true}
+	one, err := Coordinate(distSpec, 1, LocalRunner(reg), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Coordinate(distSpec, 4, LocalRunner(reg), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneEnc, err := one.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fourEnc, err := four.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oneEnc, fourEnc) {
+		t.Fatal("fig3-dist shards do not merge bit-for-bit")
+	}
+
+	tallySpec := SweepSpec{Sweep: SweepFig3Error, Grid: grid, Trials: trials, Seed: seed, Outcomes: 2}
+	tally, err := Coordinate(tallySpec, 3, LocalRunner(reg), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range grid {
+		d, err := four.DistAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tally.ResultAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o := range res.Counts {
+			if d.FPT.Classes[o].Count != res.Counts[o] {
+				t.Fatalf("γ=%v outcome %d: first-passage count %d, tally counted %d",
+					grid[i], o, d.FPT.Classes[o].Count, res.Counts[o])
+			}
+		}
+		if d.FPT.Unresolved.Count != res.None {
+			t.Fatalf("γ=%v: unresolved %d, tally none %d", grid[i], d.FPT.Unresolved.Count, res.None)
+		}
+		// The race length is both the continuous and the integer observable,
+		// so the moments and histogram must agree on the total event count.
+		if d.Moments.N() != int64(trials) || d.Hist.N != int64(trials) {
+			t.Fatalf("γ=%v: component trial counts %d/%d, want %d", grid[i], d.Moments.N(), d.Hist.N, trials)
+		}
+	}
+}
+
 // TestMOICurveNumericAgreesWithCharacterize: the lambda/moi-curve sweep
 // measures the lysogeny indicator on exactly Characterize's engine and
 // classifier, so its mean recovers the tally's lysogeny count exactly,
@@ -154,6 +219,45 @@ func TestMOICurveNumericAgreesWithCharacterize(t *testing.T) {
 		if s.N != int64(trials) {
 			t.Fatalf("MOI %v: summary over %d trials, want %d", param, s.N, trials)
 		}
+	}
+}
+
+// TestLambdaDistSweepAgreesWithTally: lambda.Model.Observer and Classifier
+// share one race body (they cannot drift apart), so the synthetic -dist
+// sweep's first-passage counts recover the tally exactly.
+func TestLambdaDistSweepAgreesWithTally(t *testing.T) {
+	reg := Builtin()
+	grid := []float64{2}
+	trials := 60
+	if testing.Short() {
+		trials = 20 // full synthetic-model trials; keep the -race short suite fast
+	}
+	const seed = uint64(19)
+	distSpec := SweepSpec{Sweep: SweepLambdaSyntheticDist, Grid: grid, Trials: trials, Seed: seed, Outcomes: 2, Dist: true}
+	dist, err := Coordinate(distSpec, 3, LocalRunner(reg), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tallySpec := SweepSpec{Sweep: SweepLambdaSynthetic, Grid: grid, Trials: trials, Seed: seed, Outcomes: 2}
+	tally, err := Coordinate(tallySpec, 2, LocalRunner(reg), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dist.DistAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tally.ResultAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := range res.Counts {
+		if d.FPT.Classes[o].Count != res.Counts[o] {
+			t.Fatalf("outcome %d: first-passage count %d, tally counted %d", o, d.FPT.Classes[o].Count, res.Counts[o])
+		}
+	}
+	if d.FPT.Unresolved.Count != res.None {
+		t.Fatalf("unresolved %d, tally none %d", d.FPT.Unresolved.Count, res.None)
 	}
 }
 

@@ -21,14 +21,33 @@ type SweepSpec struct {
 	Seed     uint64
 	Outcomes int
 	Numeric  bool
+	Dist     bool
 }
 
 // Shard returns the ShardSpec for the trial range [lo, hi) of the sweep.
 func (s SweepSpec) Shard(lo, hi int) ShardSpec {
 	return ShardSpec{
 		Version: FormatVersion, Sweep: s.Sweep, Grid: s.Grid, Trials: s.Trials,
-		Lo: lo, Hi: hi, Seed: s.Seed, Outcomes: s.Outcomes, Numeric: s.Numeric,
+		Lo: lo, Hi: hi, Seed: s.Seed, Outcomes: s.Outcomes, Numeric: s.Numeric, Dist: s.Dist,
 	}
+}
+
+// emptyResult is the complete result of a zero-trial sweep: every point
+// carries the empty tally of its kind and no trial ranges are covered.
+func (s SweepSpec) emptyResult() ShardResult {
+	r := ShardResult{
+		Version: FormatVersion, Sweep: s.Sweep, Grid: s.Grid, Trials: s.Trials,
+		Seed: s.Seed, Outcomes: s.Outcomes, Numeric: s.Numeric, Dist: s.Dist,
+		Points: make([]PointTally, len(s.Grid)),
+	}
+	for i, p := range s.Grid {
+		pt := PointTally{Param: p}
+		if !s.Numeric && !s.Dist {
+			pt.Counts = make([]int64, s.Outcomes)
+		}
+		r.Points[i] = pt
+	}
+	return r
 }
 
 // Validate checks the sweep description via its 1-shard spec.
@@ -151,6 +170,11 @@ func Coordinate(spec SweepSpec, shards int, run Runner, opts Options) (ShardResu
 // non-nil) before counting it done, and merge the new results with any
 // prior (journal-replayed) ones.
 func coordinate(spec SweepSpec, specs []ShardSpec, prior []ShardResult, journal *Journal, run Runner, opts Options) (ShardResult, error) {
+	if len(specs) == 0 && len(prior) == 0 {
+		// A zero-trial sweep dispatches nothing and replays nothing; its
+		// merged result is the empty complete result, not a failure.
+		return spec.emptyResult(), nil
+	}
 	parallel := opts.Parallel
 	if parallel <= 0 || parallel > len(specs) {
 		parallel = len(specs)
@@ -244,7 +268,7 @@ func coordinate(spec SweepSpec, specs []ShardSpec, prior []ShardResult, journal 
 func checkShardResult(sp ShardSpec, res ShardResult) error {
 	want := ShardResult{
 		Version: FormatVersion, Sweep: sp.Sweep, Grid: sp.Grid, Trials: sp.Trials,
-		Seed: sp.Seed, Outcomes: sp.Outcomes, Numeric: sp.Numeric,
+		Seed: sp.Seed, Outcomes: sp.Outcomes, Numeric: sp.Numeric, Dist: sp.Dist,
 	}
 	if err := headerCompatible(want, res); err != nil {
 		return err

@@ -191,7 +191,7 @@ func readJournalRecord(b []byte) (payload []byte, n int, ok bool) {
 // full-sweep spec.
 func sameSweep(hdr, full ShardSpec) error {
 	if hdr.Sweep != full.Sweep || hdr.Trials != full.Trials || hdr.Seed != full.Seed ||
-		hdr.Outcomes != full.Outcomes || hdr.Numeric != full.Numeric ||
+		hdr.Outcomes != full.Outcomes || hdr.Numeric != full.Numeric || hdr.Dist != full.Dist ||
 		hdr.Lo != full.Lo || hdr.Hi != full.Hi || len(hdr.Grid) != len(full.Grid) {
 		return fmt.Errorf("header %+v, want %+v", hdr, full)
 	}
@@ -207,7 +207,7 @@ func sameSweep(hdr, full ShardSpec) error {
 func resultHeader(full ShardSpec) ShardResult {
 	return ShardResult{
 		Version: FormatVersion, Sweep: full.Sweep, Grid: full.Grid, Trials: full.Trials,
-		Seed: full.Seed, Outcomes: full.Outcomes, Numeric: full.Numeric,
+		Seed: full.Seed, Outcomes: full.Outcomes, Numeric: full.Numeric, Dist: full.Dist,
 	}
 }
 

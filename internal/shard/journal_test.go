@@ -295,11 +295,15 @@ func TestJournalTornTailEveryByteOffset(t *testing.T) {
 // bit-for-bit with an uninterrupted single-process run.
 func TestResumeCoordinateResumesKilledSweep(t *testing.T) {
 	reg := testRegistry()
-	for _, numeric := range []bool{false, true} {
-		t.Run(map[bool]string{false: "tally", true: "numeric"}[numeric], func(t *testing.T) {
+	for _, kind := range []string{"tally", "numeric", "dist"} {
+		t.Run(kind, func(t *testing.T) {
 			spec := testSweepSpec()
-			if numeric {
+			switch kind {
+			case "numeric":
 				spec = SweepSpec{Sweep: testNumericSweep, Grid: []float64{0.5, 3}, Trials: 200, Seed: 11, Numeric: true}
+			case "dist":
+				spec = SweepSpec{Sweep: testDistSweep, Grid: []float64{0.5, 3}, Trials: 200, Seed: 11,
+					Outcomes: testOutcomes, Dist: true}
 			}
 			path := tmpJournal(t)
 

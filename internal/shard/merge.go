@@ -20,8 +20,8 @@ func headerCompatible(a, b ShardResult) error {
 		return fmt.Errorf("shard: cannot merge: seeds differ (%d vs %d)", a.Seed, b.Seed)
 	case a.Outcomes != b.Outcomes:
 		return fmt.Errorf("shard: cannot merge: outcome arity differs (%d vs %d)", a.Outcomes, b.Outcomes)
-	case a.Numeric != b.Numeric:
-		return fmt.Errorf("shard: cannot merge numeric and tally results")
+	case a.Numeric != b.Numeric, a.Dist != b.Dist:
+		return fmt.Errorf("shard: cannot merge results of different sweep kinds")
 	case len(a.Grid) != len(b.Grid):
 		return fmt.Errorf("shard: cannot merge: grids differ in length (%d vs %d)", len(a.Grid), len(b.Grid))
 	}
@@ -81,12 +81,21 @@ func MergeResults(a, b ShardResult) (ShardResult, error) {
 	}
 	out := ShardResult{
 		Version: FormatVersion, Sweep: a.Sweep, Grid: a.Grid, Trials: a.Trials,
-		Seed: a.Seed, Outcomes: a.Outcomes, Numeric: a.Numeric,
+		Seed: a.Seed, Outcomes: a.Outcomes, Numeric: a.Numeric, Dist: a.Dist,
 		Ranges: ranges, Points: make([]PointTally, len(a.Points)),
 	}
 	for i := range a.Points {
 		pa, pb := a.Points[i], b.Points[i]
 		pt := PointTally{Param: pa.Param}
+		if a.Dist {
+			d, err := mc.MergeDist(distOf(pa), distOf(pb))
+			if err != nil {
+				return ShardResult{}, fmt.Errorf("shard: point %d: %w", i, err)
+			}
+			pt.Dist = &d
+			out.Points[i] = pt
+			continue
+		}
 		if a.Numeric {
 			m, err := MergeSummaries(pa.Moments, pb.Moments)
 			if err != nil {
@@ -135,12 +144,34 @@ func MergeSummaries(a, b mc.Moments) (mc.Moments, error) {
 	return mc.MergeMoments(a, b)
 }
 
+// distOf returns a point's distribution summary, treating a nil pointer
+// (a zero-coverage point) as the empty summary.
+func distOf(pt PointTally) mc.DistSummary {
+	if pt.Dist == nil {
+		return mc.DistSummary{}
+	}
+	return *pt.Dist
+}
+
+// DistAt returns grid point i's distribution summary bundle over the
+// covered trials. For a complete result every component is bit-for-bit
+// the single-process mc.RunDistWith bundle of that sweep point.
+func (r ShardResult) DistAt(i int) (mc.DistSummary, error) {
+	if !r.Dist {
+		return mc.DistSummary{}, fmt.Errorf("shard: DistAt on a non-distribution sweep")
+	}
+	if i < 0 || i >= len(r.Points) {
+		return mc.DistSummary{}, fmt.Errorf("shard: point %d outside grid of %d", i, len(r.Points))
+	}
+	return distOf(r.Points[i]), nil
+}
+
 // ResultAt converts grid point i of a tally result into an mc.Result over
 // the covered trials. For a complete result this is bit-for-bit the
 // single-process mc.Run tally of that sweep point.
 func (r ShardResult) ResultAt(i int) (mc.Result, error) {
-	if r.Numeric {
-		return mc.Result{}, fmt.Errorf("shard: ResultAt on a numeric sweep")
+	if r.Numeric || r.Dist {
+		return mc.Result{}, fmt.Errorf("shard: ResultAt on a non-tally sweep")
 	}
 	if i < 0 || i >= len(r.Points) {
 		return mc.Result{}, fmt.Errorf("shard: point %d outside grid of %d", i, len(r.Points))

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"stochsynth/internal/mc"
 	"stochsynth/internal/rng"
 )
 
@@ -24,19 +25,33 @@ type NumericTrial struct {
 	Measure   func(eng any) float64
 }
 
+// DistTrial is the engine-reuse form of one distribution-sweep trial
+// body: Observe runs one trial and returns the full mc.Obs bundle
+// (continuous value, integer value, race outcome, jump-chain step count).
+type DistTrial struct {
+	NewEngine func(gen *rng.PCG) any
+	Observe   func(eng any) mc.Obs
+}
+
 // Factory builds the trial body of one named sweep for a parameter value.
-// Exactly one of Outcome/Numeric is set, matching the Outcomes/Numeric
-// fields.
+// Exactly one of Outcome/NumericF/DistF is set, matching the
+// Outcomes/Numeric/Dist fields.
 type Factory struct {
-	// Outcomes is the outcome arity of tally sweeps (> 0 iff Outcome is
-	// set).
+	// Outcomes is the outcome arity of tally sweeps, or the first-passage
+	// arity of dist sweeps (> 0 iff Outcome or DistF is set).
 	Outcomes int
 	// Numeric marks a numeric sweep (iff NumericF is set).
 	Numeric bool
+	// Dist marks a distribution sweep (iff DistF is set).
+	Dist bool
+	// Hist fixes the histogram layout of a dist sweep (dist only).
+	Hist mc.HistConfig
 	// Outcome builds the tally trial body at one grid value.
 	Outcome func(param float64) (OutcomeTrial, error)
 	// NumericF builds the numeric trial body at one grid value.
 	NumericF func(param float64) (NumericTrial, error)
+	// DistF builds the distribution trial body at one grid value.
+	DistF func(param float64) (DistTrial, error)
 }
 
 // Registry maps sweep ids to trial factories, making a ShardSpec runnable
@@ -60,10 +75,18 @@ func (r *Registry) Register(name string, f Factory) {
 		panic("shard: Register with empty sweep id")
 	}
 	switch {
-	case f.Numeric && (f.NumericF == nil || f.Outcome != nil || f.Outcomes != 0):
+	case f.Numeric && f.Dist:
+		panic(fmt.Sprintf("shard: factory %q sets both Numeric and Dist", name))
+	case f.Numeric && (f.NumericF == nil || f.Outcome != nil || f.DistF != nil || f.Outcomes != 0):
 		panic(fmt.Sprintf("shard: numeric factory %q must set exactly NumericF", name))
-	case !f.Numeric && (f.Outcome == nil || f.NumericF != nil || f.Outcomes <= 0):
+	case f.Dist && (f.DistF == nil || f.Outcome != nil || f.NumericF != nil || f.Outcomes <= 0):
+		panic(fmt.Sprintf("shard: dist factory %q must set Outcomes > 0 and exactly DistF", name))
+	case f.Dist && f.Hist.Validate() != nil:
+		panic(fmt.Sprintf("shard: dist factory %q has an invalid histogram config", name))
+	case !f.Numeric && !f.Dist && (f.Outcome == nil || f.NumericF != nil || f.DistF != nil || f.Outcomes <= 0):
 		panic(fmt.Sprintf("shard: tally factory %q must set Outcomes > 0 and exactly Outcome", name))
+	case !f.Dist && f.Hist != (mc.HistConfig{}):
+		panic(fmt.Sprintf("shard: non-dist factory %q carries a histogram config", name))
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -20,9 +20,9 @@ func Run(spec ShardSpec, reg *Registry) (ShardResult, error) {
 	if err != nil {
 		return ShardResult{}, err
 	}
-	if factory.Numeric != spec.Numeric {
-		return ShardResult{}, fmt.Errorf("shard: sweep %q is numeric=%v but spec says numeric=%v",
-			spec.Sweep, factory.Numeric, spec.Numeric)
+	if factory.Numeric != spec.Numeric || factory.Dist != spec.Dist {
+		return ShardResult{}, fmt.Errorf("shard: sweep %q is numeric=%v dist=%v but spec says numeric=%v dist=%v",
+			spec.Sweep, factory.Numeric, factory.Dist, spec.Numeric, spec.Dist)
 	}
 	if !spec.Numeric && factory.Outcomes != spec.Outcomes {
 		return ShardResult{}, fmt.Errorf("shard: sweep %q has %d outcomes but spec says %d",
@@ -31,7 +31,7 @@ func Run(spec ShardSpec, reg *Registry) (ShardResult, error) {
 
 	out := ShardResult{
 		Version: FormatVersion, Sweep: spec.Sweep, Grid: spec.Grid, Trials: spec.Trials,
-		Seed: spec.Seed, Outcomes: spec.Outcomes, Numeric: spec.Numeric,
+		Seed: spec.Seed, Outcomes: spec.Outcomes, Numeric: spec.Numeric, Dist: spec.Dist,
 		Points: make([]PointTally, len(spec.Grid)),
 	}
 	if spec.Hi > spec.Lo {
@@ -40,6 +40,16 @@ func Run(spec ShardSpec, reg *Registry) (ShardResult, error) {
 	for i, param := range spec.Grid {
 		cfg := mc.Config{Outcomes: spec.Outcomes, Seed: mc.PointSeed(spec.Seed, i)}
 		pt := PointTally{Param: param}
+		if spec.Dist {
+			trial, err := factory.DistF(param)
+			if err != nil {
+				return ShardResult{}, fmt.Errorf("shard: sweep %q at %v: %w", spec.Sweep, param, err)
+			}
+			d := mc.RunDistRangeWith(cfg, factory.Hist, spec.Lo, spec.Hi, trial.NewEngine, trial.Observe)
+			pt.Dist = &d
+			out.Points[i] = pt
+			continue
+		}
 		if spec.Numeric {
 			trial, err := factory.NumericF(param)
 			if err != nil {

@@ -34,8 +34,27 @@ func testMeasure(param float64, gen *rng.PCG) float64 {
 const (
 	testTallySweep   = "test/tally"
 	testNumericSweep = "test/numeric"
+	testDistSweep    = "test/dist"
 	testOutcomes     = 3
 )
+
+// testHist is the histogram layout of the test dist sweep — deliberately
+// narrow so under/overflow tallies are exercised.
+var testHist = mc.HistConfig{Lo: -4, Width: 2, Bins: 8}
+
+// testObserve maps the trial stream to a full distribution observation:
+// an outcome (drawn exactly like testClassify), a continuous measurement,
+// and a synthetic step count.
+func testObserve(param float64, gen *rng.PCG) mc.Obs {
+	o := testClassify(param, testOutcomes, gen)
+	v := testMeasure(param, gen)
+	return mc.Obs{
+		Value:   v,
+		IValue:  int64(math.Floor(v)),
+		Outcome: o,
+		Steps:   int64(gen.Intn(1000)),
+	}
+}
 
 // testRegistry registers the tally and numeric test sweeps.
 func testRegistry() *Registry {
@@ -58,7 +77,31 @@ func testRegistry() *Registry {
 			}, nil
 		},
 	})
+	reg.Register(testDistSweep, Factory{
+		Outcomes: testOutcomes,
+		Dist:     true,
+		Hist:     testHist,
+		DistF: func(param float64) (DistTrial, error) {
+			return DistTrial{
+				NewEngine: func(gen *rng.PCG) any { return gen },
+				Observe:   func(eng any) mc.Obs { return testObserve(param, eng.(*rng.PCG)) },
+			}, nil
+		},
+	})
 	return reg
+}
+
+// singleProcessDist runs the reference unsharded distribution sweep with
+// mc.RunDistWith, point seeds matching the sharded path.
+func singleProcessDist(spec SweepSpec) []mc.DistSummary {
+	out := make([]mc.DistSummary, len(spec.Grid))
+	for i, param := range spec.Grid {
+		cfg := mc.Config{Trials: spec.Trials, Outcomes: spec.Outcomes, Seed: mc.PointSeed(spec.Seed, i)}
+		out[i] = mc.RunDistWith(cfg, testHist,
+			func(gen *rng.PCG) *rng.PCG { return gen },
+			func(gen *rng.PCG) mc.Obs { return testObserve(param, gen) })
+	}
+	return out
 }
 
 // singleProcessTally runs the reference single-process sweep with

@@ -145,7 +145,10 @@ func (h Hello) check() error {
 	if h.Protocol != ProtocolVersion {
 		return fmt.Errorf("shard: peer speaks transport protocol %d, this build speaks %d", h.Protocol, ProtocolVersion)
 	}
-	if h.Format != FormatVersion {
+	// Any format this build can decode is negotiable: a v1 peer's messages
+	// still parse (they cannot carry dist fields), so mixed fleets keep
+	// working across the v1→v2 bump for non-dist sweeps.
+	if !versionAccepted(h.Format) {
 		return fmt.Errorf("shard: peer speaks wire format %d, this build speaks %d", h.Format, FormatVersion)
 	}
 	return nil

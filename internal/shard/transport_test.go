@@ -73,7 +73,7 @@ func TestGoldenFrameEncoding(t *testing.T) {
 	if err := writeHello(&client, Hello{Protocol: ProtocolVersion, Format: FormatVersion}); err != nil {
 		t.Fatal(err)
 	}
-	checkGoldenBinary(t, "frame_hello_client.v1.bin", client.Bytes())
+	checkGoldenBinary(t, "frame_hello_client.v2.bin", client.Bytes())
 
 	var server bytes.Buffer
 	err := writeHello(&server, Hello{
@@ -83,7 +83,7 @@ func TestGoldenFrameEncoding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGoldenBinary(t, "frame_hello_server.v1.bin", server.Bytes())
+	checkGoldenBinary(t, "frame_hello_server.v2.bin", server.Bytes())
 
 	payload, err := goldenSpec().Encode()
 	if err != nil {
@@ -93,7 +93,39 @@ func TestGoldenFrameEncoding(t *testing.T) {
 	if err := writeFrame(&spec, frameSpec, payload); err != nil {
 		t.Fatal(err)
 	}
-	checkGoldenBinary(t, "frame_spec.v1.bin", spec.Bytes())
+	checkGoldenBinary(t, "frame_spec.v2.bin", spec.Bytes())
+}
+
+// TestV1HelloStillAccepted pins mixed-fleet compatibility across the
+// v1→v2 format bump: the retained v1 hello fixture (format 1) must still
+// pass the handshake check, and the retained v1 spec frame must still
+// decode.
+func TestV1HelloStillAccepted(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "frame_hello_client.v1.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := readHello(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Format != 1 {
+		t.Fatalf("v1 hello fixture carries format %d", h.Format)
+	}
+	if err := h.check(); err != nil {
+		t.Fatalf("v1 peer rejected: %v", err)
+	}
+	rawSpec, err := os.ReadFile(filepath.Join("testdata", "frame_spec.v1.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, payload, err := readFrame(bytes.NewReader(rawSpec))
+	if err != nil || ft != frameSpec {
+		t.Fatalf("v1 spec frame unreadable: type %s err %v", ft, err)
+	}
+	if _, err := DecodeSpec(payload); err != nil {
+		t.Fatalf("v1 spec payload no longer decodes: %v", err)
+	}
 }
 
 func TestFrameRoundTrip(t *testing.T) {

@@ -41,10 +41,28 @@ import (
 )
 
 // FormatVersion is the wire-format version stamped into every ShardSpec
-// and ShardResult. Any change to the encoded shape or the meaning of a
-// field — including renaming a JSON key of mc.MomentNode — must bump it;
-// the golden fixtures under testdata/ pin the current encoding.
-const FormatVersion = 1
+// and ShardResult this build produces. Any change to the encoded shape or
+// the meaning of a field — including renaming a JSON key of
+// mc.MomentNode — must bump it; the golden fixtures under testdata/ pin
+// the current encoding.
+//
+// Version history:
+//
+//	1 — tally and numeric sweeps (counts / canonical moment forests).
+//	2 — adds distribution sweeps: the dist flag on specs/results and the
+//	    per-point dist summary bundle (moments + quantile sketch +
+//	    fixed-bin histogram + first-passage summary). v1 messages are
+//	    still decoded (they cannot carry dist fields); encoding always
+//	    stamps version 2.
+const FormatVersion = 2
+
+// formatVersionV1 is the previous wire version, still accepted on decode.
+const formatVersionV1 = 1
+
+// versionAccepted reports whether this build can decode format version v.
+func versionAccepted(v int) bool {
+	return v == formatVersionV1 || v == FormatVersion
+}
 
 // Range is a half-open trial-index interval [Lo, Hi).
 type Range struct {
@@ -78,10 +96,15 @@ type ShardSpec struct {
 	// with mc.PointSeed(Seed, i).
 	Seed uint64 `json:"seed"`
 	// Outcomes is the outcome arity for tally sweeps (> 0); zero for
-	// numeric sweeps.
+	// numeric sweeps. Distribution sweeps reuse it as the first-passage
+	// outcome arity (> 0).
 	Outcomes int `json:"outcomes,omitempty"`
 	// Numeric marks a numeric (moment-accumulating) sweep.
 	Numeric bool `json:"numeric,omitempty"`
+	// Dist marks a distribution sweep (format version 2): every point
+	// accumulates a mc.DistSummary instead of bare counts or moments. The
+	// histogram layout is part of the registered factory, not the spec.
+	Dist bool `json:"dist,omitempty"`
 }
 
 // SpanRange returns the shard's trial range.
@@ -90,8 +113,11 @@ func (s ShardSpec) SpanRange() Range { return Range{Lo: s.Lo, Hi: s.Hi} }
 // Validate checks the spec's invariants (without resolving the sweep
 // name, which only the executing worker can do).
 func (s ShardSpec) Validate() error {
-	if s.Version != FormatVersion {
+	if !versionAccepted(s.Version) {
 		return fmt.Errorf("shard: unknown format version %d (this build speaks %d)", s.Version, FormatVersion)
+	}
+	if s.Dist && s.Version < FormatVersion {
+		return fmt.Errorf("shard: distribution sweeps need format version %d (got %d)", FormatVersion, s.Version)
 	}
 	if s.Sweep == "" {
 		return fmt.Errorf("shard: spec has empty sweep id")
@@ -104,17 +130,26 @@ func (s ShardSpec) Validate() error {
 			return fmt.Errorf("shard: grid point %d is not finite", i)
 		}
 	}
-	if s.Trials <= 0 {
-		return fmt.Errorf("shard: spec has %d total trials, want > 0", s.Trials)
+	// Trials == 0 is a legal (empty) sweep: it dispatches no work and its
+	// merged result is complete with zero covered ranges.
+	if s.Trials < 0 {
+		return fmt.Errorf("shard: spec has %d total trials, want >= 0", s.Trials)
 	}
 	if s.Lo < 0 || s.Hi < s.Lo || s.Hi > s.Trials {
 		return fmt.Errorf("shard: trial range [%d,%d) outside [0,%d)", s.Lo, s.Hi, s.Trials)
 	}
-	if s.Numeric {
+	switch {
+	case s.Numeric && s.Dist:
+		return fmt.Errorf("shard: spec sets both numeric and dist")
+	case s.Numeric:
 		if s.Outcomes != 0 {
 			return fmt.Errorf("shard: numeric spec must not set outcomes (got %d)", s.Outcomes)
 		}
-	} else if s.Outcomes <= 0 {
+	case s.Dist:
+		if s.Outcomes <= 0 {
+			return fmt.Errorf("shard: dist spec needs a first-passage arity, outcomes > 0 (got %d)", s.Outcomes)
+		}
+	case s.Outcomes <= 0:
 		return fmt.Errorf("shard: tally spec needs outcomes > 0 (got %d)", s.Outcomes)
 	}
 	return nil
@@ -133,6 +168,10 @@ type PointTally struct {
 	// Moments is the canonical moment forest of the covered trials
 	// (numeric sweeps only).
 	Moments mc.Moments `json:"moments,omitempty"`
+	// Dist is the distribution summary bundle of the covered trials
+	// (dist sweeps only; format version 2). Nil only when no trials are
+	// covered.
+	Dist *mc.DistSummary `json:"dist,omitempty"`
 }
 
 // ShardResult carries the tallies of one shard — or of any merged set of
@@ -147,6 +186,7 @@ type ShardResult struct {
 	Seed     uint64    `json:"seed"`
 	Outcomes int       `json:"outcomes,omitempty"`
 	Numeric  bool      `json:"numeric,omitempty"`
+	Dist     bool      `json:"dist,omitempty"`
 	// Ranges is the sorted, disjoint, coalesced set of covered trial
 	// ranges. A freshly computed shard has exactly one (its spec's
 	// [Lo, Hi)); merged results may have several until they are complete.
@@ -165,7 +205,12 @@ func (r ShardResult) Covered() int {
 }
 
 // Complete reports whether the result covers the whole sweep [0, Trials).
+// A zero-trial sweep is complete with no covered ranges at all — requiring
+// exactly one range would make it permanently incomplete.
 func (r ShardResult) Complete() bool {
+	if r.Trials == 0 {
+		return len(r.Ranges) == 0
+	}
 	return len(r.Ranges) == 1 && r.Ranges[0] == Range{Lo: 0, Hi: r.Trials}
 }
 
@@ -191,7 +236,7 @@ func (r ShardResult) MissingRanges() []Range {
 func (r ShardResult) Validate() error {
 	spec := ShardSpec{
 		Version: r.Version, Sweep: r.Sweep, Grid: r.Grid, Trials: r.Trials,
-		Seed: r.Seed, Outcomes: r.Outcomes, Numeric: r.Numeric,
+		Seed: r.Seed, Outcomes: r.Outcomes, Numeric: r.Numeric, Dist: r.Dist,
 	}
 	// An empty result covers no trials; borrow spec validation with a
 	// degenerate-but-legal range.
@@ -217,14 +262,35 @@ func (r ShardResult) Validate() error {
 			return fmt.Errorf("shard: point %d param %v does not match grid value %v", i, pt.Param, r.Grid[i])
 		}
 		if r.Numeric {
-			if pt.Counts != nil || pt.None != 0 {
-				return fmt.Errorf("shard: numeric point %d carries outcome tallies", i)
+			if pt.Counts != nil || pt.None != 0 || pt.Dist != nil {
+				return fmt.Errorf("shard: numeric point %d carries foreign tallies", i)
 			}
 			if err := pt.Moments.Validate(); err != nil {
 				return fmt.Errorf("shard: point %d: %w", i, err)
 			}
 			if got := momentRanges(pt.Moments); !rangesEqual(got, r.Ranges) {
 				return fmt.Errorf("shard: point %d moments cover %v, result claims %v", i, got, r.Ranges)
+			}
+			continue
+		}
+		if r.Dist {
+			if pt.Counts != nil || pt.None != 0 || len(pt.Moments) != 0 {
+				return fmt.Errorf("shard: dist point %d carries foreign tallies", i)
+			}
+			if pt.Dist == nil {
+				if covered != 0 {
+					return fmt.Errorf("shard: dist point %d has no summary but %d trials are covered", i, covered)
+				}
+				continue
+			}
+			if err := pt.Dist.Validate(r.Outcomes); err != nil {
+				return fmt.Errorf("shard: point %d: %w", i, err)
+			}
+			if pt.Dist.N() != covered {
+				return fmt.Errorf("shard: point %d summarises %d trials, but %d are covered", i, pt.Dist.N(), covered)
+			}
+			if got := momentRanges(pt.Dist.Moments); !rangesEqual(got, r.Ranges) {
+				return fmt.Errorf("shard: point %d summary covers %v, result claims %v", i, got, r.Ranges)
 			}
 			continue
 		}
@@ -244,8 +310,8 @@ func (r ShardResult) Validate() error {
 		if sum != covered {
 			return fmt.Errorf("shard: point %d tallies sum to %d, but %d trials are covered", i, sum, covered)
 		}
-		if len(pt.Moments) != 0 {
-			return fmt.Errorf("shard: tally point %d carries moment nodes", i)
+		if len(pt.Moments) != 0 || pt.Dist != nil {
+			return fmt.Errorf("shard: tally point %d carries foreign tallies", i)
 		}
 	}
 	return nil
@@ -304,7 +370,7 @@ func checkVersion(data []byte) error {
 	if err := json.Unmarshal(data, &v); err != nil {
 		return fmt.Errorf("shard: malformed message: %w", err)
 	}
-	if v.Version != FormatVersion {
+	if !versionAccepted(v.Version) {
 		return fmt.Errorf("shard: unknown format version %d (this build speaks %d)", v.Version, FormatVersion)
 	}
 	return nil

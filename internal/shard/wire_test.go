@@ -12,12 +12,15 @@ import (
 	"stochsynth/internal/mc"
 )
 
-// The golden fixtures pin the version-1 wire encoding byte for byte. If
-// an intentional format change lands, bump FormatVersion, regenerate with
+// The golden fixtures pin the current (version-2) wire encoding byte for
+// byte; the retained .v1 fixtures pin that version-1 messages still
+// decode. If an intentional format change lands, bump FormatVersion,
+// regenerate with
 //
 //	go test ./internal/shard -run Golden -update
 //
-// and document the change in docs/sharding.md. A failure here without a
+// keep the previous version's fixtures for the decode-compat tests, and
+// document the change in docs/sharding.md. A failure here without a
 // version bump means the encoding drifted silently — that is the bug.
 var update = flag.Bool("update", false, "rewrite golden wire-format fixtures")
 
@@ -54,6 +57,23 @@ func goldenNumericResult(t *testing.T) ShardResult {
 	return res
 }
 
+func goldenDistSpec() ShardSpec {
+	return ShardSpec{
+		Version: FormatVersion, Sweep: testDistSweep,
+		Grid: []float64{1, 2.5}, Trials: 24, Lo: 4, Hi: 20,
+		Seed: 99, Outcomes: testOutcomes, Dist: true,
+	}
+}
+
+func goldenDistResult(t *testing.T) ShardResult {
+	t.Helper()
+	res, err := Run(goldenDistSpec(), testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func checkGolden(t *testing.T, name string, encoded []byte) {
 	t.Helper()
 	path := filepath.Join("testdata", name)
@@ -82,19 +102,86 @@ func TestGoldenWireFormat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "shardspec.v1.json", encSpec)
+	checkGolden(t, "shardspec.v2.json", encSpec)
 
 	encRes, err := goldenResult(t).Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "shardresult.v1.json", encRes)
+	checkGolden(t, "shardresult.v2.json", encRes)
 
 	encNum, err := goldenNumericResult(t).Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "shardresult_numeric.v1.json", encNum)
+	checkGolden(t, "shardresult_numeric.v2.json", encNum)
+
+	encDist, err := goldenDistResult(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "shardresult_dist.v2.json", encDist)
+
+	encDistSpec, err := goldenDistSpec().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "shardspec_dist.v2.json", encDistSpec)
+}
+
+// TestDecodeV1Fixtures pins backward compatibility: the version-1 golden
+// fixtures this repository shipped before the v2 bump must keep decoding
+// (a coordinator replaying an old journal, or a mixed fleet mid-upgrade).
+func TestDecodeV1Fixtures(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "shardspec.v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := DecodeSpec(raw)
+	if err != nil {
+		t.Fatalf("v1 spec no longer decodes: %v", err)
+	}
+	if spec.Version != 1 || spec.Dist {
+		t.Fatalf("v1 spec decoded oddly: %+v", spec)
+	}
+	for _, name := range []string{
+		"shardresult.v1.json", "shardresult_numeric.v1.json", "shardresult_fig3sweep.v1.json",
+	} {
+		raw, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := DecodeResult(raw)
+		if err != nil {
+			t.Fatalf("%s no longer decodes: %v", name, err)
+		}
+		if res.Version != 1 || res.Dist {
+			t.Fatalf("%s decoded oddly: version=%d dist=%v", name, res.Version, res.Dist)
+		}
+	}
+}
+
+// TestV1RejectsDistFields: a message claiming version 1 must not smuggle
+// in v2 distribution fields.
+func TestV1RejectsDistFields(t *testing.T) {
+	spec := goldenDistSpec()
+	spec.Version = 1
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSpec(raw); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("v1 spec with dist flag not rejected: %v", err)
+	}
+	res := goldenDistResult(t)
+	res.Version = 1
+	raw, err = json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResult(raw); err == nil {
+		t.Fatal("v1 result with dist payload not rejected")
+	}
 }
 
 func TestWireRoundTrip(t *testing.T) {
@@ -115,7 +202,7 @@ func TestWireRoundTrip(t *testing.T) {
 		t.Fatalf("spec round trip not stable:\n%s\n%s", encSpec, reSpec)
 	}
 
-	for _, res := range []ShardResult{goldenResult(t), goldenNumericResult(t)} {
+	for _, res := range []ShardResult{goldenResult(t), goldenNumericResult(t), goldenDistResult(t)} {
 		enc, err := res.Encode()
 		if err != nil {
 			t.Fatal(err)
@@ -231,12 +318,14 @@ func TestSpecValidation(t *testing.T) {
 	cases := map[string]func(*ShardSpec){
 		"empty sweep":       func(s *ShardSpec) { s.Sweep = "" },
 		"empty grid":        func(s *ShardSpec) { s.Grid = nil },
-		"zero trials":       func(s *ShardSpec) { s.Trials = 0 },
+		"negative trials":   func(s *ShardSpec) { s.Trials, s.Lo, s.Hi = -1, 0, 0 },
 		"negative lo":       func(s *ShardSpec) { s.Lo = -1 },
 		"inverted range":    func(s *ShardSpec) { s.Lo, s.Hi = 30, 10 },
 		"range past total":  func(s *ShardSpec) { s.Hi = s.Trials + 1 },
 		"tally no outcomes": func(s *ShardSpec) { s.Outcomes = 0 },
 		"numeric+outcomes":  func(s *ShardSpec) { s.Numeric = true },
+		"numeric+dist":      func(s *ShardSpec) { s.Numeric, s.Dist, s.Outcomes = true, true, 0 },
+		"dist no outcomes":  func(s *ShardSpec) { s.Dist, s.Outcomes = true, 0 },
 	}
 	for name, mutate := range cases {
 		s := goldenSpec()
@@ -244,5 +333,13 @@ func TestSpecValidation(t *testing.T) {
 		if err := s.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted %+v", name, s)
 		}
+	}
+	// A zero-trial sweep is legal: it dispatches nothing and completes
+	// empty (the Trials > 0 requirement was the bug that made zero-trial
+	// sweeps permanently incomplete).
+	z := goldenSpec()
+	z.Trials, z.Lo, z.Hi = 0, 0, 0
+	if err := z.Validate(); err != nil {
+		t.Errorf("zero-trial spec rejected: %v", err)
 	}
 }

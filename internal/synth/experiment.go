@@ -98,6 +98,24 @@ func Figure3Classifier(mod *StochasticModule) func(eng sim.Engine) int {
 	}
 }
 
+// Figure3Observer returns the distribution-trial body of the Figure 3
+// race for internal/shard's dist sweeps: it runs exactly
+// Figure3Classifier's race (one RunRaceWith call, identical stream
+// consumption, so per-trial outcomes agree trial for trial) and returns
+// the full mc.Obs bundle — the race length in reaction events as both the
+// continuous and the integer measurement, and the error indicator
+// (0 correct, 1 error) as the first-passage outcome with its step count.
+func Figure3Observer(mod *StochasticModule) func(eng sim.Engine) mc.Obs {
+	return func(eng sim.Engine) mc.Obs {
+		r := RunRaceWith(mod, eng, Figure3Threshold, Figure3MaxSteps)
+		outcome := 0
+		if r.Error() {
+			outcome = 1
+		}
+		return mc.Obs{Value: float64(r.Steps), IValue: r.Steps, Outcome: outcome, Steps: r.Steps}
+	}
+}
+
 // Figure3ErrorRate runs the Figure 3 experiment at one γ: trials parallel
 // races of the Figure3Spec module, returning the fraction of trials in
 // error. It uses the default engine (OptimizedDirect); Figure3ErrorRateWith
