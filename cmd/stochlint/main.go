@@ -1,14 +1,20 @@
 // Command stochlint is the repository's determinism/hot-path linter: a
 // multichecker over the internal/analysis suite (detrand, mapiter,
-// floataccum, noalloc). See docs/linting.md for the invariants each
-// analyzer guards and the //stochlint: annotation grammar.
+// floataccum, noalloc, mergecontract, locksafe). See docs/linting.md for
+// the invariants each analyzer guards and the //stochlint: annotation
+// grammar.
 //
 // Usage:
 //
 //	go run ./cmd/stochlint ./...          # whole module (the CI lint job)
 //	go run ./cmd/stochlint ./internal/mc  # one package
 //	go run ./cmd/stochlint -only detrand,mapiter ./...
+//	go run ./cmd/stochlint -json ./...    # machine-readable diagnostics
 //	go run ./cmd/stochlint -list
+//
+// Loader warnings (files excluded because their build constraints cannot
+// be evaluated) count as diagnostics: a run that did not see a file must
+// not certify it clean.
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
 package main
@@ -31,6 +37,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("stochlint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array of {file,line,col,analyzer,message}")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,13 +75,21 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	n, err := stochlint.Check(units, analyzers, os.Stdout)
+	diags, err := stochlint.Results(units, analyzers, loader.Warnings())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	if n > 0 {
-		fmt.Fprintf(os.Stderr, "stochlint: %d diagnostic(s)\n", n)
+	if *asJSON {
+		if err := stochlint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		stochlint.Write(os.Stdout, diags)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "stochlint: %d diagnostic(s)\n", len(diags))
 		return 1
 	}
 	return 0

@@ -1,22 +1,32 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
+	"stochsynth/internal/analysis"
 	"stochsynth/internal/analysis/load"
 	"stochsynth/internal/analysis/stochlint"
 )
 
-// TestSmokeKnownBad drives the full suite over a fixture package that
-// violates every invariant and checks each analyzer contributes at least
-// one diagnostic to the multichecker output.
-func TestSmokeKnownBad(t *testing.T) {
+// loadKnownBad loads the known-bad fixture packages (one impersonating
+// the statistics core, one the sharding transport).
+func loadKnownBad(t *testing.T) []*analysis.Unit {
+	t.Helper()
 	loader := load.NewSrcLoader("testdata/src")
-	units, err := loader.Load("stochsynth/internal/mc")
+	units, err := loader.Load("stochsynth/internal/mc", "stochsynth/internal/shard")
 	if err != nil {
 		t.Fatalf("load fixture: %v", err)
 	}
+	return units
+}
+
+// TestSmokeKnownBad drives the full suite over fixture packages that
+// violate every invariant and checks each analyzer contributes at least
+// one diagnostic to the multichecker output.
+func TestSmokeKnownBad(t *testing.T) {
+	units := loadKnownBad(t)
 	var buf strings.Builder
 	n, err := stochlint.Check(units, stochlint.Analyzers(), &buf)
 	if err != nil {
@@ -26,10 +36,53 @@ func TestSmokeKnownBad(t *testing.T) {
 		t.Fatal("known-bad fixture produced zero diagnostics")
 	}
 	out := buf.String()
-	for _, name := range []string{"detrand", "mapiter", "floataccum", "noalloc"} {
+	for _, name := range []string{"detrand", "mapiter", "floataccum", "noalloc", "mergecontract", "locksafe"} {
 		if !strings.Contains(out, ": "+name+": ") {
 			t.Errorf("no %s diagnostic over the known-bad fixture; output:\n%s", name, out)
 		}
+	}
+}
+
+// TestJSONOutput pins the -json encoding against the known-bad fixture:
+// valid JSON, one record per text diagnostic, fields populated, and the
+// empty case encoding as [] rather than null.
+func TestJSONOutput(t *testing.T) {
+	units := loadKnownBad(t)
+	diags, err := stochlint.Results(units, stochlint.Analyzers(), nil)
+	if err != nil {
+		t.Fatalf("results: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("known-bad fixture produced zero diagnostics")
+	}
+	var buf strings.Builder
+	if err := stochlint.WriteJSON(&buf, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded []stochlint.JSONDiagnostic
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != len(diags) {
+		t.Fatalf("JSON carries %d records, text carries %d", len(decoded), len(diags))
+	}
+	for i, d := range decoded {
+		want := diags[i]
+		if d.File != want.Pos.Filename || d.Line != want.Pos.Line || d.Col != want.Pos.Column ||
+			d.Analyzer != want.Analyzer || d.Message != want.Message {
+			t.Errorf("record %d = %+v, want %v", i, d, want)
+		}
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("record %d has empty fields: %+v", i, d)
+		}
+	}
+
+	buf.Reset()
+	if err := stochlint.WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON(nil): %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty diagnostics encode as %q, want []", got)
 	}
 }
 

@@ -44,3 +44,17 @@ func Mean(values []float64) float64 {
 func Scratch(n int) []float64 {
 	return make([]float64, n)
 }
+
+// MergeBad trips mergecontract: a Merge-rooted function in internal/mc
+// with a serial float fold outside the canonical kernel and a map range
+// feeding the result.
+func MergeBad(parts []float64, named map[string]float64) float64 {
+	acc := 0.0
+	for _, p := range parts {
+		acc += p
+	}
+	for _, v := range named {
+		acc += v
+	}
+	return acc
+}

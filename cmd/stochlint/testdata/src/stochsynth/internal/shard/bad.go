@@ -1,0 +1,35 @@
+// Package shard is cmd/stochlint's known-bad transport fixture: it
+// impersonates the sharding package's import path and violates locksafe,
+// so the smoke test can prove the concurrency analyzer is wired into the
+// multichecker output.
+package shard
+
+import "sync"
+
+// Queue is a deliberately wrong lock/channel pairing.
+type Queue struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Push trips locksafe: a channel send while q.mu is held (the receiver
+// may never drain, and every other Push then blocks on the mutex).
+func (q *Queue) Push(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v
+}
+
+// Spawn trips locksafe's loop-variable rule: goroutines capturing the
+// range variable.
+func Spawn(vals []int, out chan<- int) {
+	var wg sync.WaitGroup
+	for _, v := range vals {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out <- v
+		}()
+	}
+	wg.Wait()
+}

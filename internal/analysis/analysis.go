@@ -44,8 +44,13 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Prog is the whole-module view shared by every pass of one Run:
+	// interprocedural analyzers build module-wide artifacts (call graph,
+	// summaries) through Prog.Memo and consult annotations across package
+	// boundaries through Prog.Allowed.
+	Prog *Program
+
 	diags *[]Diagnostic
-	allow map[allowKey]bool
 }
 
 // A Diagnostic is one reported finding, already resolved to a position.
@@ -65,6 +70,17 @@ type allowKey struct {
 	check string
 }
 
+// ShortPos renders pos as "file.go:line" (base name only) for embedding
+// a witness position inside a diagnostic message.
+func ShortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}
+
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
@@ -75,10 +91,24 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Allowed reports whether a //stochlint:allow comment names check on the
-// line of pos (trailing form) or the line above it (standalone form).
+// line of pos (trailing form) or the line above it (standalone form). The
+// index is module-wide, so an interprocedural analyzer may ask about
+// positions outside the pass's own package.
 func (p *Pass) Allowed(pos token.Pos, check string) bool {
-	position := p.Fset.Position(pos)
-	return p.allow[allowKey{position.Filename, position.Line, check}]
+	return p.Prog.Allowed(pos, check)
+}
+
+// OwnsPos reports whether pos falls inside one of the pass's files.
+// Analyzers that compute whole-program findings use it to report each
+// finding from exactly one pass (the one owning the flagged construct)
+// instead of once per package.
+func (p *Pass) OwnsPos(pos token.Pos) bool {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return true
+		}
+	}
+	return false
 }
 
 // AnnotationPrefix is the comment prefix of every stochlint annotation.
@@ -99,17 +129,82 @@ func FuncAnnotated(fn *ast.FuncDecl, name string) bool {
 	return false
 }
 
-// scanAllows indexes every //stochlint:allow comment of the pass's files.
-func (p *Pass) scanAllows() {
-	p.allow = make(map[allowKey]bool)
-	for _, f := range p.Files {
+// Unit is one loaded, type-checked package an analyzer can run over.
+// internal/analysis/load produces them.
+type Unit struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Program is the module-wide view shared by every pass of one Run: the
+// full set of units under analysis, a module-wide //stochlint:allow
+// index, and a memo cache through which interprocedural analyzers build
+// whole-program artifacts (the call graph, dataflow summaries) exactly
+// once per Run and share them across passes.
+//
+// Interprocedural analyses see only the units actually loaded: running
+// stochlint over a single package analyzes that package's calls into the
+// rest of the module only as far as the loaded unit set reaches. The CI
+// contract runs `./...`, which loads the whole module.
+type Program struct {
+	Units []*Unit
+	// Fset is the file set shared by all units of one load (the loader
+	// guarantees a single FileSet, so token.Pos values are comparable
+	// across units).
+	Fset *token.FileSet
+
+	allow map[allowKey]bool
+	memo  map[any]any
+}
+
+// NewProgram builds the shared module view over units (all from one
+// loader, sharing one FileSet).
+func NewProgram(units []*Unit) *Program {
+	p := &Program{Units: units, memo: make(map[any]any), allow: make(map[allowKey]bool)}
+	if len(units) > 0 {
+		p.Fset = units[0].Fset
+	}
+	for _, u := range units {
+		p.scanAllows(u)
+	}
+	return p
+}
+
+// Allowed reports whether a //stochlint:allow comment names check on the
+// line of pos (trailing form) or the line above it (standalone form),
+// anywhere in the program.
+func (p *Program) Allowed(pos token.Pos, check string) bool {
+	if p.Fset == nil {
+		return false
+	}
+	position := p.Fset.Position(pos)
+	return p.allow[allowKey{position.Filename, position.Line, check}]
+}
+
+// Memo returns the cached artifact under key, building it on first use.
+// Passes of one Run execute sequentially, so Memo needs no locking.
+func (p *Program) Memo(key any, build func() any) any {
+	if v, ok := p.memo[key]; ok {
+		return v
+	}
+	v := build()
+	p.memo[key] = v
+	return v
+}
+
+// scanAllows indexes every //stochlint:allow comment of one unit's files.
+func (p *Program) scanAllows(u *Unit) {
+	for _, f := range u.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(c.Text)
 				if !strings.HasPrefix(text, AnnotationPrefix+"allow ") {
 					continue
 				}
-				pos := p.Fset.Position(c.Pos())
+				pos := u.Fset.Position(c.Pos())
 				for _, check := range strings.Fields(strings.TrimPrefix(text, AnnotationPrefix+"allow ")) {
 					// The comment covers its own line (trailing form) and the
 					// next line (standalone form); a trailing comment's own
@@ -122,20 +217,11 @@ func (p *Pass) scanAllows() {
 	}
 }
 
-// Unit is one loaded, type-checked package an analyzer can run over.
-// internal/analysis/load produces them.
-type Unit struct {
-	Path  string
-	Fset  *token.FileSet
-	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
-}
-
 // Run executes every analyzer over every unit and returns the merged
 // diagnostics sorted by position.
 func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	prog := NewProgram(units)
 	for _, u := range units {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -144,14 +230,22 @@ func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     u.Files,
 				Pkg:       u.Types,
 				TypesInfo: u.Info,
+				Prog:      prog,
 				diags:     &diags,
 			}
-			pass.scanAllows()
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, u.Path, err)
 			}
 		}
 	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders diagnostics by position then analyzer name — the
+// stable presentation order used by Run and by callers that merge extra
+// diagnostics (loader warnings) into an analyzer run.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -165,5 +259,4 @@ func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }

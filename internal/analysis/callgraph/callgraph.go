@@ -1,0 +1,368 @@
+// Package callgraph builds a module-local call graph over the units of
+// one analysis.Program: one node per function or method declared in the
+// loaded units, edges for every way control can flow from its body into
+// another module-local function. The graph is deliberately conservative —
+// it must over-approximate, never miss, a possible callee — because the
+// dataflow summaries built on top of it (package dataflow) enforce
+// *absence* properties (never reads the wall clock, never allocates,
+// never touches a socket under a lock):
+//
+//   - Static calls (f(), pkg.F(), recv.M() with a concrete receiver)
+//     resolve to their single callee.
+//   - Interface method calls resolve to every module-local method that
+//     could be behind them: each named type declared in the module whose
+//     value or pointer type implements the interface contributes its
+//     method of that name.
+//   - Function and method values (passed as callbacks, assigned to
+//     variables) contribute a reference edge from the function that takes
+//     the value: whoever lets a function escape is charged with its
+//     effects. This covers the combine-callback idiom of mc/aligned.go
+//     without tracking func values through variables.
+//   - Function literals fold into their enclosing declaration: a call
+//     made inside a closure is an edge from the function that defined
+//     the closure.
+//
+// Package-level variable initializer expressions have no enclosing
+// function and are not in the graph; per-construct analyzers still see
+// them directly.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"stochsynth/internal/analysis"
+)
+
+// Kind classifies how an edge's callee is reached.
+type Kind int
+
+const (
+	// KindCall is a static call with a single known callee.
+	KindCall Kind = iota
+	// KindInterface is a call through an interface method, conservatively
+	// resolved to a module-local implementation.
+	KindInterface
+	// KindRef is a function or method value escaping into the caller's
+	// body (callback argument, assignment, method value).
+	KindRef
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCall:
+		return "call"
+	case KindInterface:
+		return "interface call"
+	case KindRef:
+		return "function value"
+	}
+	return "edge"
+}
+
+// An Edge is one possible transfer of control from a node's body.
+type Edge struct {
+	// Pos is the call or reference site in the caller's body.
+	Pos token.Pos
+	// Callee is the resolved target, normalized to its generic origin. It
+	// may belong to a package outside the loaded units (no node).
+	Callee *types.Func
+	// Kind records how the callee is reached.
+	Kind Kind
+	// InFuncLit reports that the site sits inside a function literal of
+	// the enclosing declaration rather than its direct body.
+	InFuncLit bool
+}
+
+// A Node is one function or method declared in the loaded units.
+type Node struct {
+	Func *types.Func
+	Decl *ast.FuncDecl
+	Unit *analysis.Unit
+	// Edges in source order.
+	Edges []Edge
+}
+
+// String renders a short package-qualified name ("shard.markDown",
+// "(*shard.RemotePool).Close") for diagnostics and witness paths.
+func (n *Node) String() string { return FuncName(n.Func) }
+
+// FuncName renders fn like Node.String.
+func FuncName(fn *types.Func) string {
+	qual := func(p *types.Package) string { return p.Name() }
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "(" + types.TypeString(sig.Recv().Type(), qual) + ")." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// A Graph is the module-local call graph of one Program.
+type Graph struct {
+	// Nodes in deterministic order: unit order, then file order, then
+	// declaration order.
+	Nodes []*Node
+
+	byFunc map[*types.Func]*Node
+	// sites maps each call expression to its resolved callees, for
+	// analyzers that walk function bodies themselves.
+	sites map[*ast.CallExpr][]*types.Func
+}
+
+// Node returns the graph node declaring fn (normalized to its generic
+// origin), or nil for functions outside the loaded units.
+func (g *Graph) Node(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.byFunc[origin(fn)]
+}
+
+// SiteCallees returns the resolved callees of one call expression in a
+// loaded unit (empty for calls through untracked function values).
+func (g *Graph) SiteCallees(call *ast.CallExpr) []*types.Func {
+	return g.sites[call]
+}
+
+type memoKey struct{}
+
+// Of returns the program's call graph, building it on first use and
+// sharing it across all passes of the Run.
+func Of(prog *analysis.Program) *Graph {
+	return prog.Memo(memoKey{}, func() any { return Build(prog.Units) }).(*Graph)
+}
+
+// Build constructs the call graph over units.
+func Build(units []*analysis.Unit) *Graph {
+	g := &Graph{
+		byFunc: make(map[*types.Func]*Node),
+		sites:  make(map[*ast.CallExpr][]*types.Func),
+	}
+	// Pass 1: one node per declared function, and the module's named
+	// types (for interface-call resolution).
+	var named []*types.Named
+	for _, u := range units {
+		for _, obj := range scopeObjects(u.Types.Scope()) {
+			if tn, ok := obj.(*types.TypeName); ok && !tn.IsAlias() {
+				if n, ok := tn.Type().(*types.Named); ok {
+					named = append(named, n)
+				}
+			}
+		}
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := u.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{Func: origin(fn), Decl: fd, Unit: u}
+				g.Nodes = append(g.Nodes, n)
+				g.byFunc[n.Func] = n
+			}
+		}
+	}
+	// Pass 2: edges.
+	for _, n := range g.Nodes {
+		if n.Decl.Body != nil {
+			g.addEdges(n, named)
+		}
+	}
+	return g
+}
+
+// scopeObjects returns a scope's objects in declaration-name order
+// (scope.Names is sorted, which keeps graph construction deterministic).
+func scopeObjects(scope *types.Scope) []types.Object {
+	names := scope.Names()
+	out := make([]types.Object, 0, len(names))
+	for _, name := range names {
+		out = append(out, scope.Lookup(name))
+	}
+	return out
+}
+
+// origin normalizes an instantiated generic function or method to its
+// declaration object, the identity nodes are keyed by.
+func origin(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+// addEdges walks one declaration body, resolving every call and every
+// escaping function value.
+func (g *Graph) addEdges(n *Node, named []*types.Named) {
+	info := n.Unit.Info
+	// funTargets marks expressions appearing in call position, so the
+	// reference walk does not double-count a static call's Fun.
+	funTargets := make(map[ast.Expr]bool)
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if call, ok := node.(*ast.CallExpr); ok {
+			funTargets[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+
+	var litDepth int
+	var walk func(node ast.Node) bool
+	walk = func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			litDepth++
+			ast.Inspect(x.Body, walk)
+			litDepth--
+			return false
+		case *ast.CallExpr:
+			g.resolveCall(n, info, x, named, litDepth > 0)
+			return true
+		case *ast.Ident:
+			if funTargets[x] {
+				return true
+			}
+			if fn, ok := info.Uses[x].(*types.Func); ok {
+				n.addEdge(Edge{Pos: x.Pos(), Callee: origin(fn), Kind: KindRef, InFuncLit: litDepth > 0})
+			}
+			return true
+		case *ast.SelectorExpr:
+			if funTargets[ast.Unparen(ast.Expr(x))] {
+				// Call position: resolveCall handles it; still descend into
+				// the receiver expression X for nested calls/refs.
+				ast.Inspect(x.X, walk)
+				return false
+			}
+			if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+				// A method or function value escaping: charge the concrete
+				// target, or every module implementation for an interface
+				// method value.
+				if sel, ok := info.Selections[x]; ok && types.IsInterface(sel.Recv()) {
+					g.addInterfaceEdges(n, x.Sel.Pos(), sel.Recv(), fn.Name(), named, KindRef, litDepth > 0)
+				} else {
+					n.addEdge(Edge{Pos: x.Sel.Pos(), Callee: origin(fn), Kind: KindRef, InFuncLit: litDepth > 0})
+				}
+				ast.Inspect(x.X, walk)
+				return false
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(n.Decl.Body, walk)
+}
+
+// resolveCall resolves one call expression and records its edges plus the
+// site→callee index.
+func (g *Graph) resolveCall(n *Node, info *types.Info, call *ast.CallExpr, named []*types.Named, inLit bool) {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	switch x := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[x].(*types.Func); ok {
+			callee := origin(fn)
+			n.addEdge(Edge{Pos: call.Lparen, Callee: callee, Kind: KindCall, InFuncLit: inLit})
+			g.sites[call] = append(g.sites[call], callee)
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[x.Sel].(*types.Func)
+		if !ok {
+			return // call through a func-typed field or variable
+		}
+		if sel, ok := info.Selections[x]; ok && types.IsInterface(sel.Recv()) {
+			callees := g.addInterfaceEdges(n, call.Lparen, sel.Recv(), fn.Name(), named, KindInterface, inLit)
+			g.sites[call] = append(g.sites[call], callees...)
+			return
+		}
+		callee := origin(fn)
+		n.addEdge(Edge{Pos: call.Lparen, Callee: callee, Kind: KindCall, InFuncLit: inLit})
+		g.sites[call] = append(g.sites[call], callee)
+	}
+}
+
+// addInterfaceEdges adds one edge per module-local method that could be
+// behind a call (or method value) of name on interface type recv, and
+// returns the callees.
+func (g *Graph) addInterfaceEdges(n *Node, pos token.Pos, recv types.Type, name string, named []*types.Named, kind Kind, inLit bool) []*types.Func {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var callees []*types.Func
+	for _, t := range named {
+		if types.IsInterface(t) {
+			continue
+		}
+		impl := types.Implements(t, iface)
+		if !impl && types.Implements(types.NewPointer(t), iface) {
+			impl = true
+		}
+		if !impl {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, t.Obj().Pkg(), name)
+		m, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		callee := origin(m)
+		if g.byFunc[callee] == nil {
+			continue // implementation outside the loaded units
+		}
+		n.addEdge(Edge{Pos: pos, Callee: callee, Kind: kind, InFuncLit: inLit})
+		callees = append(callees, callee)
+	}
+	return callees
+}
+
+func (n *Node) addEdge(e Edge) { n.Edges = append(n.Edges, e) }
+
+// A Closure is the module-local reachability closure of a set of roots,
+// with one deterministic witness call path per reached node.
+type Closure struct {
+	// Nodes in breadth-first order from the roots (roots first).
+	Nodes []*Node
+	// Path maps each reached node to a witness call chain of Node.String
+	// names, starting at a root and ending at the node itself.
+	Path map[*Node][]string
+}
+
+// ReachableFrom computes the closure of roots over module-local edges.
+func ReachableFrom(g *Graph, roots []*Node) Closure {
+	c := Closure{Path: make(map[*Node][]string)}
+	queue := make([]*Node, 0, len(roots))
+	for _, r := range roots {
+		if r == nil {
+			continue
+		}
+		if _, seen := c.Path[r]; seen {
+			continue
+		}
+		c.Path[r] = []string{r.String()}
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		c.Nodes = append(c.Nodes, n)
+		for _, e := range n.Edges {
+			callee := g.byFunc[e.Callee]
+			if callee == nil {
+				continue
+			}
+			if _, seen := c.Path[callee]; seen {
+				continue
+			}
+			c.Path[callee] = append(append([]string{}, c.Path[n]...), callee.String())
+			queue = append(queue, callee)
+		}
+	}
+	return c
+}

@@ -1,0 +1,151 @@
+package callgraph_test
+
+import (
+	"reflect"
+	"testing"
+
+	"stochsynth/internal/analysis/callgraph"
+	"stochsynth/internal/analysis/dataflow"
+	"stochsynth/internal/analysis/load"
+)
+
+func buildGraph(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	loader := load.NewSrcLoader("testdata/src")
+	units, err := loader.Load("cg")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return callgraph.Build(units)
+}
+
+func nodeByName(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.String() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node %q in graph (have %v)", name, nodeNames(g))
+	return nil
+}
+
+func nodeNames(g *callgraph.Graph) []string {
+	var names []string
+	for _, n := range g.Nodes {
+		names = append(names, n.String())
+	}
+	return names
+}
+
+// edgeTargets collects the callee names of a node's edges of one kind.
+func edgeTargets(n *callgraph.Node, kind callgraph.Kind) map[string]bool {
+	out := map[string]bool{}
+	for _, e := range n.Edges {
+		if e.Kind == kind {
+			out[callgraph.FuncName(e.Callee)] = true
+		}
+	}
+	return out
+}
+
+// TestInterfaceConservatism pins the over-approximation contract: a call
+// through an interface method resolves to every module-local type
+// implementing it.
+func TestInterfaceConservatism(t *testing.T) {
+	g := buildGraph(t)
+	chorus := nodeByName(t, g, "cg.Chorus")
+	got := edgeTargets(chorus, callgraph.KindInterface)
+	want := map[string]bool{"(cg.Dog).Sound": true, "(cg.Cat).Sound": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Chorus interface edges = %v, want %v", got, want)
+	}
+}
+
+// TestMethodValueResolution pins KindRef edges: an escaping method value
+// charges the concrete method, an escaping function value charges the
+// function.
+func TestMethodValueResolution(t *testing.T) {
+	g := buildGraph(t)
+	if got := edgeTargets(nodeByName(t, g, "cg.Handoff"), callgraph.KindRef); !got["(cg.Dog).Sound"] {
+		t.Errorf("Handoff ref edges = %v, want (cg.Dog).Sound", got)
+	}
+	if got := edgeTargets(nodeByName(t, g, "cg.FuncRef"), callgraph.KindRef); !got["cg.Chorus"] {
+		t.Errorf("FuncRef ref edges = %v, want cg.Chorus", got)
+	}
+}
+
+// TestFuncLitEdges pins closure folding: a call made inside a function
+// literal is an edge of the enclosing declaration, marked InFuncLit.
+func TestFuncLitEdges(t *testing.T) {
+	g := buildGraph(t)
+	self := nodeByName(t, g, "cg.Self")
+	found := false
+	for _, e := range self.Edges {
+		if callgraph.FuncName(e.Callee) == "cg.Self" && e.Kind == callgraph.KindCall {
+			found = true
+			if !e.InFuncLit {
+				t.Errorf("Self's recursive call sits in a func literal; InFuncLit = false")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no self edge on cg.Self: %v", self.Edges)
+	}
+}
+
+// TestRecursionReachability pins BFS termination and witness paths on the
+// mutually recursive pair.
+func TestRecursionReachability(t *testing.T) {
+	g := buildGraph(t)
+	even := nodeByName(t, g, "cg.Even")
+	closure := callgraph.ReachableFrom(g, []*callgraph.Node{even})
+	reached := map[string]bool{}
+	for _, n := range closure.Nodes {
+		if reached[n.String()] {
+			t.Errorf("node %s appears twice in the closure", n)
+		}
+		reached[n.String()] = true
+	}
+	for _, name := range []string{"cg.Even", "cg.Odd", "cg.leaf"} {
+		if !reached[name] {
+			t.Errorf("%s not reached from cg.Even (closure: %v)", name, reached)
+		}
+	}
+	leaf := nodeByName(t, g, "cg.leaf")
+	if got, want := closure.Path[leaf], []string{"cg.Even", "cg.Odd", "cg.leaf"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("witness path to leaf = %v, want %v", got, want)
+	}
+}
+
+// TestDataflowFixpointOnRecursion pins Solve's termination and witness
+// propagation: a fact planted on leaf must reach both Even and Odd
+// through the recursive cycle, with a coherent via chain, and the solve
+// must not loop forever on Even ↔ Odd or Self ↔ Self.
+func TestDataflowFixpointOnRecursion(t *testing.T) {
+	g := buildGraph(t)
+	leaf := nodeByName(t, g, "cg.leaf")
+	summaries := dataflow.Solve(g, func(n *callgraph.Node) []dataflow.Fact {
+		if n == leaf {
+			return []dataflow.Fact{{Kind: "tick", Pos: n.Decl.Pos(), Desc: "planted"}}
+		}
+		return nil
+	})
+
+	odd := nodeByName(t, g, "cg.Odd")
+	if f, ok := summaries[odd.Func]["tick"]; !ok {
+		t.Errorf("Odd did not pick up leaf's fact")
+	} else if !reflect.DeepEqual(f.Via, []string{"cg.leaf"}) {
+		t.Errorf("Odd's via chain = %v, want [cg.leaf]", f.Via)
+	}
+	even := nodeByName(t, g, "cg.Even")
+	if f, ok := summaries[even.Func]["tick"]; !ok {
+		t.Errorf("Even did not pick up leaf's fact through the cycle")
+	} else if got := f.ViaString(); got != " via cg.Odd → cg.leaf" {
+		t.Errorf("Even's via string = %q, want \" via cg.Odd → cg.leaf\"", got)
+	}
+	self := nodeByName(t, g, "cg.Self")
+	if facts := summaries[self.Func]; len(facts) != 0 {
+		t.Errorf("Self reaches no fact source yet has summary %v", facts)
+	}
+}

@@ -1,0 +1,57 @@
+// Package cg is the call-graph fixture: it pins method-value resolution,
+// interface-call conservatism, and recursion shapes the reachability and
+// dataflow fixpoints must terminate on.
+package cg
+
+type Animal interface{ Sound() string }
+
+type Dog struct{}
+
+func (Dog) Sound() string { return "woof" }
+
+type Cat struct{}
+
+func (Cat) Sound() string { return "meow" }
+
+// Chorus calls Sound through the interface: conservative resolution must
+// charge every module-local implementation.
+func Chorus(a Animal) string { return a.Sound() }
+
+// Handoff lets a method value escape: a KindRef edge to the concrete
+// method.
+func Handoff() func() string {
+	d := Dog{}
+	return d.Sound
+}
+
+// FuncRef lets a plain function escape.
+func FuncRef() func(Animal) string { return Chorus }
+
+// Even/Odd are mutually recursive; Odd also reaches leaf. Reachability
+// and summary propagation must terminate and carry leaf's facts to both.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	leaf()
+	return Even(n - 1)
+}
+
+func leaf() {}
+
+// Self recurses through a function literal: the call inside the literal
+// is an edge of Self itself, marked InFuncLit.
+func Self(n int) int {
+	if n == 0 {
+		return 0
+	}
+	f := func() int { return Self(n - 1) }
+	return f()
+}

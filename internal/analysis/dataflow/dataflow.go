@@ -1,0 +1,108 @@
+// Package dataflow is the generic bottom-up summary-propagation engine
+// behind the interprocedural analyzers: given a call graph and a function
+// computing each node's *intraprocedural* facts, Solve propagates facts
+// from callees to callers over module-local edges until fixpoint.
+//
+// A Fact is a named effect or taint ("wallclock", "alloc", "connio", …)
+// with a witness: the source position of the originating construct, a
+// human description of it, and the call chain it traveled. Propagation is
+// monotone — a function's fact set only grows, and per kind the first
+// witness found is kept — so the fixpoint exists and the solve
+// terminates on recursive and mutually recursive call graphs in at most
+// |kinds| × |nodes| rounds. Iteration order is fixed (node order, edge
+// order, sorted kinds), so summaries and witness paths are deterministic
+// run to run.
+package dataflow
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+
+	"stochsynth/internal/analysis/callgraph"
+)
+
+// A Fact is one effect or taint attached to a function, with the witness
+// explaining where it ultimately comes from.
+type Fact struct {
+	// Kind names the effect ("wallclock", "rand", "alloc", "connio", …).
+	Kind string
+	// Pos is the originating construct (the time.Now call, the append),
+	// possibly in another function than the one summarized.
+	Pos token.Pos
+	// Desc describes the originating construct.
+	Desc string
+	// Via is the call chain from the summarized function (exclusive) down
+	// to the function containing Pos (inclusive); empty for local facts.
+	Via []string
+}
+
+// Facts is a function's summary: at most one witness per kind.
+type Facts map[string]Fact
+
+// Local computes a node's intraprocedural facts — constructs of its own
+// body (including function literals), before any propagation.
+type Local func(n *callgraph.Node) []Fact
+
+// Solve computes every node's facts: its local facts plus, transitively,
+// the facts of everything it may call or let escape (module-local edges
+// only; callees outside the loaded units contribute nothing).
+func Solve(g *callgraph.Graph, local Local) map[*types.Func]Facts {
+	summaries := make(map[*types.Func]Facts, len(g.Nodes))
+	for _, n := range g.Nodes {
+		facts := make(Facts)
+		for _, f := range local(n) {
+			if _, ok := facts[f.Kind]; !ok {
+				facts[f.Kind] = f
+			}
+		}
+		summaries[n.Func] = facts
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			own := summaries[n.Func]
+			for _, e := range n.Edges {
+				callee := g.Node(e.Callee)
+				if callee == nil || callee.Func == n.Func {
+					continue
+				}
+				from := summaries[callee.Func]
+				for _, kind := range sortedKinds(from) {
+					if _, ok := own[kind]; ok {
+						continue
+					}
+					cf := from[kind]
+					via := make([]string, 0, 1+len(cf.Via))
+					via = append(via, callee.String())
+					via = append(via, cf.Via...)
+					own[kind] = Fact{Kind: kind, Pos: cf.Pos, Desc: cf.Desc, Via: via}
+					changed = true
+				}
+			}
+		}
+	}
+	return summaries
+}
+
+func sortedKinds(f Facts) []string {
+	kinds := make([]string, 0, len(f))
+	for k := range f {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// ViaString renders a fact's call chain for a diagnostic ("via a → b"),
+// or "" for a local fact.
+func (f Fact) ViaString() string {
+	if len(f.Via) == 0 {
+		return ""
+	}
+	s := " via " + f.Via[0]
+	for _, hop := range f.Via[1:] {
+		s += " → " + hop
+	}
+	return s
+}

@@ -14,11 +14,19 @@
 //     generators (rand.New, rand.NewSource, rand.NewPCG, ...) is fine;
 //   - calls to time.Now, time.Since and time.Until are flagged.
 //
+// The check is interprocedural: ambient-nondeterminism facts are
+// propagated bottom-up over the module-local call graph (package
+// dataflow), so a checked package calling into an exempt package's
+// helper that reads the clock one or five frames down is flagged at the
+// call site, with the witness chain in the message. Direct uses inside a
+// checked package are still reported at the construct itself.
+//
 // Transport and CLI code legitimately reads the clock (deadlines,
 // keepalives, progress timing), so the packages in Allowlist are exempt —
 // except that the packages in Pinned are always checked, even if a later
 // edit adds them to the allowlist. Individual lines are exempted with
-// `//stochlint:allow wallclock` (time) or `//stochlint:allow rand`.
+// `//stochlint:allow wallclock` (time) or `//stochlint:allow rand` — at
+// the construct for direct uses, at the call site for transitive ones.
 package detrand
 
 import (
@@ -27,6 +35,8 @@ import (
 	"strings"
 
 	"stochsynth/internal/analysis"
+	"stochsynth/internal/analysis/callgraph"
+	"stochsynth/internal/analysis/dataflow"
 )
 
 // Analyzer is the detrand check.
@@ -78,38 +88,135 @@ func applies(pkgPath string) bool {
 	return true
 }
 
+// classify reports the ambient-nondeterminism kind of one selector use:
+// "wallclock" for time.Now/Since/Until, "rand" for the globally seeded
+// math/rand(/v2) package-level functions, "" otherwise. The description
+// names the offending function.
+func classify(info *types.Info, sel *ast.SelectorExpr) (kind, desc string) {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	// Only package-level functions: methods on injected generator values
+	// (rand.Rand, rng.PCG) are explicitly seeded and fine.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallclockFuncs[fn.Name()] {
+			return "wallclock", "time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			return "rand", fn.Pkg().Path() + "." + fn.Name()
+		}
+	}
+	return "", ""
+}
+
+type summariesKey struct{}
+
+// Summaries returns the module-wide ambient-nondeterminism summaries:
+// for every function in the program, whether its call closure reaches a
+// wall-clock read or the global math/rand generator (kinds "wallclock"
+// and "rand"), with a witness chain. Uses carrying an allow annotation
+// at the construct contribute no fact. mergecontract consumes the same
+// summaries.
+func Summaries(prog *analysis.Program) map[*types.Func]dataflow.Facts {
+	return prog.Memo(summariesKey{}, func() any {
+		return dataflow.Solve(callgraph.Of(prog), func(n *callgraph.Node) []dataflow.Fact {
+			return LocalFacts(prog, n)
+		})
+	}).(map[*types.Func]dataflow.Facts)
+}
+
+// LocalFacts returns the ambient-nondeterminism constructs of n's own
+// body (kinds "wallclock" and "rand"), before any propagation. Uses
+// carrying an allow annotation contribute nothing. mergecontract checks
+// these per reachable function.
+func LocalFacts(prog *analysis.Program, n *callgraph.Node) []dataflow.Fact {
+	if n.Decl.Body == nil {
+		return nil
+	}
+	var facts []dataflow.Fact
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		sel, ok := node.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		kind, desc := classify(n.Unit.Info, sel)
+		if kind == "" || prog.Allowed(sel.Pos(), kind) {
+			return true
+		}
+		facts = append(facts, dataflow.Fact{Kind: kind, Pos: sel.Pos(), Desc: desc})
+		return true
+	})
+	return facts
+}
+
 func run(pass *analysis.Pass) error {
 	if !applies(pass.Pkg.Path()) {
 		return nil
 	}
+	// Direct uses, anywhere in the file (function bodies, package-level
+	// variable initializers).
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true
 			}
-			obj := pass.TypesInfo.Uses[sel.Sel]
-			fn, ok := obj.(*types.Func)
-			if !ok || fn.Pkg() == nil {
-				return true
-			}
-			// Only package-level functions: methods on injected generator
-			// values (rand.Rand, rng.PCG) are explicitly seeded and fine.
-			if fn.Type().(*types.Signature).Recv() != nil {
-				return true
-			}
-			switch fn.Pkg().Path() {
-			case "time":
-				if wallclockFuncs[fn.Name()] && !pass.Allowed(sel.Pos(), "wallclock") {
-					pass.Reportf(sel.Pos(), "time.%s reads the wall clock in a determinism-critical package (inject a clock or annotate //stochlint:allow wallclock)", fn.Name())
+			kind, desc := classify(pass.TypesInfo, sel)
+			switch kind {
+			case "wallclock":
+				if !pass.Allowed(sel.Pos(), "wallclock") {
+					pass.Reportf(sel.Pos(), "%s reads the wall clock in a determinism-critical package (inject a clock or annotate //stochlint:allow wallclock)", desc)
 				}
-			case "math/rand", "math/rand/v2":
-				if !randConstructors[fn.Name()] && !pass.Allowed(sel.Pos(), "rand") {
-					pass.Reportf(sel.Pos(), "%s.%s uses the globally seeded math/rand generator; use an explicit seeded stream (internal/rng) or annotate //stochlint:allow rand", fn.Pkg().Path(), fn.Name())
+			case "rand":
+				if !pass.Allowed(sel.Pos(), "rand") {
+					pass.Reportf(sel.Pos(), "%s uses the globally seeded math/rand generator; use an explicit seeded stream (internal/rng) or annotate //stochlint:allow rand", desc)
 				}
 			}
 			return true
 		})
+	}
+	// Interprocedural: calls (and escaping function values) from this
+	// checked package into exempt module packages whose call closure
+	// reaches the clock or the global generator. Callees in checked
+	// packages are skipped — their own direct diagnostics cover the
+	// construct at its source.
+	g := callgraph.Of(pass.Prog)
+	summaries := Summaries(pass.Prog)
+	for _, n := range g.Nodes {
+		if n.Unit.Types != pass.Pkg {
+			continue
+		}
+		for _, e := range n.Edges {
+			callee := g.Node(e.Callee)
+			if callee == nil || applies(callee.Unit.Types.Path()) {
+				continue
+			}
+			facts := summaries[callee.Func]
+			for _, kind := range []string{"rand", "wallclock"} {
+				fact, ok := facts[kind]
+				if !ok || pass.Allowed(e.Pos, kind) {
+					continue
+				}
+				verb := "call to"
+				if e.Kind == callgraph.KindRef {
+					verb = "reference to"
+				}
+				hint := "inject a clock or annotate //stochlint:allow wallclock"
+				what := "reads the wall clock"
+				if kind == "rand" {
+					hint = "use an explicit seeded stream (internal/rng) or annotate //stochlint:allow rand"
+					what = "uses the globally seeded math/rand generator"
+				}
+				pass.Reportf(e.Pos, "%s %s %s in a determinism-critical package: %s at %s%s (%s)",
+					verb, callee, what, fact.Desc, analysis.ShortPos(pass.Fset, fact.Pos), fact.ViaString(), hint)
+			}
+		}
 	}
 	return nil
 }

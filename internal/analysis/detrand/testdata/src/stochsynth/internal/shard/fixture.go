@@ -11,3 +11,15 @@ func deadline() time.Time {
 func cooldownOver(since time.Time) bool {
 	return time.Since(since) > time.Second
 }
+
+// Deadline is exported: exempt here, but a checked package calling it is
+// flagged at the call site by the interprocedural escalation.
+func Deadline() time.Time {
+	return time.Now().Add(5 * time.Second)
+}
+
+// Jittered reaches the clock two frames down, so call sites in checked
+// packages get a witness chain.
+func Jittered() time.Time {
+	return Deadline()
+}

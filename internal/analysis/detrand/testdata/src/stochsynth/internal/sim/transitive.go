@@ -1,0 +1,27 @@
+// transitive.go pins the interprocedural escalation: calls and escaping
+// references from this checked package into exempt transport helpers
+// whose call closure reads the clock are flagged at the boundary, with
+// the witness chain; an allow annotation at the call site silences them.
+package sim
+
+import (
+	"time"
+
+	"stochsynth/internal/shard"
+)
+
+func callsExempt() time.Time {
+	return shard.Deadline() // want `call to shard.Deadline reads the wall clock`
+}
+
+func callsExemptDeep() time.Time {
+	return shard.Jittered() // want `call to shard.Jittered reads the wall clock.*via shard.Deadline`
+}
+
+func refExempt() func() time.Time {
+	return shard.Deadline // want `reference to shard.Deadline reads the wall clock`
+}
+
+func allowedBoundary() time.Time {
+	return shard.Deadline() //stochlint:allow wallclock
+}

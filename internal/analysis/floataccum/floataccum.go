@@ -72,24 +72,7 @@ func isFloat(t types.Type) bool {
 func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
-			return true
-		}
-		lhsT := pass.TypesInfo.TypeOf(as.Lhs[0])
-		if lhsT == nil || !isFloat(lhsT) {
-			return true
-		}
-		serial := false
-		switch as.Tok {
-		case token.ADD_ASSIGN, token.SUB_ASSIGN:
-			serial = true
-		case token.ASSIGN:
-			// x = x + e / x = x - e with the accumulator as left operand.
-			if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok && (bin.Op == token.ADD || bin.Op == token.SUB) {
-				serial = sameObject(pass, as.Lhs[0], bin.X)
-			}
-		}
-		if !serial || pass.Allowed(as.Pos(), "floataccum") {
+		if !ok || !IsSerialFloatAccum(pass.TypesInfo, as) || pass.Allowed(as.Pos(), "floataccum") {
 			return true
 		}
 		pass.Reportf(as.Pos(), "serial floating-point accumulation in exported %s.%s; order-dependent sums break the bit-for-bit merge contract — use the mc.Moments pairwise tree, or annotate //stochlint:allow floataccum with a fixed-order argument", pass.Pkg.Name(), fn.Name.Name)
@@ -97,8 +80,32 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 	})
 }
 
+// IsSerialFloatAccum reports whether as is a serial floating-point
+// accumulation: `x += e`, `x -= e`, or `x = x ± e` with a float
+// accumulator as the left operand. mergecontract applies the same
+// detection to every function reachable from a merge root.
+func IsSerialFloatAccum(info *types.Info, as *ast.AssignStmt) bool {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhsT := info.TypeOf(as.Lhs[0])
+	if lhsT == nil || !isFloat(lhsT) {
+		return false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		return true
+	case token.ASSIGN:
+		// x = x + e / x = x - e with the accumulator as left operand.
+		if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok && (bin.Op == token.ADD || bin.Op == token.SUB) {
+			return sameObject(info, as.Lhs[0], bin.X)
+		}
+	}
+	return false
+}
+
 // sameObject reports whether a and b are identifiers naming one variable.
-func sameObject(pass *analysis.Pass, a, b ast.Expr) bool {
+func sameObject(info *types.Info, a, b ast.Expr) bool {
 	ai, ok := a.(*ast.Ident)
 	if !ok {
 		return false
@@ -107,6 +114,6 @@ func sameObject(pass *analysis.Pass, a, b ast.Expr) bool {
 	if !ok {
 		return false
 	}
-	oa := pass.TypesInfo.ObjectOf(ai)
-	return oa != nil && oa == pass.TypesInfo.ObjectOf(bi)
+	oa := info.ObjectOf(ai)
+	return oa != nil && oa == info.ObjectOf(bi)
 }

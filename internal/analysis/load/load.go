@@ -9,6 +9,7 @@ package load
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -16,7 +17,9 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 
 	"stochsynth/internal/analysis"
@@ -35,10 +38,12 @@ type Loader struct {
 	Root       string
 	ModulePath string
 
-	fset    *token.FileSet
-	std     types.ImporterFrom
-	units   map[string]*analysis.Unit
-	loading map[string]bool
+	fset     *token.FileSet
+	std      types.ImporterFrom
+	units    map[string]*analysis.Unit
+	loading  map[string]bool
+	warnings []analysis.Diagnostic
+	warned   map[string]bool // files already warned about (selection runs more than once per dir)
 }
 
 // NewModuleLoader returns a loader rooted at the module containing dir
@@ -89,7 +94,19 @@ func newLoader(root, modulePath string) *Loader {
 		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 		units:      make(map[string]*analysis.Unit),
 		loading:    make(map[string]bool),
+		warned:     make(map[string]bool),
 	}
+}
+
+// Warnings returns loader-level diagnostics accumulated while selecting
+// files: every file excluded because its build constraints could not be
+// decided gets one. Analyzers never saw such a file, so a "clean" run is
+// only as trustworthy as this list is empty — cmd/stochlint surfaces
+// these alongside analyzer diagnostics.
+func (l *Loader) Warnings() []analysis.Diagnostic {
+	out := append([]analysis.Diagnostic(nil), l.warnings...)
+	analysis.SortDiagnostics(out)
+	return out
 }
 
 // Load resolves patterns into type-checked units. A pattern is either an
@@ -163,7 +180,7 @@ func (l *Loader) walk(base string) ([]string, error) {
 		if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
 			return filepath.SkipDir
 		}
-		if len(goFiles(path)) > 0 {
+		if len(l.selectGoFiles(path)) > 0 {
 			dirs = append(dirs, path)
 		}
 		return nil
@@ -193,7 +210,8 @@ func (l *Loader) dirOf(path string) string {
 	return filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/")))
 }
 
-// goFiles lists the non-test .go files of dir, sorted.
+// goFiles lists the non-test .go files of dir, sorted, before any build
+// constraint is considered.
 func goFiles(dir string) []string {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -212,6 +230,198 @@ func goFiles(dir string) []string {
 	return out
 }
 
+// selectGoFiles applies build constraints to goFiles(dir): filename
+// GOOS/GOARCH suffixes and //go:build (or legacy // +build) lines are
+// evaluated against this process's tag set. Files whose constraints are
+// decidably false are skipped silently, exactly as `go build` would skip
+// them. Files whose constraints depend on tags the loader cannot decide
+// (custom tags, build-system knobs) are ALSO skipped — type-checking them
+// could fail or, worse, silently analyze a configuration that never
+// builds — but each such exclusion is recorded as a warning diagnostic,
+// because an analyzer run that never saw the file must not be allowed to
+// pass as a clean bill for it.
+func (l *Loader) selectGoFiles(dir string) []string {
+	var out []string
+	for _, path := range goFiles(dir) {
+		if !goodOSArchFile(filepath.Base(path)) {
+			continue
+		}
+		expr, line, err := buildConstraint(path)
+		if err != nil {
+			l.warnf(path, line, "skipping %s: unparseable build constraint: %v", filepath.Base(path), err)
+			continue
+		}
+		if expr == nil {
+			out = append(out, path)
+			continue
+		}
+		// Evaluate twice, with every undecidable tag first false then
+		// true. If both agree the constraint is effectively decidable and
+		// the file is included or excluded silently; if they disagree the
+		// selection genuinely depends on a tag we cannot know.
+		undecidable := map[string]bool{}
+		whenFalse := expr.Eval(func(tag string) bool { return evalTag(tag, false, undecidable) })
+		whenTrue := expr.Eval(func(tag string) bool { return evalTag(tag, true, undecidable) })
+		switch {
+		case whenFalse && whenTrue:
+			out = append(out, path)
+		case whenFalse || whenTrue:
+			tags := make([]string, 0, len(undecidable))
+			for t := range undecidable {
+				tags = append(tags, t)
+			}
+			sort.Strings(tags)
+			l.warnf(path, line, "skipping %s: build constraint depends on unknown tag(s) %s; analyzers did not see this file",
+				filepath.Base(path), strings.Join(tags, ", "))
+		}
+	}
+	return out
+}
+
+// warnf records one loader warning per file (selection runs once in walk
+// and again in load; the user should see each exclusion once).
+func (l *Loader) warnf(path string, line int, format string, args ...any) {
+	if l.warned[path] {
+		return
+	}
+	l.warned[path] = true
+	l.warnings = append(l.warnings, analysis.Diagnostic{
+		Pos:      token.Position{Filename: path, Line: line, Column: 1},
+		Analyzer: "load",
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// buildConstraint extracts the build constraint governing the file, if
+// any: the first //go:build line wins; otherwise legacy // +build lines
+// are AND-ed together. Only the header (lines before the package clause)
+// is scanned, per the build constraint placement rules.
+func buildConstraint(path string) (constraint.Expr, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 1, err
+	}
+	var plus []constraint.Expr
+	plusLine := 1
+	for i, lineText := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(lineText)
+		if strings.HasPrefix(trimmed, "package ") || trimmed == "package" {
+			break
+		}
+		if constraint.IsGoBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return nil, i + 1, err
+			}
+			return expr, i + 1, nil
+		}
+		if constraint.IsPlusBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return nil, i + 1, err
+			}
+			if len(plus) == 0 {
+				plusLine = i + 1
+			}
+			plus = append(plus, expr)
+		}
+	}
+	if len(plus) == 0 {
+		return nil, 1, nil
+	}
+	expr := plus[0]
+	for _, e := range plus[1:] {
+		expr = &constraint.AndExpr{X: expr, Y: e}
+	}
+	return expr, plusLine, nil
+}
+
+// knownOS and knownArch are the recognized GOOS/GOARCH values: naming one
+// of these as a tag (or filename suffix) is decidable against the running
+// toolchain.
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true, "loong64": true,
+	"mips": true, "mipsle": true, "mips64": true, "mips64le": true,
+	"ppc64": true, "ppc64le": true, "riscv64": true, "s390x": true, "wasm": true,
+}
+
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// goMinor is this toolchain's go1.N minor version, for release tags.
+var goMinor = func() int {
+	v := runtime.Version() // "go1.24.3", or a devel string
+	if rest, ok := strings.CutPrefix(v, "go1."); ok {
+		num := rest
+		if i := strings.IndexByte(num, '.'); i >= 0 {
+			num = num[:i]
+		}
+		if n, err := strconv.Atoi(num); err == nil {
+			return n
+		}
+	}
+	return 24 // matches the go directive this module is built with
+}()
+
+// evalTag decides one build tag against the loader's environment:
+// this process's GOOS/GOARCH, the derived "unix" tag, release tags, and
+// the compiler/instrumentation tags a plain `go vet`-style load has off.
+// Tags it cannot decide evaluate to the supplied placeholder and are
+// recorded in undecidable.
+func evalTag(tag string, placeholder bool, undecidable map[string]bool) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		return unixOS[runtime.GOOS]
+	case "cgo", "gccgo", "race", "msan", "asan", "ignore":
+		// Instrumentation and convention tags: off for an analysis load.
+		return false
+	}
+	if knownOS[tag] || knownArch[tag] {
+		return false
+	}
+	if rest, ok := strings.CutPrefix(tag, "go1."); ok {
+		if n, err := strconv.Atoi(rest); err == nil {
+			return n <= goMinor
+		}
+	}
+	undecidable[tag] = true
+	return placeholder
+}
+
+// goodOSArchFile applies the _GOOS, _GOARCH and _GOOS_GOARCH filename
+// suffix rules (mirroring go/build): a recognized suffix that does not
+// match the running toolchain excludes the file.
+func goodOSArchFile(name string) bool {
+	name = strings.TrimSuffix(name, ".go")
+	parts := strings.Split(name, "_")
+	if len(parts) >= 3 {
+		if os, arch := parts[len(parts)-2], parts[len(parts)-1]; knownOS[os] && knownArch[arch] {
+			return os == runtime.GOOS && arch == runtime.GOARCH
+		}
+	}
+	if len(parts) >= 2 {
+		switch last := parts[len(parts)-1]; {
+		case knownOS[last]:
+			return last == runtime.GOOS
+		case knownArch[last]:
+			return last == runtime.GOARCH
+		}
+	}
+	return true
+}
+
 // load parses and type-checks one package by import path, memoized.
 func (l *Loader) load(path string) (*analysis.Unit, error) {
 	if u, ok := l.units[path]; ok {
@@ -224,8 +434,11 @@ func (l *Loader) load(path string) (*analysis.Unit, error) {
 	defer delete(l.loading, path)
 
 	dir := l.dirOf(path)
-	files := goFiles(dir)
+	files := l.selectGoFiles(dir)
 	if len(files) == 0 {
+		if len(goFiles(dir)) > 0 {
+			return nil, fmt.Errorf("load: no buildable Go files in %s (package %s): every file is excluded by build constraints", dir, path)
+		}
 		return nil, fmt.Errorf("load: no Go files in %s (package %s)", dir, path)
 	}
 	var parsed []*ast.File
@@ -265,7 +478,7 @@ func (li loaderImporter) Import(path string) (*types.Package, error) {
 	local := false
 	if l.ModulePath != "" {
 		local = path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
-	} else if fi, err := os.Stat(l.dirOf(path)); err == nil && fi.IsDir() && len(goFiles(l.dirOf(path))) > 0 {
+	} else if fi, err := os.Stat(l.dirOf(path)); err == nil && fi.IsDir() && len(l.selectGoFiles(l.dirOf(path))) > 0 {
 		local = true
 	}
 	if local {

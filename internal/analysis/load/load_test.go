@@ -1,0 +1,136 @@
+package load
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a one-package module under a temp dir and returns
+// its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	all := map[string]string{"go.mod": "module example.com/tagged\n\ngo 1.24\n"}
+	for name, src := range files {
+		all[name] = src
+	}
+	for name, src := range all {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestBuildTagSelection pins the loader's constraint handling: files for
+// other platforms are skipped silently, files gated on tags the loader
+// cannot decide are skipped WITH a warning, and the package still loads
+// from the remaining files.
+func TestBuildTagSelection(t *testing.T) {
+	otherOS := "windows"
+	if runtime.GOOS == "windows" {
+		otherOS = "linux"
+	}
+	root := writeModule(t, map[string]string{
+		"pkg/pkg.go":                    "package pkg\n\nfunc Here() int { return 1 }\n",
+		"pkg/other.go":                  fmt.Sprintf("//go:build %s\n\npackage pkg\n\nfunc Excluded() (No, Such, Type) { panic(0) }\n", otherOS),
+		"pkg/custom.go":                 "//go:build secretfeature\n\npackage pkg\n\nfunc AlsoExcluded() (No, Such, Type) { panic(0) }\n",
+		"pkg/suffix_" + otherOS + ".go": "package pkg\n\nfunc SuffixExcluded() (No, Such, Type) { panic(0) }\n",
+	})
+	l, err := NewModuleLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := l.Load("./...")
+	if err != nil {
+		// The excluded files reference undeclared types, so loading them
+		// at all would fail type-checking — a load error here means the
+		// constraint filter did not fire.
+		t.Fatalf("Load: %v", err)
+	}
+	if len(units) != 1 {
+		t.Fatalf("got %d units, want 1", len(units))
+	}
+	if units[0].Types.Scope().Lookup("Here") == nil {
+		t.Fatalf("included file not type-checked: Here missing from %s", units[0].Path)
+	}
+	if units[0].Types.Scope().Lookup("Excluded") != nil {
+		t.Fatalf("platform-excluded file was loaded")
+	}
+
+	warns := l.Warnings()
+	if len(warns) != 1 {
+		t.Fatalf("got %d warnings, want exactly 1 (only the undecidable tag warns): %v", len(warns), warns)
+	}
+	w := warns[0]
+	if w.Analyzer != "load" {
+		t.Errorf("warning analyzer = %q, want \"load\"", w.Analyzer)
+	}
+	if filepath.Base(w.Pos.Filename) != "custom.go" || w.Pos.Line != 1 {
+		t.Errorf("warning position = %s:%d, want custom.go:1", w.Pos.Filename, w.Pos.Line)
+	}
+	if !strings.Contains(w.Message, "secretfeature") || !strings.Contains(w.Message, "did not see this file") {
+		t.Errorf("warning message does not name the tag and the consequence: %q", w.Message)
+	}
+}
+
+// TestBuildTagDecidable pins the silent paths: constraints naming this
+// platform include the file, release tags evaluate against the toolchain,
+// and legacy // +build lines still work.
+func TestBuildTagDecidable(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"pkg/pkg.go":    "package pkg\n\nfunc Base() {}\n",
+		"pkg/here.go":   fmt.Sprintf("//go:build %s\n\npackage pkg\n\nfunc ThisPlatform() {}\n", runtime.GOOS),
+		"pkg/rel.go":    "//go:build go1.1\n\npackage pkg\n\nfunc OldRelease() {}\n",
+		"pkg/future.go": "//go:build go1.999\n\npackage pkg\n\nfunc FutureRelease() (No, Such, Type) { panic(0) }\n",
+		"pkg/legacy.go": fmt.Sprintf("// +build %s\n\npackage pkg\n\nfunc Legacy() {}\n", runtime.GOOS),
+	})
+	l, err := NewModuleLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := l.Load("./pkg")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	scope := units[0].Types.Scope()
+	for _, name := range []string{"Base", "ThisPlatform", "OldRelease", "Legacy"} {
+		if scope.Lookup(name) == nil {
+			t.Errorf("%s missing: its file should have been included", name)
+		}
+	}
+	if scope.Lookup("FutureRelease") != nil {
+		t.Errorf("go1.999-gated file was loaded")
+	}
+	if warns := l.Warnings(); len(warns) != 0 {
+		t.Errorf("decidable constraints must not warn, got %v", warns)
+	}
+}
+
+// TestAllFilesExcluded pins the error when constraints exclude every file
+// of a requested package: the message must say why, not claim the
+// directory is empty.
+func TestAllFilesExcluded(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"pkg/pkg.go": "//go:build neverenabled\n\npackage pkg\n",
+	})
+	l, err := NewModuleLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.Load("./pkg")
+	if err == nil {
+		t.Fatal("Load succeeded on a package with every file excluded")
+	}
+	if !strings.Contains(err.Error(), "excluded by build constraints") {
+		t.Errorf("error does not explain the exclusion: %v", err)
+	}
+}

@@ -1,0 +1,487 @@
+// Package locksafe checks the concurrency idioms of internal/shard — the
+// coordinator, the remote worker pool, the TCP transport and the journal:
+//
+//   - No net.Conn I/O (Read/Write/Close, or passing a conn into an I/O
+//     helper) and no fsync ((*os.File).Sync) while holding a mutex: a
+//     peer that stops reading, a dying disk, or a blocked Close would
+//     stall every goroutine behind the lock — including Drain/Close
+//     paths that must stay responsive. The check is interprocedural:
+//     calling a helper whose call closure does conn I/O under a held
+//     lock is flagged at the call site with the witness chain.
+//   - No channel sends while holding a mutex: a send on a full channel
+//     blocks with the lock held, inviting lock-ordering deadlocks with
+//     the consumer.
+//   - No goroutine closures capturing a loop variable: the coordinator
+//     idiom is to pass the shard index and spec as call arguments, which
+//     stays correct under every Go version's loop semantics and survives
+//     refactors that hoist the variable out of the loop.
+//
+// Lock regions are tracked per function, syntactically: `x.Lock()` (or
+// `x.RLock()`) on a sync.Mutex/RWMutex opens a region that ends at the
+// matching same-level `x.Unlock()`/`x.RUnlock()`; `defer x.Unlock()`
+// extends the region to the end of the function. An unlock inside a
+// conditional branch releases the lock for the rest of that branch only
+// (the `if draining { mu.Unlock(); ... return }` idiom), not for the
+// enclosing sequence. Function-literal bodies are not scanned — a
+// closure runs when called, not where it is defined.
+//
+// A deliberate construct (the journal's fsync-under-append-mutex, whose
+// whole point is that record order equals append order) is exempted with
+// `//stochlint:allow locksafe` plus a justification comment.
+package locksafe
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"stochsynth/internal/analysis"
+	"stochsynth/internal/analysis/callgraph"
+	"stochsynth/internal/analysis/dataflow"
+)
+
+// Analyzer is the locksafe check.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "flag blocking operations under mutexes and goroutine loop-variable captures in internal/shard",
+	Run:  run,
+}
+
+// Packages lists the import-path prefixes the lock checks apply to.
+var Packages = []string{
+	"stochsynth/internal/shard",
+}
+
+func applies(pkgPath string) bool {
+	for _, p := range Packages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Blocking-effect kinds propagated through the call graph.
+const (
+	kindConnIO   = "connio"
+	kindFsync    = "fsync"
+	kindChanSend = "chansend"
+)
+
+func run(pass *analysis.Pass) error {
+	if !applies(pass.Pkg.Path()) {
+		return nil
+	}
+	g := callgraph.Of(pass.Prog)
+	summaries := summaries(pass.Prog)
+	for _, n := range g.Nodes {
+		if n.Unit.Types != pass.Pkg || n.Decl.Body == nil {
+			continue
+		}
+		c := &checker{pass: pass, g: g, summaries: summaries, info: n.Unit.Info}
+		c.walkStmts(n.Decl.Body.List, map[string]bool{})
+		c.checkLoopCaptures(n.Decl.Body)
+	}
+	return nil
+}
+
+type summariesKey struct{}
+
+// summaries computes, for every function in the module, whether its call
+// closure does conn I/O, fsyncs, or sends on a channel.
+func summaries(prog *analysis.Program) map[*types.Func]dataflow.Facts {
+	return prog.Memo(summariesKey{}, func() any {
+		return dataflow.Solve(callgraph.Of(prog), func(n *callgraph.Node) []dataflow.Fact {
+			if n.Decl.Body == nil {
+				return nil
+			}
+			var facts []dataflow.Fact
+			ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+				switch x := node.(type) {
+				case *ast.SendStmt:
+					facts = append(facts, dataflow.Fact{Kind: kindChanSend, Pos: x.Arrow, Desc: "channel send"})
+				case *ast.CallExpr:
+					if kind, desc := classifyCall(n.Unit.Info, x); kind != "" {
+						facts = append(facts, dataflow.Fact{Kind: kind, Pos: x.Pos(), Desc: desc})
+					}
+				}
+				return true
+			})
+			return facts
+		})
+	}).(map[*types.Func]dataflow.Facts)
+}
+
+// connMethods are the blocking methods of a net.Conn.
+var connMethods = map[string]bool{"Read": true, "Write": true, "Close": true}
+
+// classifyCall reports the direct blocking effect of one call: a
+// Read/Write/Close on a net.Conn, a net.Conn passed into an interface
+// parameter of an I/O helper, or an (*os.File).Sync.
+func classifyCall(info *types.Info, call *ast.CallExpr) (kind, desc string) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			recv := selection.Recv()
+			if connMethods[sel.Sel.Name] && implementsNetConn(recv) && !isOSFile(recv) {
+				return kindConnIO, fmt.Sprintf("%s on a net.Conn", sel.Sel.Name)
+			}
+			if sel.Sel.Name == "Sync" && isOSFile(recv) {
+				return kindFsync, "fsync ((*os.File).Sync)"
+			}
+		}
+	}
+	// A net.Conn handed to an io-interface parameter (writeFrame(c, …),
+	// readFrame(c)): the helper's reads and writes are conn I/O.
+	if sig, ok := typeOf(info, call.Fun).(*types.Signature); ok {
+		params := sig.Params()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= params.Len()-1:
+				pt = params.At(params.Len() - 1).Type()
+				if s, ok := pt.(*types.Slice); ok && !call.Ellipsis.IsValid() {
+					pt = s.Elem()
+				}
+			case i < params.Len():
+				pt = params.At(i).Type()
+			default:
+				continue
+			}
+			at := typeOf(info, arg)
+			if at == nil || pt == nil {
+				continue
+			}
+			if types.IsInterface(pt) && !types.IsInterface(at) && implementsNetConn(at) && !isOSFile(at) {
+				return kindConnIO, "net.Conn passed to an I/O helper"
+			}
+		}
+	}
+	return "", ""
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && !tv.IsType() {
+		return tv.Type
+	}
+	return nil
+}
+
+// implementsNetConn reports whether t structurally satisfies the blocking
+// core of net.Conn (Read, Write, Close with the io signatures plus
+// SetDeadline) — checked structurally so the analyzer does not depend on
+// resolving the net package itself.
+func implementsNetConn(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	for _, name := range []string{"Read", "Write", "Close", "SetDeadline", "SetReadDeadline", "SetWriteDeadline"} {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+		if _, ok := obj.(*types.Func); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// isOSFile reports whether t is *os.File or os.File.
+func isOSFile(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "os" && n.Obj().Name() == "File"
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	g         *callgraph.Graph
+	summaries map[*types.Func]dataflow.Facts
+	info      *types.Info
+}
+
+// lockOp classifies a statement as acquiring or releasing a
+// sync.Mutex/RWMutex, returning the rendered receiver expression
+// ("s.mu") as the region key.
+func (c *checker) lockOp(stmt ast.Stmt) (recv string, acquire, release bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false, false
+	}
+	return c.lockCall(es.X)
+}
+
+func (c *checker) lockCall(e ast.Expr) (recv string, acquire, release bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	fn, ok := c.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true, false
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// walkStmts walks one statement sequence tracking the held-lock set.
+// Compound statements recurse with a copy — a branch that unlocks and
+// returns does not release the lock for the code after the branch.
+func (c *checker) walkStmts(stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		if recv, acquire, release := c.lockOp(stmt); acquire {
+			held[recv] = true
+			continue
+		} else if release {
+			delete(held, recv)
+			continue
+		}
+		if d, ok := stmt.(*ast.DeferStmt); ok {
+			// defer x.Unlock() pins the region to the end of the function:
+			// the lock stays held for everything that follows.
+			if _, _, release := c.lockCall(d.Call); release {
+				continue
+			}
+		}
+		c.walkStmt(stmt, held)
+	}
+}
+
+// walkStmt dispatches one statement: compound statements recurse into
+// their bodies with a copied held set (checking their condition and
+// header expressions first); simple statements are scanned for blocking
+// operations when a lock is held.
+func (c *checker) walkStmt(stmt ast.Stmt, held map[string]bool) {
+	switch x := stmt.(type) {
+	case *ast.BlockStmt:
+		c.walkStmts(x.List, held)
+	case *ast.LabeledStmt:
+		c.walkStmt(x.Stmt, held)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			c.walkStmt(x.Init, held)
+		}
+		c.scanExpr(x.Cond, held)
+		c.walkStmt(x.Body, copyHeld(held))
+		if x.Else != nil {
+			c.walkStmt(x.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			c.walkStmt(x.Init, held)
+		}
+		if x.Cond != nil {
+			c.scanExpr(x.Cond, held)
+		}
+		inner := copyHeld(held)
+		if x.Post != nil {
+			c.walkStmt(x.Post, inner)
+		}
+		c.walkStmt(x.Body, inner)
+	case *ast.RangeStmt:
+		c.scanExpr(x.X, held)
+		c.walkStmt(x.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			c.walkStmt(x.Init, held)
+		}
+		if x.Tag != nil {
+			c.scanExpr(x.Tag, held)
+		}
+		for _, clause := range x.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			c.walkStmt(x.Init, held)
+		}
+		for _, clause := range x.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range x.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					c.walkStmt(cc.Comm, copyHeld(held))
+				}
+				c.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.GoStmt:
+		// Starting a goroutine does not block; its body does not run
+		// under the caller's lock. Arguments are evaluated here, though.
+		for _, arg := range x.Call.Args {
+			c.scanExpr(arg, held)
+		}
+	default:
+		if len(held) > 0 {
+			c.scanNode(stmt, held)
+		}
+	}
+}
+
+// copyHeld clones the held-lock set for a nested scope.
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+func (c *checker) scanExpr(e ast.Expr, held map[string]bool) {
+	if len(held) > 0 {
+		c.scanNode(e, held)
+	}
+}
+
+// scanNode reports every blocking operation in one statement or
+// expression subtree, skipping function literals (a closure runs when
+// called, not where defined).
+func (c *checker) scanNode(root ast.Node, held map[string]bool) {
+	locks := heldNames(held)
+	ast.Inspect(root, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			if !c.pass.Allowed(x.Arrow, "locksafe") {
+				c.pass.Reportf(x.Arrow, "channel send while holding %s: a full channel blocks with the lock held (move the send after Unlock or annotate //stochlint:allow locksafe)", locks)
+			}
+		case *ast.CallExpr:
+			c.checkCall(x, locks)
+		}
+		return true
+	})
+}
+
+// checkCall flags one call that blocks (directly or transitively) while
+// a lock is held.
+func (c *checker) checkCall(call *ast.CallExpr, locks string) {
+	if kind, desc := classifyCall(c.info, call); kind != "" {
+		if !c.pass.Allowed(call.Pos(), "locksafe") {
+			c.pass.Reportf(call.Pos(), "%s while holding %s: %s can block indefinitely with the lock held (do the I/O outside the critical section or annotate //stochlint:allow locksafe)", describe(kind), locks, desc)
+		}
+		return
+	}
+	for _, calleeFn := range c.g.SiteCallees(call) {
+		callee := c.g.Node(calleeFn)
+		if callee == nil {
+			continue
+		}
+		for _, kind := range []string{kindConnIO, kindFsync, kindChanSend} {
+			fact, ok := c.summaries[callee.Func][kind]
+			if !ok || c.pass.Allowed(call.Pos(), "locksafe") {
+				continue
+			}
+			c.pass.Reportf(call.Pos(), "call to %s does %s while holding %s: %s at %s%s (move it outside the critical section or annotate //stochlint:allow locksafe)",
+				callee, describe(kind), locks, fact.Desc, analysis.ShortPos(c.pass.Fset, fact.Pos), fact.ViaString())
+		}
+	}
+}
+
+func describe(kind string) string {
+	switch kind {
+	case kindConnIO:
+		return "net.Conn I/O"
+	case kindFsync:
+		return "an fsync"
+	case kindChanSend:
+		return "a channel send"
+	}
+	return kind
+}
+
+// heldNames renders the held-lock set deterministically.
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// checkLoopCaptures flags goroutine closures that capture a loop
+// variable of an enclosing for/range statement.
+func (c *checker) checkLoopCaptures(body *ast.BlockStmt) {
+	var walk func(node ast.Node, loopVars map[types.Object]string) bool
+	walk = func(node ast.Node, loopVars map[types.Object]string) bool {
+		switch x := node.(type) {
+		case *ast.RangeStmt:
+			vars := copyVars(loopVars)
+			if x.Tok == token.DEFINE {
+				for _, e := range []ast.Expr{x.Key, x.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := c.info.Defs[id]; obj != nil {
+							vars[obj] = id.Name
+						}
+					}
+				}
+			}
+			ast.Inspect(x.Body, func(n ast.Node) bool { return walk(n, vars) })
+			return false
+		case *ast.ForStmt:
+			vars := copyVars(loopVars)
+			if as, ok := x.Init.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+				for _, e := range as.Lhs {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := c.info.Defs[id]; obj != nil {
+							vars[obj] = id.Name
+						}
+					}
+				}
+			}
+			ast.Inspect(x.Body, func(n ast.Node) bool { return walk(n, vars) })
+			return false
+		case *ast.GoStmt:
+			lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit)
+			if !ok || len(loopVars) == 0 {
+				return true
+			}
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := c.info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				if name, captured := loopVars[obj]; captured && !c.pass.Allowed(id.Pos(), "locksafe") {
+					c.pass.Reportf(id.Pos(), "goroutine closure captures loop variable %s; pass it as a call argument (go func(%s …) {…}(%s)) so the binding is explicit", name, name, name)
+				}
+				return true
+			})
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool { return walk(n, map[types.Object]string{}) })
+}
+
+func copyVars(in map[types.Object]string) map[types.Object]string {
+	out := make(map[types.Object]string, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

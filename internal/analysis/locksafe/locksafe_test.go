@@ -1,0 +1,14 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"stochsynth/internal/analysis/analysistest"
+	"stochsynth/internal/analysis/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafe.Analyzer,
+		"stochsynth/internal/shard",
+	)
+}

@@ -1,0 +1,147 @@
+// Package shard is the locksafe fixture: it impersonates the transport
+// package's import path and exercises every rule — conn I/O, fsync and
+// channel sends under a mutex (direct and transitive), goroutine
+// loop-variable captures — plus the clean shapes and escape hatches the
+// analyzer must not flag.
+package shard
+
+import (
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// conn structurally satisfies the net.Conn method core, so the analyzer
+// treats it as one without the fixture having to type-check package net.
+type conn struct{}
+
+func (conn) Read(p []byte) (int, error)       { return 0, nil }
+func (conn) Write(p []byte) (int, error)      { return 0, nil }
+func (conn) Close() error                     { return nil }
+func (conn) SetDeadline(time.Time) error      { return nil }
+func (conn) SetReadDeadline(time.Time) error  { return nil }
+func (conn) SetWriteDeadline(time.Time) error { return nil }
+
+type pool struct {
+	mu sync.Mutex
+	c  conn
+	ch chan int
+	f  *os.File
+}
+
+// closeUnderLock: direct conn I/O while the mutex is held (via defer
+// unlock, so the region runs to the end of the function).
+func (p *pool) closeUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.c.Close() // want `net.Conn I/O while holding p.mu`
+}
+
+// viaHelper: the I/O hides one frame down; the call site is charged with
+// the witness.
+func (p *pool) viaHelper() {
+	p.mu.Lock()
+	p.writeAll() // want `call to .*writeAll does net.Conn I/O while holding p.mu`
+	p.mu.Unlock()
+}
+
+// writeAll does conn I/O with no lock held: clean here.
+func (p *pool) writeAll() {
+	p.c.Write(nil)
+}
+
+// passConn: handing a conn to an io-interface helper is conn I/O too.
+func (p *pool) passConn() {
+	p.mu.Lock()
+	writeTo(p.c) // want `net.Conn I/O while holding p.mu`
+	p.mu.Unlock()
+}
+
+func writeTo(w io.Writer) {
+	w.Write(nil)
+}
+
+// syncUnderLock: fsync while holding the mutex.
+func (p *pool) syncUnderLock() {
+	p.mu.Lock()
+	p.f.Sync() // want `an fsync while holding p.mu`
+	p.mu.Unlock()
+}
+
+// sendUnderLock: a channel send while holding the mutex.
+func (p *pool) sendUnderLock(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ch <- v // want `channel send while holding p.mu`
+}
+
+// unlockThenWrite is the correct shape: the critical section ends before
+// the I/O.
+func (p *pool) unlockThenWrite() {
+	p.mu.Lock()
+	p.mu.Unlock()
+	p.c.Write(nil)
+}
+
+// conditionalUnlock: the `if closed { mu.Unlock(); …; return }` idiom.
+// The branch releases the lock for its own tail only; the code after the
+// branch still holds it.
+func (p *pool) conditionalUnlock(closed bool) {
+	p.mu.Lock()
+	if closed {
+		p.mu.Unlock()
+		p.c.Close()
+		return
+	}
+	p.ch <- 1 // want `channel send while holding p.mu`
+	p.mu.Unlock()
+}
+
+// goroutineNotUnderLock: a goroutine's body does not run under the
+// caller's lock; starting it does not block.
+func (p *pool) goroutineNotUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go p.writeAll()
+}
+
+// funcLitNotScanned: a closure defined under the lock runs when called,
+// not where defined.
+func (p *pool) funcLitNotScanned() func() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return func() { p.c.Close() }
+}
+
+// allowedSend shows the escape hatch at the construct.
+func (p *pool) allowedSend(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ch <- v //stochlint:allow locksafe
+}
+
+// spawnCaptures: goroutine closures over range and three-clause loop
+// variables.
+func spawnCaptures(vals []int, out chan<- int) {
+	for _, v := range vals {
+		go func() {
+			out <- v // want `goroutine closure captures loop variable v`
+		}()
+	}
+	for i := 0; i < len(vals); i++ {
+		go func() {
+			out <- i // want `goroutine closure captures loop variable i`
+		}()
+	}
+}
+
+// spawnByArgument is the sanctioned shape: the loop variable is passed as
+// a call argument.
+func spawnByArgument(vals []int, out chan<- int) {
+	for _, v := range vals {
+		go func(v int) {
+			out <- v
+		}(v)
+	}
+}

@@ -1,0 +1,154 @@
+// Package mergecontract statically enforces the merge-algebra rules on
+// the call closure of every merge root: each function or method named
+// Merge* in internal/mc or internal/shard, the operations whose
+// associativity, commutativity and bit-for-bit determinism the sharded
+// sweep, journal-resume and result-cache contracts rest on
+// (docs/sharding.md).
+//
+// For every function reachable from a merge root through the module-local
+// call graph (package callgraph) — including through combine callbacks
+// passed as function values — three rules hold:
+//
+//   - No serial floating-point accumulation (`x += e`, `x = x ± e` on a
+//     float): order-dependent sums make the merge depend on shard
+//     arrival order. The one sanctioned accumulation structure is the
+//     aligned-tree canon of mc/aligned.go, whose fold order is a pure
+//     function of trial indices; that file is exempt.
+//   - No iteration over a map: Go randomizes map order per run, so any
+//     map range in merge-reachable code is one refactor away from an
+//     order-dependent result. Iterate sorted keys instead.
+//   - No ambient nondeterminism: no wall-clock reads, no globally seeded
+//     math/rand (the detrand facts), anywhere in the closure.
+//
+// Violations are reported at the offending construct with a witness call
+// path from a merge root. `//stochlint:allow mergecontract` at the
+// construct exempts it; a construct already exempted for the underlying
+// check (`floataccum`, `mapiter`, `wallclock`, `rand`) is honored too —
+// one justified annotation is enough.
+package mergecontract
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"stochsynth/internal/analysis"
+	"stochsynth/internal/analysis/callgraph"
+	"stochsynth/internal/analysis/detrand"
+	"stochsynth/internal/analysis/floataccum"
+)
+
+// Analyzer is the mergecontract check.
+var Analyzer = &analysis.Analyzer{
+	Name: "mergecontract",
+	Doc:  "enforce merge-algebra determinism rules on the call closure of every Merge* function in internal/mc and internal/shard",
+	Run:  run,
+}
+
+// RootPackages lists the import-path prefixes whose Merge* functions are
+// the checked merge roots.
+var RootPackages = []string{
+	"stochsynth/internal/mc",
+	"stochsynth/internal/shard",
+}
+
+// CanonFile is the one file whose accumulation structure is exempt from
+// the serial-float rule: the aligned binary tree is the sanctioned merge
+// order (package mc's file aligned.go).
+const CanonFile = "aligned.go"
+
+func isRootPackage(pkgPath string) bool {
+	for _, p := range RootPackages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+type findingsKey struct{}
+
+type finding struct {
+	pos     token.Pos
+	message string
+}
+
+func run(pass *analysis.Pass) error {
+	findings := pass.Prog.Memo(findingsKey{}, func() any { return check(pass.Prog) }).([]finding)
+	for _, f := range findings {
+		if pass.OwnsPos(f.pos) {
+			pass.Reportf(f.pos, "%s", f.message)
+		}
+	}
+	return nil
+}
+
+// check computes the whole-program findings once; each pass reports the
+// ones its files own.
+func check(prog *analysis.Program) []finding {
+	g := callgraph.Of(prog)
+	var roots []*callgraph.Node
+	for _, n := range g.Nodes {
+		if strings.HasPrefix(n.Func.Name(), "Merge") && isRootPackage(n.Unit.Types.Path()) {
+			roots = append(roots, n)
+		}
+	}
+	closure := callgraph.ReachableFrom(g, roots)
+
+	var out []finding
+	for _, n := range closure.Nodes {
+		path := strings.Join(closure.Path[n], " → ")
+		info := n.Unit.Info
+		if n.Decl.Body == nil {
+			continue
+		}
+
+		// Rule 3: ambient nondeterminism (detrand facts, allow-filtered).
+		for _, fact := range detrand.LocalFacts(prog, n) {
+			if prog.Allowed(fact.Pos, "mergecontract") {
+				continue
+			}
+			out = append(out, finding{fact.Pos, fmt.Sprintf(
+				"%s in merge-reachable code: every function reachable from a Merge* root must be deterministic (path %s)",
+				fact.Desc, path)})
+		}
+
+		inCanon := n.Unit.Types.Path() == "stochsynth/internal/mc" &&
+			strings.HasSuffix(prog.Fset.Position(n.Decl.Pos()).Filename, "/"+CanonFile)
+
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			switch x := node.(type) {
+			case *ast.AssignStmt:
+				// Rule 1: serial float accumulation, outside the aligned canon.
+				if inCanon || !floataccum.IsSerialFloatAccum(info, x) {
+					return true
+				}
+				if prog.Allowed(x.Pos(), "mergecontract") || prog.Allowed(x.Pos(), "floataccum") {
+					return true
+				}
+				out = append(out, finding{x.Pos(), fmt.Sprintf(
+					"serial floating-point accumulation in merge-reachable code: order-dependent sums break the bit-for-bit merge contract — route through the mc aligned tree (path %s)",
+					path)})
+			case *ast.RangeStmt:
+				// Rule 2: map iteration anywhere in the closure.
+				t := info.TypeOf(x.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if prog.Allowed(x.Pos(), "mergecontract") || prog.Allowed(x.Pos(), "mapiter") {
+					return true
+				}
+				out = append(out, finding{x.Pos(), fmt.Sprintf(
+					"map iteration in merge-reachable code: map order is randomized per run; iterate sorted keys instead (path %s)",
+					path)})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+package mergecontract_test
+
+import (
+	"testing"
+
+	"stochsynth/internal/analysis/analysistest"
+	"stochsynth/internal/analysis/mergecontract"
+)
+
+func TestMergecontract(t *testing.T) {
+	analysistest.Run(t, "testdata", mergecontract.Analyzer,
+		"stochsynth/internal/mc",
+	)
+}

@@ -1,0 +1,12 @@
+// aligned.go impersonates the canon file: serial accumulation here is
+// the sanctioned aligned-tree fold order and is exempt from rule 1.
+package mc
+
+// MergeAlignedCanon folds serially inside the canon file: clean.
+func MergeAlignedCanon(parts []float64) float64 {
+	t := 0.0
+	for _, p := range parts {
+		t += p
+	}
+	return t
+}

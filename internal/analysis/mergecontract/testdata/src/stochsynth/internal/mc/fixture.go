@@ -1,0 +1,79 @@
+// Package mc is the mergecontract fixture: it impersonates the
+// statistics core's import path so functions named Merge* here are merge
+// roots, and exercises all three closure rules plus the escape hatches.
+package mc
+
+import "time"
+
+// MergeTotals violates rule 1 directly: a serial float fold in a root.
+func MergeTotals(parts []float64) float64 {
+	acc := 0.0
+	for _, p := range parts {
+		acc += p // want `serial floating-point accumulation in merge-reachable code`
+	}
+	return acc
+}
+
+// MergeNamed violates rule 2 directly: map iteration in a root.
+func MergeNamed(m map[string]float64) float64 {
+	hi := 0.0
+	for _, v := range m { // want `map iteration in merge-reachable code`
+		hi = maxf(hi, v)
+	}
+	return hi
+}
+
+// MergeVia violates rule 1 transitively: the fold hides one frame down,
+// and the finding's witness path names the chain.
+func MergeVia(parts []float64) float64 {
+	return foldSerial(parts)
+}
+
+func foldSerial(parts []float64) float64 {
+	t := 0.0
+	for _, p := range parts {
+		t += p // want `serial floating-point accumulation in merge-reachable code: .*path mc.MergeVia → mc.foldSerial`
+	}
+	return t
+}
+
+// MergeStamped violates rule 3 transitively: a wall-clock read reachable
+// from a merge root.
+func MergeStamped(parts []float64) float64 {
+	_ = stamp()
+	return float64(len(parts))
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in merge-reachable code`
+}
+
+// MergeAllowed shows the escape hatches: the underlying check's allow
+// name and the mergecontract name both silence a construct.
+func MergeAllowed(parts []float64, m map[string]float64) float64 {
+	t := 0.0
+	for _, p := range parts {
+		t += p //stochlint:allow floataccum
+	}
+	for _, v := range m { //stochlint:allow mergecontract
+		t = maxf(t, v)
+	}
+	return t
+}
+
+// notReachable is outside every merge closure: its fold is this
+// analyzer's no-concern (floataccum has its own scope rules).
+func notReachable(parts []float64) float64 {
+	t := 0.0
+	for _, p := range parts {
+		t += p
+	}
+	return t
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -18,14 +18,26 @@
 // fast path). A provably non-escaping construct is exempted line-by-line
 // with `//stochlint:allow alloc`, ideally citing the AllocsPerRun test
 // that pins it.
+//
+// The check is interprocedural: allocation summaries are computed for
+// every function in the module (package dataflow) and a call from an
+// annotated function into a module-local callee whose closure may
+// allocate is flagged at the call site with the witness chain. Callees
+// that are themselves annotated //stochlint:noalloc are skipped — their
+// own pass is the authoritative check of their body. An intentional
+// amortized or non-escaping callee allocation is exempted at the call
+// site with `//stochlint:allow alloc`.
 package noalloc
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 
 	"stochsynth/internal/analysis"
+	"stochsynth/internal/analysis/callgraph"
+	"stochsynth/internal/analysis/dataflow"
 )
 
 // Analyzer is the noalloc check.
@@ -42,22 +54,88 @@ func run(pass *analysis.Pass) error {
 			if !ok || fn.Body == nil || !analysis.FuncAnnotated(fn, "noalloc") {
 				continue
 			}
-			check(pass, fn)
+			collect(pass.TypesInfo, fn, func(pos token.Pos, format string, args ...any) {
+				if pass.Allowed(pos, "alloc") {
+					return
+				}
+				pass.Reportf(pos, "//stochlint:noalloc %s: "+format,
+					append([]any{fn.Name.Name}, args...)...)
+			})
+			checkCalls(pass, fn)
 		}
 	}
 	return nil
 }
 
+// checkCalls flags calls from an annotated function into module-local
+// callees whose call closure may allocate. Function literals are skipped
+// (the literal itself is already flagged); annotated callees are skipped
+// (their own check is authoritative).
+func checkCalls(pass *analysis.Pass, fn *ast.FuncDecl) {
+	g := callgraph.Of(pass.Prog)
+	summaries := Summaries(pass.Prog)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, calleeFn := range g.SiteCallees(call) {
+			callee := g.Node(calleeFn)
+			if callee == nil || analysis.FuncAnnotated(callee.Decl, "noalloc") {
+				continue
+			}
+			fact, ok := summaries[callee.Func]["alloc"]
+			if !ok || pass.Allowed(call.Pos(), "alloc") {
+				continue
+			}
+			pass.Reportf(call.Pos(), "//stochlint:noalloc %s: call to %s may allocate: %s at %s%s",
+				fn.Name.Name, callee, fact.Desc, analysis.ShortPos(pass.Fset, fact.Pos), fact.ViaString())
+		}
+		return true
+	})
+}
+
+type summariesKey struct{}
+
+// Summaries returns module-wide allocation summaries: for every function
+// in the program, whether its call closure contains an allocating
+// construct (kind "alloc"), with a witness. Constructs carrying an
+// `//stochlint:allow alloc` annotation contribute no fact.
+func Summaries(prog *analysis.Program) map[*types.Func]dataflow.Facts {
+	return prog.Memo(summariesKey{}, func() any {
+		g := callgraph.Of(prog)
+		return dataflow.Solve(g, func(n *callgraph.Node) []dataflow.Fact {
+			if n.Decl.Body == nil {
+				return nil
+			}
+			var facts []dataflow.Fact
+			collect(n.Unit.Info, n.Decl, func(pos token.Pos, format string, args ...any) {
+				if prog.Allowed(pos, "alloc") {
+					return
+				}
+				facts = append(facts, dataflow.Fact{Kind: "alloc", Pos: pos, Desc: fmt.Sprintf(format, args...)})
+			})
+			return facts
+		})
+	}).(map[*types.Func]dataflow.Facts)
+}
+
 type checker struct {
-	pass *analysis.Pass
+	info *types.Info
 	fn   *ast.FuncDecl
+	emit func(pos token.Pos, format string, args ...any)
 	// calledFuns holds every expression in call position, so method-value
 	// closures (x.M used as a value) can be told apart from calls.
 	calledFuns map[ast.Expr]bool
 }
 
-func check(pass *analysis.Pass, fn *ast.FuncDecl) {
-	c := &checker{pass: pass, fn: fn, calledFuns: map[ast.Expr]bool{}}
+// collect reports every potentially allocating construct of fn's body to
+// emit (unfiltered: allow annotations are the caller's concern).
+func collect(info *types.Info, fn *ast.FuncDecl, emit func(token.Pos, string, ...any)) {
+	c := &checker{info: info, fn: fn, emit: emit, calledFuns: map[ast.Expr]bool{}}
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
 			c.calledFuns[call.Fun] = true
@@ -68,15 +146,11 @@ func check(pass *analysis.Pass, fn *ast.FuncDecl) {
 }
 
 func (c *checker) report(pos token.Pos, format string, args ...any) {
-	if c.pass.Allowed(pos, "alloc") {
-		return
-	}
-	c.pass.Reportf(pos, "//stochlint:noalloc %s: "+format,
-		append([]any{c.fn.Name.Name}, args...)...)
+	c.emit(pos, format, args...)
 }
 
 func (c *checker) visit(n ast.Node) bool {
-	info := c.pass.TypesInfo
+	info := c.info
 	switch n := n.(type) {
 	case *ast.CallExpr:
 		return c.visitCall(n)
@@ -123,7 +197,7 @@ func (c *checker) visit(n ast.Node) bool {
 }
 
 func (c *checker) visitCall(call *ast.CallExpr) bool {
-	info := c.pass.TypesInfo
+	info := c.info
 	// Builtins: append/make/new allocate; panic is exempt (cold path);
 	// len/cap/copy/... are free.
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
@@ -189,7 +263,7 @@ func (c *checker) visitCall(call *ast.CallExpr) bool {
 }
 
 func (c *checker) visitAssign(as *ast.AssignStmt) {
-	info := c.pass.TypesInfo
+	info := c.info
 	for i, lhs := range as.Lhs {
 		if idx, ok := lhs.(*ast.IndexExpr); ok {
 			if t := info.TypeOf(idx.X); t != nil {
@@ -212,7 +286,7 @@ func (c *checker) visitAssign(as *ast.AssignStmt) {
 }
 
 func (c *checker) visitReturn(ret *ast.ReturnStmt) {
-	info := c.pass.TypesInfo
+	info := c.info
 	results := c.fn.Type.Results
 	if results == nil || len(ret.Results) == 0 {
 		return

@@ -1,0 +1,44 @@
+// transitive.go pins the interprocedural escalation: a call from an
+// annotated function into an un-annotated module-local callee whose call
+// closure allocates is charged at the call site with the witness chain.
+// Annotated callees are skipped (their own check is authoritative), and
+// the call-site allow hatch works.
+package a
+
+// buildBuf allocates but is not annotated: clean in itself.
+func buildBuf(n int) []float64 {
+	return make([]float64, n)
+}
+
+// wrap reaches the allocation one more frame down.
+func wrap(n int) []float64 {
+	return buildBuf(n)
+}
+
+// viaHelper is not annotated either: nothing to check.
+func viaHelper(n int) []float64 {
+	return buildBuf(n)
+}
+
+//stochlint:noalloc
+func callsAllocatingHelper(n int) []float64 {
+	return buildBuf(n) // want `call to a.buildBuf may allocate: make allocates`
+}
+
+//stochlint:noalloc
+func callsDeep(n int) []float64 {
+	return wrap(n) // want `call to a.wrap may allocate: make allocates.*via a.buildBuf`
+}
+
+// callsAnnotated is clean at the call site: makes is itself annotated
+// //stochlint:noalloc, so its body is flagged at source, not here.
+//
+//stochlint:noalloc
+func callsAnnotated(n int) []float64 {
+	return makes(n)
+}
+
+//stochlint:noalloc
+func allowedCallSite(n int) []float64 {
+	return buildBuf(n) //stochlint:allow alloc
+}

@@ -4,13 +4,16 @@
 package stochlint
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
 	"stochsynth/internal/analysis"
 	"stochsynth/internal/analysis/detrand"
 	"stochsynth/internal/analysis/floataccum"
+	"stochsynth/internal/analysis/locksafe"
 	"stochsynth/internal/analysis/mapiter"
+	"stochsynth/internal/analysis/mergecontract"
 	"stochsynth/internal/analysis/noalloc"
 )
 
@@ -21,6 +24,8 @@ func Analyzers() []*analysis.Analyzer {
 		mapiter.Analyzer,
 		floataccum.Analyzer,
 		noalloc.Analyzer,
+		mergecontract.Analyzer,
+		locksafe.Analyzer,
 	}
 }
 
@@ -45,15 +50,62 @@ func Select(names []string) ([]*analysis.Analyzer, error) {
 	return out, nil
 }
 
-// Check runs analyzers over the given units and writes one line per
-// diagnostic to w, returning the diagnostic count.
-func Check(units []*analysis.Unit, analyzers []*analysis.Analyzer, w io.Writer) (int, error) {
+// Results runs analyzers over the given units and merges extra
+// diagnostics (loader warnings, typically) into one list in stable
+// position order.
+func Results(units []*analysis.Unit, analyzers []*analysis.Analyzer, extra []analysis.Diagnostic) ([]analysis.Diagnostic, error) {
 	diags, err := analysis.Run(units, analyzers)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
+	diags = append(diags, extra...)
+	analysis.SortDiagnostics(diags)
+	return diags, nil
+}
+
+// Write renders diagnostics as the classic one-line-per-finding text
+// format.
+func Write(w io.Writer, diags []analysis.Diagnostic) {
 	for _, d := range diags {
 		fmt.Fprintln(w, d)
 	}
+}
+
+// JSONDiagnostic is one record of the -json output: a flat, stable shape
+// that CI can feed to jq for inline annotations.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders diagnostics as a JSON array (empty slice encodes as
+// [], never null, so downstream `jq '.[]'` always works).
+func WriteJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	out := make([]JSONDiagnostic, len(diags))
+	for i, d := range diags {
+		out[i] = JSONDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Check runs analyzers over the given units and writes one line per
+// diagnostic to w, returning the diagnostic count.
+func Check(units []*analysis.Unit, analyzers []*analysis.Analyzer, w io.Writer) (int, error) {
+	diags, err := Results(units, analyzers, nil)
+	if err != nil {
+		return 0, err
+	}
+	Write(w, diags)
 	return len(diags), nil
 }

@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The fuzz targets pin the package's byte-boundary contracts: everything
+// that parses untrusted bytes — transport frames, wire JSON, the crash
+// journal — must be total (error, never panic) and must agree with its
+// encoder on every input it accepts. CI runs each target for a short
+// smoke budget on every push; the committed corpora under testdata/fuzz
+// keep the historically interesting shapes in rotation.
+
+// FuzzDecodeFrame asserts the framing decoder is total and inverse to
+// the encoder: arbitrary bytes either decode into one frame or return an
+// error, and a decoded frame re-encodes to exactly the bytes consumed.
+func FuzzDecodeFrame(f *testing.F) {
+	var ping, res bytes.Buffer
+	if err := writeFrame(&ping, framePing, nil); err != nil {
+		f.Fatal(err)
+	}
+	if err := writeFrame(&res, frameResult, []byte(`{"version":2}`)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ping.Bytes())
+	f.Add(res.Bytes())
+	f.Add(ping.Bytes()[:len(ping.Bytes())-1]) // truncated checksum
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})             // zero length (below minimum)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // length far beyond the bound
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		consumed := 4 + 1 + len(payload) + 4
+		if consumed > len(data) {
+			t.Fatalf("decoded frame claims %d bytes from a %d-byte input", consumed, len(data))
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, ft, payload); err != nil {
+			t.Fatalf("re-encoding a decoded frame failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data[:consumed]) {
+			t.Fatalf("frame round trip mismatch:\n got %x\nwant %x", buf.Bytes(), data[:consumed])
+		}
+	})
+}
+
+// FuzzDecodeShardResult asserts the v1/v2 wire decoder is total, that
+// everything it accepts passes Validate, and that encode∘decode is a
+// fixed point (a decoded result re-encodes and re-decodes to the same
+// bytes — the property the journal and the transport both lean on).
+func FuzzDecodeShardResult(f *testing.F) {
+	real, err := Run(testSweepSpec().Shard(0, 20), testRegistry())
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc, err := real.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`{"unknown":true}`))
+	f.Add([]byte("not json"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("DecodeResult accepted an invalid result: %v", err)
+		}
+		enc1, err := r.Encode()
+		if err != nil {
+			t.Fatalf("decoded result does not re-encode: %v", err)
+		}
+		r2, err := DecodeResult(enc1)
+		if err != nil {
+			t.Fatalf("re-encoded result does not decode: %v", err)
+		}
+		enc2, err := r2.Encode()
+		if err != nil {
+			t.Fatalf("round-tripped result does not re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode/decode is not a fixed point:\n %s\n %s", enc1, enc2)
+		}
+	})
+}
+
+// FuzzJournalReplay feeds arbitrary bytes to OpenJournal as a journal
+// file: replay must either reject cleanly or repair (truncate the torn
+// tail) and resume — and the repair must be idempotent, so a second open
+// of the repaired file replays exactly the same records.
+func FuzzJournalReplay(f *testing.F) {
+	spec := testSweepSpec()
+	res, err := Run(spec.Shard(0, 50), testRegistry())
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedPath := filepath.Join(f.TempDir(), "seed.journal")
+	j, _, err := OpenJournal(seedPath, spec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := j.Append(res); err != nil {
+		f.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		f.Fatal(err)
+	}
+	wellFormed, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wellFormed)
+	f.Add(wellFormed[:len(wellFormed)-3]) // torn result record
+	f.Add(wellFormed[:len(journalMagic)+5])
+	f.Add([]byte(journalMagic))
+	f.Add([]byte("not a journal"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.journal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j1, results1, err := OpenJournal(path, spec)
+		if err != nil {
+			return // clean rejection (bad magic, foreign sweep, corrupt header)
+		}
+		for i, r := range results1 {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("replayed record %d is invalid: %v", i, err)
+			}
+		}
+		if err := j1.Close(); err != nil {
+			t.Fatal(err)
+		}
+		j2, results2, err := OpenJournal(path, spec)
+		if err != nil {
+			t.Fatalf("repaired journal does not re-open: %v", err)
+		}
+		defer j2.Close()
+		if len(results2) != len(results1) {
+			t.Fatalf("repair is not idempotent: first open replayed %d records, second %d",
+				len(results1), len(results2))
+		}
+	})
+}

@@ -187,12 +187,15 @@ func (p *RemotePool) pick() (string, error) {
 func (p *RemotePool) markDown(addr string) {
 	p.mu.Lock()
 	p.down[addr] = time.Now()
-	// Pooled connections to a down worker are stale by definition.
-	for _, wc := range p.idle[addr] {
-		wc.c.Close()
-	}
+	// Pooled connections to a down worker are stale by definition. Close
+	// them after releasing the lock: Close can block on a dead peer, and
+	// pick/checkout must stay responsive while it does.
+	stale := p.idle[addr]
 	delete(p.idle, addr)
 	p.mu.Unlock()
+	for _, wc := range stale {
+		wc.c.Close()
+	}
 }
 
 func (p *RemotePool) markUp(addr string) {
@@ -317,24 +320,31 @@ func (p *RemotePool) runShard(wc *workerConn, spec ShardSpec) (ShardResult, erro
 func (p *RemotePool) putIdle(addr string, wc *workerConn) {
 	p.markUp(addr)
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		wc.c.Close()
-		return
+	closed := p.closed
+	if !closed {
+		p.idle[addr] = append(p.idle[addr], wc)
 	}
-	p.idle[addr] = append(p.idle[addr], wc)
+	p.mu.Unlock()
+	if closed {
+		// Returned after Close: close it outside the lock (Close on a dead
+		// peer can block until the kernel gives up).
+		wc.c.Close()
+	}
 }
 
 // Close closes every pooled connection. In-flight shards finish on their
 // own connections; subsequent dispatches fail.
 func (p *RemotePool) Close() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.closed = true
-	for _, conns := range p.idle {
+	idle := p.idle
+	p.idle = make(map[string][]*workerConn)
+	p.mu.Unlock()
+	// Close outside the lock: Close on a dead peer can block, and putIdle
+	// callers must not queue up behind it.
+	for _, conns := range idle {
 		for _, wc := range conns {
 			wc.c.Close()
 		}
 	}
-	p.idle = make(map[string][]*workerConn)
 }

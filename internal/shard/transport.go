@@ -356,9 +356,13 @@ func (s *Server) Close() {
 func (s *Server) shutdown() {
 	s.mu.Lock()
 	s.closed = true
-	for c := range s.conns {
+	conns := s.conns
+	s.conns = make(map[net.Conn]struct{})
+	s.mu.Unlock()
+	// Close outside the lock: a Close that blocks on a wedged peer must
+	// not stall the accept loop's admission checks.
+	for c := range conns {
 		c.Close()
 	}
-	s.mu.Unlock()
 	s.handlers.Wait()
 }
