@@ -16,6 +16,16 @@
 //
 //	sweepd -sweep lambda/natural -params 1,2,3 -trials 100000 -shards 8
 //
+// Model mode (wire format v3) coordinates a sweep over a user-submitted
+// network instead of a registered factory: the reaction-text file is
+// carried inside every ShardSpec, so workers — including -serve fleets
+// that have never seen the model — validate, compile and run it
+// themselves. The sweep id is the content address of the model
+// (NetworkSpec.SweepID), so reruns and journal resumes merge exactly:
+//
+//	sweepd -model toggle.crn -obs race -obs-a a:40 -obs-b b:40 \
+//	       -param-rate mka -params 50,100 -trials 20000
+//
 // By default shards run in-process; with -procs each shard runs in a
 // fresh worker process (this binary re-exec'd with -worker), and with
 // -workers the shards are dispatched over TCP to a fleet of -serve
@@ -42,6 +52,21 @@
 //	               shard already parallelises across the machine's cores)
 //	-retries R     re-dispatch attempts per failing shard (default 1)
 //	-list          print the registered sweep ids and exit
+//
+// Flags (model mode, replacing -sweep):
+//
+//	-model FILE         network in the chem reaction-text format
+//	-obs KIND           observable kind: race or endpoint
+//	-obs-a SPECIES:N    first race threshold / endpoint classification split
+//	-obs-b SPECIES:N    second race threshold (race only)
+//	-obs-value SPECIES  species whose final count is the observable value
+//	                    (default: the margin count(A) − count(B))
+//	-param-species NAME grid values set this species' initial count
+//	-param-rate LABEL   grid values set the rate of reactions labeled LABEL
+//	-engine KIND        simulation engine (default: optimized exact engine)
+//	-max-steps N        per-trial jump-chain bound (default: the wire default)
+//	-hist LO:WIDTH:BINS histogram layout; makes the sweep a distribution
+//	                    sweep (full per-point summaries, like -dist sweeps)
 package main
 
 import (
@@ -59,6 +84,7 @@ import (
 
 	"stochsynth/internal/mc"
 	"stochsynth/internal/plot"
+	"stochsynth/internal/scenario"
 	"stochsynth/internal/shard"
 )
 
@@ -78,10 +104,27 @@ func main() {
 		parallel = flag.Int("parallel", 0, "concurrent shard dispatches (0 = one at a time)")
 		retries  = flag.Int("retries", 1, "re-dispatch attempts per failing shard")
 		list     = flag.Bool("list", false, "list registered sweep ids and exit")
+
+		model        = flag.String("model", "", "network file (chem reaction-text format) to sweep instead of a registered -sweep")
+		obsKind      = flag.String("obs", "race", "model observable kind: race or endpoint")
+		obsA         = flag.String("obs-a", "", "model observable species A threshold, SPECIES:COUNT")
+		obsB         = flag.String("obs-b", "", "model observable species B threshold, SPECIES:COUNT (race only)")
+		obsValue     = flag.String("obs-value", "", "model observable value species (default: margin A−B)")
+		paramSpecies = flag.String("param-species", "", "model param action: grid value sets this species' initial count")
+		paramRate    = flag.String("param-rate", "", "model param action: grid value sets the rate of reactions with this label")
+		engine       = flag.String("engine", "", "model simulation engine kind (default: optimized exact engine)")
+		maxSteps     = flag.Int64("max-steps", 0, "model per-trial jump-chain step bound (0 = wire default)")
+		hist         = flag.String("hist", "", "model histogram layout LO:WIDTH:BINS; set to run a distribution sweep")
 	)
 	flag.Parse()
 
 	reg := shard.Builtin()
+	scenario.Register(reg)
+	modelSpec := modelFlags{
+		path: *model, obs: *obsKind, a: *obsA, b: *obsB, value: *obsValue,
+		paramSpecies: *paramSpecies, paramRate: *paramRate,
+		engine: *engine, maxSteps: *maxSteps, hist: *hist,
+	}
 	switch {
 	case *list:
 		for _, name := range reg.Names() {
@@ -98,11 +141,91 @@ func main() {
 			os.Exit(1)
 		}
 	default:
-		if err := coordinate(reg, *sweep, *params, *trials, *seed, *shards, *procs, *workers, *shardTO, *journal, *parallel, *retries); err != nil {
+		if err := coordinate(reg, *sweep, modelSpec, *params, *trials, *seed, *shards, *procs, *workers, *shardTO, *journal, *parallel, *retries); err != nil {
 			fmt.Fprintln(os.Stderr, "sweepd:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// modelFlags bundles the -model flag set; zero path means registry mode.
+type modelFlags struct {
+	path, obs, a, b, value  string
+	paramSpecies, paramRate string
+	engine                  string
+	maxSteps                int64
+	hist                    string
+}
+
+// networkSpec builds and validates the wire payload from the -model
+// flags. The heavy validation (parse, limits, species resolution) is
+// shard.ShardSpec.Validate's job; this only assembles the spec shape.
+func (m modelFlags) networkSpec() (*shard.NetworkSpec, error) {
+	raw, err := os.ReadFile(m.path)
+	if err != nil {
+		return nil, err
+	}
+	ns := &shard.NetworkSpec{
+		CRN:      string(raw),
+		Engine:   m.engine,
+		MaxSteps: m.maxSteps,
+	}
+	ns.Observable.Kind = m.obs
+	if ns.Observable.SpeciesA, ns.Observable.CountA, err = parseThreshold(m.a); err != nil {
+		return nil, fmt.Errorf("-obs-a: %w", err)
+	}
+	if m.b != "" {
+		if ns.Observable.SpeciesB, ns.Observable.CountB, err = parseThreshold(m.b); err != nil {
+			return nil, fmt.Errorf("-obs-b: %w", err)
+		}
+	}
+	ns.Observable.Value = m.value
+	switch {
+	case m.paramSpecies != "" && m.paramRate != "":
+		return nil, fmt.Errorf("-param-species and -param-rate are mutually exclusive")
+	case m.paramSpecies != "":
+		ns.Param = &shard.ParamSpec{Species: m.paramSpecies}
+	case m.paramRate != "":
+		ns.Param = &shard.ParamSpec{Rate: m.paramRate}
+	}
+	if m.hist != "" {
+		hc, err := parseHist(m.hist)
+		if err != nil {
+			return nil, fmt.Errorf("-hist: %w", err)
+		}
+		ns.Hist = &hc
+	}
+	return ns, nil
+}
+
+// parseThreshold splits "species:count".
+func parseThreshold(s string) (string, int64, error) {
+	name, countStr, ok := strings.Cut(s, ":")
+	if !ok || name == "" {
+		return "", 0, fmt.Errorf("want SPECIES:COUNT, got %q", s)
+	}
+	count, err := strconv.ParseInt(countStr, 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad count in %q: %w", s, err)
+	}
+	return name, count, nil
+}
+
+// parseHist splits "lo:width:bins".
+func parseHist(s string) (mc.HistConfig, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return mc.HistConfig{}, fmt.Errorf("want LO:WIDTH:BINS, got %q", s)
+	}
+	lo, err1 := strconv.ParseInt(parts[0], 10, 64)
+	width, err2 := strconv.ParseInt(parts[1], 10, 64)
+	bins, err3 := strconv.Atoi(parts[2])
+	for _, err := range []error{err1, err2, err3} {
+		if err != nil {
+			return mc.HistConfig{}, fmt.Errorf("bad layout %q: %w", s, err)
+		}
+	}
+	return mc.HistConfig{Lo: lo, Width: width, Bins: bins}, nil
 }
 
 // serveWorker runs the long-lived network worker until SIGINT/SIGTERM,
@@ -154,9 +277,12 @@ func runWorker(reg *shard.Registry, in io.Reader, out io.Writer) error {
 	return err
 }
 
-func coordinate(reg *shard.Registry, sweep, params string, trials int, seed uint64, shards_ int, procs bool, workers string, shardTimeout time.Duration, journal string, parallel, retries int) error {
-	if sweep == "" {
-		return fmt.Errorf("missing -sweep (known: %s); or use -worker / -serve / -list", strings.Join(reg.Names(), ", "))
+func coordinate(reg *shard.Registry, sweep string, model modelFlags, params string, trials int, seed uint64, shards_ int, procs bool, workers string, shardTimeout time.Duration, journal string, parallel, retries int) error {
+	if sweep == "" && model.path == "" {
+		return fmt.Errorf("missing -sweep (known: %s) or -model; or use -worker / -serve / -list", strings.Join(reg.Names(), ", "))
+	}
+	if sweep != "" && model.path != "" {
+		return fmt.Errorf("-sweep and -model are mutually exclusive")
 	}
 	if procs && workers != "" {
 		return fmt.Errorf("-procs and -workers are mutually exclusive")
@@ -165,15 +291,35 @@ func coordinate(reg *shard.Registry, sweep, params string, trials int, seed uint
 	if err != nil {
 		return err
 	}
-	// The registry is the source of truth for the sweep's kind and arity;
-	// the CLI only names it.
-	factory, err := reg.Lookup(sweep)
-	if err != nil {
-		return err
-	}
-	spec := shard.SweepSpec{
-		Sweep: sweep, Grid: grid, Trials: trials, Seed: seed,
-		Outcomes: factory.Outcomes, Numeric: factory.Numeric, Dist: factory.Dist,
+	var spec shard.SweepSpec
+	if model.path != "" {
+		ns, err := model.networkSpec()
+		if err != nil {
+			return err
+		}
+		// The sweep id is the model's content address: any rerun of the
+		// same model (and any other coordinator submitting it) shards
+		// under the same identity, which is what lets journals resume it.
+		id, err := ns.SweepID()
+		if err != nil {
+			return err
+		}
+		spec = shard.SweepSpec{
+			Sweep: id, Grid: grid, Trials: trials, Seed: seed,
+			Outcomes: shard.NetworkOutcomes, Dist: ns.Hist != nil, Network: ns,
+		}
+		fmt.Printf("model %s: sweep %s\n", model.path, id)
+	} else {
+		// The registry is the source of truth for the sweep's kind and
+		// arity; the CLI only names it.
+		factory, err := reg.Lookup(sweep)
+		if err != nil {
+			return err
+		}
+		spec = shard.SweepSpec{
+			Sweep: sweep, Grid: grid, Trials: trials, Seed: seed,
+			Outcomes: factory.Outcomes, Numeric: factory.Numeric, Dist: factory.Dist,
+		}
 	}
 
 	runner := shard.LocalRunner(reg)

@@ -203,7 +203,7 @@ func (n *Network) AddReaction(label string, reactants, products []Term, rate flo
 
 // normalizeTerms merges duplicates, drops zeros, validates and sorts.
 func (n *Network) normalizeTerms(terms []Term) []Term {
-	merged := make(map[Species]int64, len(terms))
+	out := make([]Term, 0, len(terms))
 	for _, t := range terms {
 		if t.Coeff < 0 {
 			panic(fmt.Sprintf("chem: negative coefficient %d", t.Coeff))
@@ -211,16 +211,22 @@ func (n *Network) normalizeTerms(terms []Term) []Term {
 		if int(t.Species) < 0 || int(t.Species) >= len(n.names) {
 			panic(fmt.Sprintf("chem: term references unregistered species %d", t.Species))
 		}
-		merged[t.Species] += t.Coeff
-	}
-	out := make([]Term, 0, len(merged))
-	for s, c := range merged {
-		if c > 0 {
-			out = append(out, Term{Species: s, Coeff: c})
+		if t.Coeff > 0 {
+			out = append(out, t)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Species < out[j].Species })
-	return out
+	w := 0
+	for i := 0; i < len(out); {
+		s := out[i].Species
+		var c int64
+		for ; i < len(out) && out[i].Species == s; i++ {
+			c += out[i].Coeff
+		}
+		out[w] = Term{Species: s, Coeff: c}
+		w++
+	}
+	return out[:w]
 }
 
 // Clone returns a deep copy of the network. Mutating the clone leaves the

@@ -1,0 +1,65 @@
+package chem
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseNetwork asserts the reaction-text parser is total and
+// converges with the canonical printer: arbitrary text either parses or
+// returns a *ParseError carrying a sane line/column, and anything that
+// parses reaches a fixed point after one canonicalisation —
+// AppendCRN(parse(AppendCRN(parse(src)))) == AppendCRN(parse(src)).
+// That fixed point is what the shard layer's content-addressed sweep
+// ids hash, so it must hold for every acceptable input, not just the
+// pretty ones. Seeds are the scenario library's networks plus the
+// committed corpus under testdata/fuzz.
+func FuzzParseNetwork(f *testing.F) {
+	// The scenario library is the canonical corpus of real networks;
+	// read the files directly rather than importing the package (which
+	// would cycle back through internal/shard).
+	files, err := filepath.Glob(filepath.Join("..", "scenario", "networks", "*.crn"))
+	if err != nil || len(files) == 0 {
+		f.Fatalf("scenario network corpus missing: %v (%d files)", err, len(files))
+	}
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte("a = 1\nr: a -> 0 @ 1\n"))
+	f.Add([]byte("lbl: 2 x + y -> 3 z @ 0.5\n"))
+	f.Add([]byte("x -> y @ -1\n"))       // negative rate
+	f.Add([]byte("a + -> b @ 1\n"))      // empty term
+	f.Add([]byte("# comment only\n\n"))  // no reactions
+	f.Add([]byte("x = 9999999999999\n")) // initial-count overflow shapes
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := ParseNetworkString(string(data))
+		if err != nil {
+			var perr *ParseError
+			if !errors.As(err, &perr) {
+				t.Fatalf("parse error is not a *ParseError: %T %v", err, err)
+			}
+			if perr.Line < 1 || perr.Col < 1 {
+				t.Fatalf("parse error carries invalid position line=%d col=%d", perr.Line, perr.Col)
+			}
+			return
+		}
+		canonical := AppendCRN(nil, net)
+		net2, err := ParseNetworkString(string(canonical))
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\n%s", err, canonical)
+		}
+		again := AppendCRN(nil, net2)
+		if !bytes.Equal(canonical, again) {
+			t.Fatalf("canonicalisation is not a fixed point:\n%s\nvs\n%s", canonical, again)
+		}
+	})
+}

@@ -9,14 +9,32 @@ import (
 )
 
 // ParseError describes a failure to parse the .crn text format, with the
-// 1-based line number at which it occurred.
+// 1-based line and column at which it occurred. The column points at the
+// offending token in the original line (before comment stripping), so a
+// bad reaction in a 40-line model file is locatable at a glance.
 type ParseError struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
 func (e *ParseError) Error() string {
-	return fmt.Sprintf("crn: line %d: %s", e.Line, e.Msg)
+	return fmt.Sprintf("crn: line %d, col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lineErr is the internal error currency of the per-line parsers: a
+// message plus the 0-based column offset into the trimmed line at which
+// the problem starts. ParseNetwork rebases it onto the original line.
+type lineErr struct {
+	col int
+	msg string
+}
+
+func (e lineErr) Error() string { return e.msg }
+
+// errAt reports an error at the 0-based offset col of the current line.
+func errAt(col int, format string, args ...interface{}) error {
+	return lineErr{col: col, msg: fmt.Sprintf(format, args...)}
 }
 
 // ParseNetwork reads the .crn text format:
@@ -37,16 +55,23 @@ func ParseNetwork(r io.Reader) (*Network, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := sc.Text()
+		raw := sc.Text()
+		line := raw
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
 		}
-		line = strings.TrimSpace(line)
-		if line == "" {
+		trimmed := strings.TrimLeft(line, " \t")
+		base := len(line) - len(trimmed) // columns of stripped leading space
+		trimmed = strings.TrimRight(trimmed, " \t")
+		if trimmed == "" {
 			continue
 		}
-		if err := parseLine(net, line); err != nil {
-			return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+		if err := parseLine(net, trimmed); err != nil {
+			col := 0
+			if le, ok := err.(lineErr); ok {
+				col = le.col
+			}
+			return nil, &ParseError{Line: lineNo, Col: base + col + 1, Msg: err.Error()}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -70,78 +95,106 @@ func MustParseNetwork(src string) *Network {
 	return net
 }
 
+// leadingSpace returns how many leading space/tab bytes s carries.
+func leadingSpace(s string) int {
+	return len(s) - len(strings.TrimLeft(s, " \t"))
+}
+
 func parseLine(net *Network, line string) error {
 	if strings.Contains(line, "->") {
 		return parseReaction(net, line)
 	}
 	if eq := strings.IndexByte(line, '='); eq >= 0 {
 		name := strings.TrimSpace(line[:eq])
-		countStr := strings.TrimSpace(line[eq+1:])
+		countRaw := line[eq+1:]
+		countCol := eq + 1 + leadingSpace(countRaw)
+		countStr := strings.TrimSpace(countRaw)
 		if err := checkSpeciesName(name); err != nil {
-			return err
+			return errAt(leadingSpace(line[:eq]), "%s", err)
 		}
 		count, err := strconv.ParseInt(countStr, 10, 64)
 		if err != nil {
-			return fmt.Errorf("invalid count %q for species %s", countStr, name)
+			return errAt(countCol, "invalid count %q for species %s", countStr, name)
 		}
 		if count < 0 {
-			return fmt.Errorf("negative initial count %d for species %s", count, name)
+			return errAt(countCol, "negative initial count %d for species %s", count, name)
 		}
 		net.SetInitialByName(name, count)
 		return nil
 	}
-	return fmt.Errorf("unrecognised line %q (want 'name = count' or 'lhs -> rhs @ rate')", line)
+	return errAt(0, "unrecognised line %q (want 'name = count' or 'lhs -> rhs @ rate')", line)
 }
 
 func parseReaction(net *Network, line string) error {
 	label := ""
+	off := 0 // offset of the working string within the original line
+	rest := line
 	// An optional "label:" prefix, where the label must precede the "->".
-	if colon := strings.IndexByte(line, ':'); colon >= 0 && colon < strings.Index(line, "->") {
-		label = strings.TrimSpace(line[:colon])
-		line = strings.TrimSpace(line[colon+1:])
+	if colon := strings.IndexByte(rest, ':'); colon >= 0 && colon < strings.Index(rest, "->") {
+		label = strings.TrimSpace(rest[:colon])
+		after := rest[colon+1:]
+		off = colon + 1 + leadingSpace(after)
+		rest = strings.TrimSpace(after)
 	}
-	at := strings.LastIndex(line, "@")
+	at := strings.LastIndex(rest, "@")
 	if at < 0 {
-		return fmt.Errorf("reaction missing '@ rate'")
+		return errAt(off, "reaction missing '@ rate'")
 	}
-	rateStr := strings.TrimSpace(line[at+1:])
+	rateRaw := rest[at+1:]
+	rateCol := off + at + 1 + leadingSpace(rateRaw)
+	rateStr := strings.TrimSpace(rateRaw)
 	rate, err := strconv.ParseFloat(rateStr, 64)
 	if err != nil {
-		return fmt.Errorf("invalid rate %q", rateStr)
+		return errAt(rateCol, "invalid rate %q", rateStr)
 	}
 	if rate < 0 {
-		return fmt.Errorf("negative rate %v", rate)
+		return errAt(rateCol, "negative rate %v", rate)
 	}
-	body := strings.TrimSpace(line[:at])
+	body := strings.TrimRight(rest[:at], " \t")
 	arrow := strings.Index(body, "->")
 	if arrow < 0 {
-		return fmt.Errorf("reaction missing '->'")
+		return errAt(off, "reaction missing '->'")
 	}
-	lhs, err := parseSide(net, strings.TrimSpace(body[:arrow]))
+	lhs, err := parseSide(net, strings.TrimRight(body[:arrow], " \t"), off)
 	if err != nil {
-		return fmt.Errorf("reactants: %w", err)
+		return prefixSideErr("reactants", err)
 	}
-	rhs, err := parseSide(net, strings.TrimSpace(body[arrow+2:]))
+	rhsRaw := body[arrow+2:]
+	rhs, err := parseSide(net, strings.TrimRight(strings.TrimLeft(rhsRaw, " \t"), " \t"),
+		off+arrow+2+leadingSpace(rhsRaw))
 	if err != nil {
-		return fmt.Errorf("products: %w", err)
+		return prefixSideErr("products", err)
 	}
 	net.AddReaction(label, lhs, rhs, rate)
 	return nil
 }
 
+// prefixSideErr labels a side-parse error with which side it came from,
+// preserving the column.
+func prefixSideErr(side string, err error) error {
+	if le, ok := err.(lineErr); ok {
+		return lineErr{col: le.col, msg: side + ": " + le.msg}
+	}
+	return fmt.Errorf("%s: %w", side, err)
+}
+
 // parseSide parses "a + 2 b + 3c" into terms. "0", "_", "empty" and "∅"
-// denote the empty side.
-func parseSide(net *Network, side string) ([]Term, error) {
+// denote the empty side. base is the side's 0-based offset within the
+// line, for error columns.
+func parseSide(net *Network, side string, base int) ([]Term, error) {
 	switch side {
 	case "", "0", "_", "empty", "∅":
 		return nil, nil
 	}
 	parts := strings.Split(side, "+")
 	terms := make([]Term, 0, len(parts))
-	for _, part := range parts {
-		part = strings.TrimSpace(part)
+	pos := 0 // offset of the current part within side
+	for _, raw := range parts {
+		partCol := base + pos + leadingSpace(raw)
+		pos += len(raw) + 1 // past this part and its '+' separator
+		part := strings.TrimSpace(raw)
 		if part == "" {
-			return nil, fmt.Errorf("empty term in %q", side)
+			return nil, errAt(partCol, "empty term in %q", side)
 		}
 		coeff := int64(1)
 		// Leading digits form the coefficient; remainder is the name.
@@ -152,13 +205,14 @@ func parseSide(net *Network, side string) ([]Term, error) {
 		if i > 0 {
 			c, err := strconv.ParseInt(part[:i], 10, 64)
 			if err != nil || c <= 0 {
-				return nil, fmt.Errorf("invalid coefficient in term %q", part)
+				return nil, errAt(partCol, "invalid coefficient in term %q", part)
 			}
 			coeff = c
 		}
-		name := strings.TrimSpace(part[i:])
+		nameRaw := part[i:]
+		name := strings.TrimSpace(nameRaw)
 		if err := checkSpeciesName(name); err != nil {
-			return nil, err
+			return nil, errAt(partCol+i+leadingSpace(nameRaw), "%s", err)
 		}
 		terms = append(terms, Term{Species: net.AddSpecies(name), Coeff: coeff})
 	}

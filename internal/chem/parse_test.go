@@ -219,3 +219,58 @@ a + 2 b -> c @ 1
 		}
 	}
 }
+
+// TestParseErrorsCarryColumns pins the column numbers: errors point at
+// the offending token of the original line — after a label, inside the
+// products, past stripped leading whitespace — not just at the line.
+func TestParseErrorsCarryColumns(t *testing.T) {
+	cases := []struct {
+		src  string
+		line int
+		col  int
+		frag string
+	}{
+		{"a -> b @ fast\n", 1, 10, "invalid rate"},                // col of "fast"
+		{"a -> b @ -2\n", 1, 10, "negative rate"},                 // col of "-2"
+		{"  a -> b @ x\n", 1, 12, "invalid rate"},                 // leading WS counted
+		{"lbl:  a -> b @ x\n", 1, 16, "invalid rate"},             // label prefix counted
+		{"a = many\n", 1, 5, "invalid count"},                     // col of "many"
+		{"a =   -3\n", 1, 7, "negative initial count"},            // col of "-3"
+		{"a + 0b -> c @ 1\n", 1, 5, "invalid coefficient"},        // col of "0b"
+		{"x -> a + b@c @ 1\n", 1, 10, "reserved character"},       // col of "b@c"
+		{"ok: a -> b @ 1\nbad line\n", 2, 1, "unrecognised line"}, // line 2, col 1
+		{"# c\n\n a + -> b @ 1\n", 3, 5, "empty term"},            // col after '+'
+		{"a -> b\n", 1, 1, "missing '@ rate'"},                    // whole reaction
+	}
+	for _, c := range cases {
+		_, err := ParseNetworkString(c.src)
+		if err == nil {
+			t.Errorf("%q: no error", c.src)
+			continue
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Errorf("%q: error %v is not *ParseError", c.src, err)
+			continue
+		}
+		if pe.Line != c.line || pe.Col != c.col {
+			t.Errorf("%q: at %d:%d, want %d:%d (%s)", c.src, pe.Line, pe.Col, c.line, c.col, pe.Msg)
+		}
+		if !strings.Contains(pe.Msg, c.frag) {
+			t.Errorf("%q: message %q lacks %q", c.src, pe.Msg, c.frag)
+		}
+	}
+}
+
+// TestParseErrorString pins the rendered error format, which model-file
+// tooling greps for.
+func TestParseErrorString(t *testing.T) {
+	_, err := ParseNetworkString("a -> b @ fast\n")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	want := `crn: line 1, col 10: invalid rate "fast"`
+	if err.Error() != want {
+		t.Fatalf("error = %q, want %q", err.Error(), want)
+	}
+}

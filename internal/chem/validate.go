@@ -186,3 +186,24 @@ func signature(net *Network, r *Reaction) string {
 	fmt.Fprintf(&b, "|%g", r.Rate)
 	return b.String()
 }
+
+// Limits bounds the size of a network accepted from an untrusted source
+// (a wire-submitted model, a user file). Zero fields mean "no bound".
+type Limits struct {
+	// MaxSpecies bounds the number of distinct species.
+	MaxSpecies int
+	// MaxReactions bounds the number of reactions.
+	MaxReactions int
+}
+
+// CheckLimits reports the first resource bound the network exceeds, or
+// nil. It is a pure size check — structural soundness is Validate's job.
+func CheckLimits(net *Network, lim Limits) error {
+	if lim.MaxSpecies > 0 && net.NumSpecies() > lim.MaxSpecies {
+		return fmt.Errorf("chem: network has %d species, limit %d", net.NumSpecies(), lim.MaxSpecies)
+	}
+	if lim.MaxReactions > 0 && net.NumReactions() > lim.MaxReactions {
+		return fmt.Errorf("chem: network has %d reactions, limit %d", net.NumReactions(), lim.MaxReactions)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/mc"
+	"stochsynth/internal/shard"
+	"stochsynth/internal/sim"
+)
+
+// matrixEngines is the cross-engine equivalence matrix of one scenario:
+// the exact engines always, the hybrid engine exactly when the scenario
+// is partitionable.
+func matrixEngines(s *Scenario) []sim.EngineKind {
+	engines := []sim.EngineKind{sim.EngineDirect, sim.EngineOptimizedDirect}
+	if s.Hybrid {
+		engines = append(engines, sim.EngineHybrid)
+	}
+	return engines
+}
+
+// TestCrossEngineMatrix runs every scenario under each engine of its
+// matrix and holds all of them to the same statistical pin: outcome
+// counts must pass a χ² goodness-of-fit test against the pinned
+// proportion (α = 0.001), and the observable mean must sit inside the
+// pinned band. Engines draw from the same per-trial streams but consume
+// them differently, so this is the statistical — not bitwise — half of
+// the equivalence matrix; the two exact direct-method engines are
+// additionally required to agree bit-for-bit.
+func TestCrossEngineMatrix(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			byEngine := make(map[sim.EngineKind]shard.ShardResult)
+			for _, eng := range matrixEngines(s) {
+				ns := s.NetworkSpec()
+				ns.Engine = string(eng)
+				id, err := ns.SweepID()
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec := shard.SweepSpec{
+					Sweep: id, Grid: s.Grid, Trials: s.Trials, Seed: s.Seed,
+					Outcomes: shard.NetworkOutcomes, Dist: true, Network: ns,
+				}
+				res := runLocal(t, spec, 2)
+				byEngine[eng] = res
+
+				for i, pt := range res.Points {
+					pin := s.Pins[i]
+					n0 := pt.Dist.FPT.Proportion(0).Successes
+					n1 := pt.Dist.FPT.Proportion(1).Successes
+					if n0+n1 != int64(s.Trials) {
+						t.Errorf("%s point %d: %d of %d trials classified", eng, i, n0+n1, s.Trials)
+						continue
+					}
+					stat, crit, ok, err := mc.GoodnessOfFit([]int64{n0, n1}, []float64{pin.P0, 1 - pin.P0})
+					if err != nil {
+						t.Errorf("%s point %d: %v", eng, i, err)
+						continue
+					}
+					if !ok {
+						t.Errorf("%s point %d: χ² = %.2f > %.2f against pinned P0 = %.3f (got %.4f)",
+							eng, i, stat, crit, pin.P0, float64(n0)/float64(s.Trials))
+					}
+					mean := pt.Dist.Moments.Summary().Mean
+					if mean < pin.Mean-pin.MeanTol || mean > pin.Mean+pin.MeanTol {
+						t.Errorf("%s point %d: mean = %.3f outside pin %.2f ± %.2f", eng, i, mean, pin.Mean, pin.MeanTol)
+					}
+				}
+			}
+
+			// Both exact direct-method engines implement the same sampling
+			// sequence over the same streams; their per-point tallies must
+			// be bit-identical, not merely statistically compatible.
+			direct := byEngine[sim.EngineDirect]
+			optimized := byEngine[sim.EngineOptimizedDirect]
+			for i := range direct.Points {
+				d := direct.Points[i].Dist.Moments.Summary()
+				o := optimized.Points[i].Dist.Moments.Summary()
+				if math.Float64bits(d.Mean) != math.Float64bits(o.Mean) || d.N != o.N {
+					t.Errorf("point %d: direct and optimized engines disagree (mean %v vs %v)", i, d.Mean, o.Mean)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledMatchesIdentityKernels walks each scenario's network
+// through a deterministic firing sequence and checks, at every state,
+// that the reordered production kernels (chem.Compile), the
+// identity-ordered kernels (chem.CompileIdentity) and the interpreted
+// reference (chem.Propensity) agree bit-for-bit per reaction once
+// channels are mapped through Perm. This is the bitwise half of the
+// equivalence matrix: channel reordering must never change a single
+// propensity bit.
+func TestCompiledMatchesIdentityKernels(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			net, err := chem.ParseNetworkString(s.CRN)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comp := chem.Compile(net)
+			ident := chem.CompileIdentity(net)
+
+			// Same backing layout for all three evaluations: the compiled
+			// state vector with the network's initial counts.
+			st := comp.NewStateVec()
+			copy(st, net.InitialState())
+
+			for event := 0; event < 200; event++ {
+				for i := 0; i < net.NumReactions(); i++ {
+					want := chem.Propensity(net.Reaction(i), st)
+					viaComp := comp.Propensity(int(comp.Channel[i]), st)
+					viaIdent := ident.Propensity(int(ident.Channel[i]), st)
+					if math.Float64bits(viaComp) != math.Float64bits(want) {
+						t.Fatalf("event %d reaction %d: Compile propensity %v, reference %v", event, i, viaComp, want)
+					}
+					if math.Float64bits(viaIdent) != math.Float64bits(want) {
+						t.Fatalf("event %d reaction %d: CompileIdentity propensity %v, reference %v", event, i, viaIdent, want)
+					}
+				}
+				// Fire the lowest-numbered fireable reaction, round-robin
+				// shifted by the event index so the walk visits varied states.
+				fired := false
+				for k := 0; k < net.NumReactions(); k++ {
+					i := (event + k) % net.NumReactions()
+					ch := int(comp.Channel[i])
+					if comp.CanFire(ch, st) {
+						comp.Apply(ch, st)
+						fired = true
+						break
+					}
+				}
+				if !fired {
+					break // quiescent state: nothing left to vary
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"bytes"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"stochsynth/internal/shard"
+)
+
+func startServer(t *testing.T, reg *shard.Registry) *shard.Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listening on loopback: %v", err)
+	}
+	srv := shard.Serve(ln, reg)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestScenariosOverTCPBitwise is the end-to-end conformance run: every
+// scenario is submitted as a serialized network over the v3 wire format
+// to TCP workers whose registries have never heard of it, sharded 4
+// ways, and the merged result must be bitwise identical to the
+// in-process single-shard run.
+func TestScenariosOverTCPBitwise(t *testing.T) {
+	srv1 := startServer(t, shard.NewRegistry())
+	srv2 := startServer(t, shard.NewRegistry())
+	pool, err := shard.NewRemotePool(
+		[]string{srv1.Addr().String(), srv2.Addr().String()}, shard.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			spec := mustSweepSpec(t, s)
+			want := runLocal(t, spec, 1)
+			got, err := shard.Coordinate(spec, 4, pool.Runner(), shard.Options{Retries: 2})
+			if err != nil {
+				t.Fatalf("coordinate over TCP: %v", err)
+			}
+			if !bytes.Equal(encodeResult(t, got), encodeResult(t, want)) {
+				t.Error("TCP-sharded sweep is not bitwise identical to the in-process run")
+			}
+		})
+	}
+}
+
+// TestScenarioOverTCPSurvivesWorkerKill kills one worker of a
+// three-worker fleet after its first completed shard; the coordinator
+// must retry the lost ranges onto the survivors and still merge a result
+// bitwise identical to the unsharded run.
+func TestScenarioOverTCPSurvivesWorkerKill(t *testing.T) {
+	s, ok := ByName("plesa")
+	if !ok {
+		t.Fatal("plesa scenario missing")
+	}
+	spec := mustSweepSpec(t, s)
+	want := runLocal(t, spec, 1)
+
+	srv1 := startServer(t, shard.NewRegistry())
+	srv2 := startServer(t, shard.NewRegistry())
+	victim := startServer(t, shard.NewRegistry())
+	pool, err := shard.NewRemotePool(
+		[]string{srv1.Addr().String(), srv2.Addr().String(), victim.Addr().String()},
+		shard.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+
+	var done atomic.Int64
+	opts := shard.Options{
+		Retries: 3,
+		OnShardDone: func(completed, total int, res shard.ShardResult) {
+			// Kill the victim mid-sweep: later shards dispatched to it fail
+			// over to the surviving workers.
+			if done.Add(1) == 1 {
+				victim.Close()
+			}
+		},
+	}
+	got, err := shard.Coordinate(spec, 6, pool.Runner(), opts)
+	if err != nil {
+		t.Fatalf("coordinate with mid-sweep worker kill: %v", err)
+	}
+	if !bytes.Equal(encodeResult(t, got), encodeResult(t, want)) {
+		t.Error("post-kill merge is not bitwise identical to the unsharded run")
+	}
+}

@@ -33,7 +33,7 @@ func TestGoldenFig3NumericResult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "shardresult_fig3sweep.v2.json", enc)
+	checkGolden(t, "shardresult_fig3sweep.v3.json", enc)
 }
 
 // TestFig3NumericSweepAgreesWithTallyTrialForTrial: the numeric Figure 3

@@ -22,6 +22,10 @@ type SweepSpec struct {
 	Outcomes int
 	Numeric  bool
 	Dist     bool
+	// Network, when non-nil, makes this a self-contained network sweep
+	// (wire format v3): every shard carries the model and Sweep must be
+	// the spec's content-addressed SweepID.
+	Network *NetworkSpec
 }
 
 // Shard returns the ShardSpec for the trial range [lo, hi) of the sweep.
@@ -29,6 +33,7 @@ func (s SweepSpec) Shard(lo, hi int) ShardSpec {
 	return ShardSpec{
 		Version: FormatVersion, Sweep: s.Sweep, Grid: s.Grid, Trials: s.Trials,
 		Lo: lo, Hi: hi, Seed: s.Seed, Outcomes: s.Outcomes, Numeric: s.Numeric, Dist: s.Dist,
+		Network: s.Network,
 	}
 }
 

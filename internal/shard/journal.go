@@ -195,6 +195,12 @@ func sameSweep(hdr, full ShardSpec) error {
 		hdr.Lo != full.Lo || hdr.Hi != full.Hi || len(hdr.Grid) != len(full.Grid) {
 		return fmt.Errorf("header %+v, want %+v", hdr, full)
 	}
+	// For network sweeps the content-addressed Sweep id already pins the
+	// model; the field comparison is belt and braces against a journal
+	// written by a build with a different hash recipe.
+	if !equalNetworkSpec(hdr.Network, full.Network) {
+		return fmt.Errorf("journal header carries a different network payload")
+	}
 	for i := range hdr.Grid {
 		if math.Float64bits(hdr.Grid[i]) != math.Float64bits(full.Grid[i]) {
 			return fmt.Errorf("grid point %d is %v, want %v", i, hdr.Grid[i], full.Grid[i])

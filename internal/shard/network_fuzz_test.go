@@ -1,0 +1,65 @@
+package shard
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDecodeShardSpecV3 asserts the v3 spec decoder is total over
+// arbitrary bytes, that everything it accepts passes Validate — which
+// for network-carrying specs means the full pipeline behind a worker's
+// front door: resource limits, network parse, observable/param
+// resolution, and the content-addressed identity check — and that
+// encode∘decode is a fixed point on accepted specs. Seeds are the
+// committed golden fixtures (v1, v2 and v3, including the network
+// payload fixture) plus specs built from the scenario library's
+// networks in the committed corpus under testdata/fuzz.
+func FuzzDecodeShardSpecV3(f *testing.F) {
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "shardspec*.json"))
+	if err != nil || len(fixtures) == 0 {
+		f.Fatalf("golden spec fixtures missing: %v (%d files)", err, len(fixtures))
+	}
+	for _, path := range fixtures {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte(`{"version":3,"sweep":"crn/0000000000000000","network":{"crn":"x -> 0 @ 1\n"}}`))
+	f.Add([]byte(`{"version":2,"network":{"crn":"x -> 0 @ 1\n"}}`)) // network needs v3
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte("not json"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		// DecodeSpec's contract: anything it returns already validated.
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("DecodeSpec accepted an invalid spec: %v", err)
+		}
+		if spec.Network != nil && spec.Version < FormatVersion {
+			t.Fatalf("DecodeSpec accepted a network payload at version %d", spec.Version)
+		}
+		enc1, err := spec.Encode()
+		if err != nil {
+			t.Fatalf("decoded spec does not re-encode: %v", err)
+		}
+		spec2, err := DecodeSpec(enc1)
+		if err != nil {
+			t.Fatalf("re-encoded spec does not decode: %v", err)
+		}
+		enc2, err := spec2.Encode()
+		if err != nil {
+			t.Fatalf("round-tripped spec does not re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode/decode is not a fixed point:\n %s\n %s", enc1, enc2)
+		}
+	})
+}

@@ -135,10 +135,12 @@ func (p *RemotePool) Runner() Runner {
 			p.markDown(addr)
 			return ShardResult{}, fmt.Errorf("shard: worker %s: %w", addr, err)
 		}
-		if !wc.sweeps[spec.Sweep] {
+		if spec.Network == nil && !wc.sweeps[spec.Sweep] {
 			// The handshake told us this worker's registry; failing fast
 			// keeps a misdeployed fleet from burning retries one timeout
-			// at a time. The connection itself is fine — pool it.
+			// at a time. The connection itself is fine — pool it. Network
+			// sweeps are exempt: they carry their model and need no
+			// registry entry.
 			p.putIdle(addr, wc)
 			return ShardResult{}, fmt.Errorf("shard: worker %s does not register sweep %q", addr, spec.Sweep)
 		}

@@ -16,7 +16,16 @@ func Run(spec ShardSpec, reg *Registry) (ShardResult, error) {
 	if err := spec.Validate(); err != nil {
 		return ShardResult{}, err
 	}
-	factory, err := reg.Lookup(spec.Sweep)
+	var factory Factory
+	var err error
+	if spec.Network != nil {
+		// A wire-submitted model: the spec is self-contained, no registry
+		// entry needed. Validate (above) has already bounds-checked it and
+		// pinned Sweep to the content-addressed id.
+		factory, err = NetworkFactory(spec.Network, spec.Numeric, spec.Dist)
+	} else {
+		factory, err = reg.Lookup(spec.Sweep)
+	}
 	if err != nil {
 		return ShardResult{}, err
 	}

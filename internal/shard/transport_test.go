@@ -73,7 +73,7 @@ func TestGoldenFrameEncoding(t *testing.T) {
 	if err := writeHello(&client, Hello{Protocol: ProtocolVersion, Format: FormatVersion}); err != nil {
 		t.Fatal(err)
 	}
-	checkGoldenBinary(t, "frame_hello_client.v2.bin", client.Bytes())
+	checkGoldenBinary(t, "frame_hello_client.v3.bin", client.Bytes())
 
 	var server bytes.Buffer
 	err := writeHello(&server, Hello{
@@ -83,7 +83,7 @@ func TestGoldenFrameEncoding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGoldenBinary(t, "frame_hello_server.v2.bin", server.Bytes())
+	checkGoldenBinary(t, "frame_hello_server.v3.bin", server.Bytes())
 
 	payload, err := goldenSpec().Encode()
 	if err != nil {
@@ -93,38 +93,93 @@ func TestGoldenFrameEncoding(t *testing.T) {
 	if err := writeFrame(&spec, frameSpec, payload); err != nil {
 		t.Fatal(err)
 	}
-	checkGoldenBinary(t, "frame_spec.v2.bin", spec.Bytes())
+	checkGoldenBinary(t, "frame_spec.v3.bin", spec.Bytes())
 }
 
-// TestV1HelloStillAccepted pins mixed-fleet compatibility across the
-// v1→v2 format bump: the retained v1 hello fixture (format 1) must still
-// pass the handshake check, and the retained v1 spec frame must still
-// decode.
-func TestV1HelloStillAccepted(t *testing.T) {
-	raw, err := os.ReadFile(filepath.Join("testdata", "frame_hello_client.v1.bin"))
+// TestOldHellosStillAccepted pins mixed-fleet compatibility across every
+// format bump: the retained v1 and v2 hello fixtures must still pass the
+// handshake check, and the retained old spec frames must still decode.
+func TestOldHellosStillAccepted(t *testing.T) {
+	for _, c := range []struct {
+		helloFixture, specFixture string
+		format                    int
+	}{
+		{"frame_hello_client.v1.bin", "frame_spec.v1.bin", 1},
+		{"frame_hello_client.v2.bin", "frame_spec.v2.bin", 2},
+	} {
+		raw, err := os.ReadFile(filepath.Join("testdata", c.helloFixture))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := readHello(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Format != c.format {
+			t.Fatalf("%s carries format %d, want %d", c.helloFixture, h.Format, c.format)
+		}
+		if err := h.check(); err != nil {
+			t.Fatalf("v%d peer rejected: %v", c.format, err)
+		}
+		rawSpec, err := os.ReadFile(filepath.Join("testdata", c.specFixture))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft, payload, err := readFrame(bytes.NewReader(rawSpec))
+		if err != nil || ft != frameSpec {
+			t.Fatalf("%s unreadable: type %s err %v", c.specFixture, ft, err)
+		}
+		if _, err := DecodeSpec(payload); err != nil {
+			t.Fatalf("v%d spec payload no longer decodes: %v", c.format, err)
+		}
+	}
+}
+
+// TestMixedVersionHelloOverTCP runs the mixed-fleet handshake against a
+// live server: a client announcing format 2 (an old coordinator mid-
+// upgrade) must be accepted by a v3 worker and still able to run a
+// non-network shard, while the version gate (not field strictness) is
+// what keeps v3 network specs away from it.
+func TestMixedVersionHelloOverTCP(t *testing.T) {
+	srv := startTestServer(t, testRegistry())
+	c, err := net.Dial("tcp", srv.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := readHello(bytes.NewReader(raw))
+	defer c.Close()
+	if err := writeHello(c, Hello{Protocol: ProtocolVersion, Format: formatVersionV2}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := readHello(c)
+	if err != nil {
+		t.Fatalf("v2 client rejected by v3 server: %v", err)
+	}
+	if h.Format != FormatVersion {
+		t.Fatalf("server announced format %d, want %d", h.Format, FormatVersion)
+	}
+	// The old coordinator can still dispatch what its format can say.
+	spec := testSweepSpec().Shard(0, 10)
+	spec.Version = formatVersionV2
+	payload, err := spec.Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.Format != 1 {
-		t.Fatalf("v1 hello fixture carries format %d", h.Format)
+	if err := writeFrame(c, frameSpec, payload); err != nil {
+		t.Fatal(err)
 	}
-	if err := h.check(); err != nil {
-		t.Fatalf("v1 peer rejected: %v", err)
-	}
-	rawSpec, err := os.ReadFile(filepath.Join("testdata", "frame_spec.v1.bin"))
+	ft, body, err := readFrame(c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ft, payload, err := readFrame(bytes.NewReader(rawSpec))
-	if err != nil || ft != frameSpec {
-		t.Fatalf("v1 spec frame unreadable: type %s err %v", ft, err)
+	if ft != frameResult {
+		t.Fatalf("v2 spec answered with %s %q, want result", ft, body)
 	}
-	if _, err := DecodeSpec(payload); err != nil {
-		t.Fatalf("v1 spec payload no longer decodes: %v", err)
+	res, err := DecodeResult(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rangesEqual(res.Ranges, []Range{{0, 10}}) {
+		t.Fatalf("v2-dispatched shard covered %v", res.Ranges)
 	}
 }
 

@@ -51,17 +51,25 @@ import (
 //	1 — tally and numeric sweeps (counts / canonical moment forests).
 //	2 — adds distribution sweeps: the dist flag on specs/results and the
 //	    per-point dist summary bundle (moments + quantile sketch +
-//	    fixed-bin histogram + first-passage summary). v1 messages are
-//	    still decoded (they cannot carry dist fields); encoding always
-//	    stamps version 2.
-const FormatVersion = 2
+//	    fixed-bin histogram + first-passage summary).
+//	3 — adds user-submitted networks: a spec may carry a NetworkSpec (the
+//	    chem.ParseNetwork text format plus an observable/outcome spec),
+//	    validated against resource limits and compiled on the worker; its
+//	    sweep id is content-addressed ("crn/<hash>"). v1/v2 messages are
+//	    still decoded (they cannot carry the fields introduced after
+//	    them); encoding always stamps version 3.
+const FormatVersion = 3
 
-// formatVersionV1 is the previous wire version, still accepted on decode.
-const formatVersionV1 = 1
+// formatVersionV1 and formatVersionV2 are the previous wire versions,
+// still accepted on decode.
+const (
+	formatVersionV1 = 1
+	formatVersionV2 = 2
+)
 
 // versionAccepted reports whether this build can decode format version v.
 func versionAccepted(v int) bool {
-	return v == formatVersionV1 || v == FormatVersion
+	return v == formatVersionV1 || v == formatVersionV2 || v == FormatVersion
 }
 
 // Range is a half-open trial-index interval [Lo, Hi).
@@ -103,8 +111,14 @@ type ShardSpec struct {
 	Numeric bool `json:"numeric,omitempty"`
 	// Dist marks a distribution sweep (format version 2): every point
 	// accumulates a mc.DistSummary instead of bare counts or moments. The
-	// histogram layout is part of the registered factory, not the spec.
+	// histogram layout is part of the registered factory — or, for network
+	// sweeps, of the NetworkSpec.
 	Dist bool `json:"dist,omitempty"`
+	// Network, when non-nil, carries the model itself (format version 3):
+	// the worker validates it against resource limits, compiles it, and
+	// runs the spec's observable instead of resolving Sweep in its
+	// registry. Sweep must equal the spec's content-addressed SweepID.
+	Network *NetworkSpec `json:"network,omitempty"`
 }
 
 // SpanRange returns the shard's trial range.
@@ -116,8 +130,11 @@ func (s ShardSpec) Validate() error {
 	if !versionAccepted(s.Version) {
 		return fmt.Errorf("shard: unknown format version %d (this build speaks %d)", s.Version, FormatVersion)
 	}
-	if s.Dist && s.Version < FormatVersion {
-		return fmt.Errorf("shard: distribution sweeps need format version %d (got %d)", FormatVersion, s.Version)
+	if s.Dist && s.Version < formatVersionV2 {
+		return fmt.Errorf("shard: distribution sweeps need format version %d (got %d)", formatVersionV2, s.Version)
+	}
+	if s.Network != nil && s.Version < FormatVersion {
+		return fmt.Errorf("shard: network sweeps need format version %d (got %d)", FormatVersion, s.Version)
 	}
 	if s.Sweep == "" {
 		return fmt.Errorf("shard: spec has empty sweep id")
@@ -151,6 +168,9 @@ func (s ShardSpec) Validate() error {
 		}
 	case s.Outcomes <= 0:
 		return fmt.Errorf("shard: tally spec needs outcomes > 0 (got %d)", s.Outcomes)
+	}
+	if s.Network != nil {
+		return s.validateNetwork()
 	}
 	return nil
 }

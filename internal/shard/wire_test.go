@@ -74,6 +74,50 @@ func goldenDistResult(t *testing.T) ShardResult {
 	return res
 }
 
+// goldenCRN is a tiny two-species production race, the network golden
+// fixtures' payload. Kept deliberately small so the fixture diffs stay
+// readable.
+const goldenCRN = `# golden fixture: two-species production race
+a = 1
+b = 1
+mkx: a -> a + x @ 1
+mky: b -> b + y @ 1
+x -> 0 @ 0.1
+y -> 0 @ 0.1
+`
+
+// goldenNetworkSpec is the fixed exemplar of a v3 network-carrying spec:
+// the grid value scales the x-production rate via the "mkx" label.
+func goldenNetworkSpec(t *testing.T) ShardSpec {
+	t.Helper()
+	ns := &NetworkSpec{
+		CRN:      goldenCRN,
+		MaxSteps: 100_000,
+		Observable: ObservableSpec{
+			Kind: ObsRace, SpeciesA: "x", CountA: 5, SpeciesB: "y", CountB: 5,
+		},
+		Param: &ParamSpec{Rate: "mkx"},
+	}
+	id, err := ns.SweepID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ShardSpec{
+		Version: FormatVersion, Sweep: id,
+		Grid: []float64{0.5, 2}, Trials: 16, Lo: 4, Hi: 12,
+		Seed: 31, Outcomes: NetworkOutcomes, Network: ns,
+	}
+}
+
+func goldenNetworkResult(t *testing.T) ShardResult {
+	t.Helper()
+	res, err := Run(goldenNetworkSpec(t), testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func checkGolden(t *testing.T, name string, encoded []byte) {
 	t.Helper()
 	path := filepath.Join("testdata", name)
@@ -102,31 +146,43 @@ func TestGoldenWireFormat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "shardspec.v2.json", encSpec)
+	checkGolden(t, "shardspec.v3.json", encSpec)
 
 	encRes, err := goldenResult(t).Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "shardresult.v2.json", encRes)
+	checkGolden(t, "shardresult.v3.json", encRes)
 
 	encNum, err := goldenNumericResult(t).Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "shardresult_numeric.v2.json", encNum)
+	checkGolden(t, "shardresult_numeric.v3.json", encNum)
 
 	encDist, err := goldenDistResult(t).Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "shardresult_dist.v2.json", encDist)
+	checkGolden(t, "shardresult_dist.v3.json", encDist)
 
 	encDistSpec, err := goldenDistSpec().Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "shardspec_dist.v2.json", encDistSpec)
+	checkGolden(t, "shardspec_dist.v3.json", encDistSpec)
+
+	encNetSpec, err := goldenNetworkSpec(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "shardspec_network.v3.json", encNetSpec)
+
+	encNetRes, err := goldenNetworkResult(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "shardresult_network.v3.json", encNetRes)
 }
 
 // TestDecodeV1Fixtures pins backward compatibility: the version-1 golden
@@ -157,6 +213,116 @@ func TestDecodeV1Fixtures(t *testing.T) {
 		}
 		if res.Version != 1 || res.Dist {
 			t.Fatalf("%s decoded oddly: version=%d dist=%v", name, res.Version, res.Dist)
+		}
+	}
+}
+
+// TestDecodeV2Fixtures pins backward compatibility across the v2→v3
+// bump: the version-2 golden fixtures frozen at the bump must keep
+// decoding, dist payloads included.
+func TestDecodeV2Fixtures(t *testing.T) {
+	for _, name := range []string{"shardspec.v2.json", "shardspec_dist.v2.json"} {
+		raw, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := DecodeSpec(raw)
+		if err != nil {
+			t.Fatalf("%s no longer decodes: %v", name, err)
+		}
+		if spec.Version != 2 || spec.Network != nil {
+			t.Fatalf("%s decoded oddly: %+v", name, spec)
+		}
+	}
+	for _, name := range []string{
+		"shardresult.v2.json", "shardresult_numeric.v2.json",
+		"shardresult_dist.v2.json", "shardresult_fig3sweep.v2.json",
+	} {
+		raw, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := DecodeResult(raw)
+		if err != nil {
+			t.Fatalf("%s no longer decodes: %v", name, err)
+		}
+		if res.Version != 2 {
+			t.Fatalf("%s decoded oddly: version=%d", name, res.Version)
+		}
+	}
+}
+
+// TestV2RejectsNetworkField: a message claiming version 2 must not
+// smuggle in the v3 network payload — mixed fleets rely on the version
+// gate, not on old builds happening to reject unknown fields.
+func TestV2RejectsNetworkField(t *testing.T) {
+	spec := goldenNetworkSpec(t)
+	spec.Version = 2
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSpec(raw); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("v2 spec with network payload not rejected: %v", err)
+	}
+}
+
+// TestNetworkSpecRoundTrip: a network-carrying spec survives
+// encode→decode→encode byte for byte, and its result merges with itself
+// disjointly like any registry sweep's.
+func TestNetworkSpecRoundTrip(t *testing.T) {
+	spec := goldenNetworkSpec(t)
+	enc, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSpec(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, re) {
+		t.Fatalf("network spec round trip not stable:\n%s\n%s", enc, re)
+	}
+	if !equalNetworkSpec(spec.Network, got.Network) {
+		t.Fatal("network payload did not survive the round trip")
+	}
+}
+
+// TestNetworkSpecRejections pins the resource-limit and identity checks
+// of network-carrying specs.
+func TestNetworkSpecRejections(t *testing.T) {
+	base := func() ShardSpec { return goldenNetworkSpec(t) }
+	cases := map[string]struct {
+		mutate func(*ShardSpec)
+		frag   string
+	}{
+		"wrong sweep id":   {func(s *ShardSpec) { s.Sweep = "crn/0000000000000000" }, "content id"},
+		"named sweep id":   {func(s *ShardSpec) { s.Sweep = "lambda/synthetic" }, "content id"},
+		"too many trials":  {func(s *ShardSpec) { s.Trials = MaxNetworkTrials + 1; s.Hi = s.Trials }, "limit"},
+		"bad crn":          {func(s *ShardSpec) { s.Network.CRN = "a -> b" }, "crn: line 1"},
+		"empty crn":        {func(s *ShardSpec) { s.Network.CRN = "" }, "empty crn"},
+		"unknown engine":   {func(s *ShardSpec) { s.Network.Engine = "quantum" }, "unknown engine"},
+		"unknown obs kind": {func(s *ShardSpec) { s.Network.Observable.Kind = "vibes" }, "observable kind"},
+		"missing species":  {func(s *ShardSpec) { s.Network.Observable.SpeciesA = "ghost" }, "not in network"},
+		"self race":        {func(s *ShardSpec) { s.Network.Observable.SpeciesB = "x" }, "itself"},
+		"wrong outcomes":   {func(s *ShardSpec) { s.Outcomes = 3 }, "outcomes"},
+		"bad param":        {func(s *ShardSpec) { s.Network.Param = &ParamSpec{Rate: "nolabel"} }, "no reaction"},
+		"both params":      {func(s *ShardSpec) { s.Network.Param = &ParamSpec{Species: "x", Rate: "mkx"} }, "both"},
+		"stray hist":       {func(s *ShardSpec) { s.Network.Hist = &mc.HistConfig{Lo: 0, Width: 1, Bins: 4} }, "histogram"},
+		"oversized steps":  {func(s *ShardSpec) { s.Network.MaxSteps = MaxNetworkSteps + 1 }, "maxSteps"},
+		"parse error":      {func(s *ShardSpec) { s.Network.CRN = "x -> y @ -1\n" }, "negative rate"},
+		"validation error": {func(s *ShardSpec) { s.Network.CRN = "x = 1\ny = 1\n0 -> 0 @ 1\n" }, "no reactants"},
+	}
+	for name, c := range cases {
+		spec := base()
+		c.mutate(&spec)
+		err := spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %v lacks %q", name, err, c.frag)
 		}
 	}
 }
