@@ -18,6 +18,8 @@ import (
 	"stochsynth/internal/lambda"
 	"stochsynth/internal/mc"
 	"stochsynth/internal/rng"
+	"stochsynth/internal/scenario"
+	"stochsynth/internal/shard"
 	"stochsynth/internal/sim"
 	"stochsynth/internal/synth"
 )
@@ -516,4 +518,80 @@ func BenchmarkMergeHistSummaries(b *testing.B) {
 			}
 		}
 	}
+}
+
+// scenarioTrialBench measures Monte Carlo trial throughput of one pinned
+// scenario (internal/scenario) on one engine kind, through exactly the
+// factory path sharded sweeps run (shard.NetworkFactory over the
+// scenario's wire NetworkSpec): one reused engine, Reset+race per trial.
+func scenarioTrialBench(b *testing.B, s *scenario.Scenario, kind sim.EngineKind) {
+	ns := s.NetworkSpec()
+	ns.Engine = string(kind)
+	f, err := shard.NetworkFactory(ns, false, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trial, err := f.DistF(s.Grid[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := rng.New(9)
+	eng := trial.NewEngine(gen)
+	const trialsPerOp = 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < trialsPerOp; j++ {
+			gen.Reseed(s.Seed, uint64(j))
+			trial.Observe(eng)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*trialsPerOp/b.Elapsed().Seconds(), "trials/s")
+}
+
+// scenarioEngineBenches registers the per-engine sub-benchmarks of one
+// scenario: both direct-method engines always, the hybrid only where the
+// scenario's partition characterisation says it can batch anything.
+func scenarioEngineBenches(b *testing.B, name string) {
+	s, ok := scenario.ByName(name)
+	if !ok {
+		b.Fatalf("scenario %q not in library", name)
+	}
+	kinds := []sim.EngineKind{sim.EngineDirect, sim.EngineOptimizedDirect}
+	if s.Hybrid {
+		kinds = append(kinds, sim.EngineHybrid)
+	}
+	for _, kind := range kinds {
+		b.Run(string(kind), func(b *testing.B) { scenarioTrialBench(b, s, kind) })
+	}
+}
+
+func BenchmarkScenarioAntithetic(b *testing.B)    { scenarioEngineBenches(b, "antithetic") }
+func BenchmarkScenarioPlesa(b *testing.B)         { scenarioEngineBenches(b, "plesa") }
+func BenchmarkScenarioRepressilator(b *testing.B) { scenarioEngineBenches(b, "repressilator") }
+func BenchmarkScenarioSchlogl(b *testing.B)       { scenarioEngineBenches(b, "schlogl") }
+func BenchmarkScenarioToggle(b *testing.B)        { scenarioEngineBenches(b, "toggle") }
+
+// BenchmarkTrialsNaturalBatchReuse is the trial-lockstep batch counterpart
+// of BenchmarkTrialsNaturalOptimizedReuse: Model.CharacterizeBatch drives
+// K = 32 trials through one fused sim.BatchRace kernel per worker, with
+// per-trial results bit-identical to the unbatched path.
+func BenchmarkTrialsNaturalBatchReuse(b *testing.B) {
+	model, err := lambda.NaturalModel(lambda.NaturalParams{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const moi = 5
+	const trialsPerOp = 200
+	const batch = 32
+	var lysogeny int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := model.CharacterizeBatch(moi, trialsPerOp, 23+uint64(i), batch)
+		lysogeny += res.Counts[lambda.Lysogeny]
+	}
+	b.StopTimer()
+	trials := float64(b.N) * trialsPerOp
+	b.ReportMetric(trials/b.Elapsed().Seconds(), "trials/s")
+	b.ReportMetric(100*float64(lysogeny)/trials, "lysogeny%")
 }

@@ -1,0 +1,51 @@
+package chem
+
+// BatchState holds K independent trials' extended state vectors in one
+// contiguous trial-major array: row i is trial i's species counts plus the
+// trailing phantom always-one slot the packed refresh programs read
+// (NewStateVec). Batched engines (sim.BatchRace) advance the K trials in
+// lockstep through one kernel, so the rows live side by side and a full
+// broadcast Reset is one copy loop instead of K engine Resets.
+type BatchState struct {
+	k      int
+	stride int // NumSpecies()+1: species counts + phantom slot
+	data   []int64
+}
+
+// NewBatchState allocates a batch of k extended state rows for c's network,
+// each with its phantom slot initialised to 1.
+func NewBatchState(c *Compiled, k int) *BatchState {
+	if k < 1 {
+		panic("chem: NewBatchState needs k >= 1")
+	}
+	b := &BatchState{k: k, stride: c.NumSpecies() + 1}
+	b.data = make([]int64, k*b.stride)
+	for i := 0; i < k; i++ {
+		b.data[i*b.stride+b.stride-1] = 1
+	}
+	return b
+}
+
+// K returns the batch width.
+func (b *BatchState) K() int { return b.k }
+
+// Row returns trial i's extended state vector (species counts + phantom
+// slot), aliasing the batch storage.
+//
+//stochlint:noalloc
+func (b *BatchState) Row(i int) State {
+	return State(b.data[i*b.stride : (i+1)*b.stride])
+}
+
+// Reset broadcasts st0 (species counts only, length stride-1) into every
+// row; the phantom slots stay 1.
+//
+//stochlint:noalloc
+func (b *BatchState) Reset(st0 State) {
+	if len(st0) != b.stride-1 {
+		panic("chem: BatchState.Reset state length does not match species count")
+	}
+	for i := 0; i < b.k; i++ {
+		copy(b.data[i*b.stride:(i+1)*b.stride-1], st0)
+	}
+}

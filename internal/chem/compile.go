@@ -81,6 +81,28 @@ type Compiled struct {
 	Refs           []RefreshInstr
 	TailStart      []int32
 	Tails          []TailInstr
+
+	// OrderProp[ch] is channel ch's propensity at the ordering state the
+	// kernel was compiled against (the default initial state for Compile,
+	// the caller's characteristic state for CompileAt, the pilot-chain mean
+	// for CompilePilot), in compiled channel order. It is the static skew
+	// estimate behind the channel ordering and doubles as the
+	// composite-rejection proposal weights (NewComposite).
+	OrderProp []float64
+
+	// Two-level selection-block structure, built iff NumChannels() >=
+	// BlockThreshold (see select.go): channels are grouped into contiguous
+	// blocks of width 1<<BlockShift, and the DepBlockList CSR rows (indexed
+	// like DepList) name the blocks whose partial sums a firing may perturb.
+	BlockShift    uint
+	numBlocks     int
+	DepBlockStart []int32
+	DepBlockList  []int32
+
+	// allLinear marks kernels whose every channel is OpLinear (wide
+	// conversion/decay networks), enabling a dispatch-free propensity
+	// refresh loop with bit-identical arithmetic.
+	allLinear bool
 }
 
 // DeltaInstr is one packed state update: st[S] += D.
@@ -181,7 +203,8 @@ func (op PropOp) String() string {
 // accumulation order of propensity totals — not any distribution — depends
 // on it.
 func Compile(net *Network) *Compiled {
-	return compileOrdered(net, propensityOrder(net))
+	a0 := statePropensities(net, net.InitialState())
+	return compileOrdered(net, propensityOrderFrom(net, a0), a0)
 }
 
 // CompileIdentity lowers net with the identity channel ordering, restoring
@@ -193,20 +216,25 @@ func CompileIdentity(net *Network) *Compiled {
 	for i := range order {
 		order[i] = i
 	}
-	return compileOrdered(net, order)
+	return compileOrdered(net, order, statePropensities(net, net.InitialState()))
 }
 
-// propensityOrder returns the propensity-descending ordering of net's
-// reactions at the default initial state.
-func propensityOrder(net *Network) []int {
-	order := make([]int, net.NumReactions())
-	for i := range order {
-		order[i] = i
-	}
-	st := net.InitialState()
+// statePropensities evaluates every reaction's propensity at st, indexed by
+// original reaction.
+func statePropensities(net *Network, st State) []float64 {
 	a0 := make([]float64, net.NumReactions())
 	for i := range a0 {
 		a0[i] = Propensity(net.Reaction(i), st)
+	}
+	return a0
+}
+
+// propensityOrderFrom returns the descending ordering of net's reactions by
+// the supplied per-reaction propensity estimates (original indices).
+func propensityOrderFrom(net *Network, a0 []float64) []int {
+	order := make([]int, net.NumReactions())
+	for i := range order {
+		order[i] = i
 	}
 	sort.SliceStable(order, func(x, y int) bool {
 		i, j := order[x], order[y]
@@ -224,9 +252,9 @@ func propensityOrder(net *Network) []int {
 	return order
 }
 
-func compileOrdered(net *Network, order []int) *Compiled {
+func compileOrdered(net *Network, order []int, a0 []float64) *Compiled {
 	numR := net.NumReactions()
-	if len(order) != numR {
+	if len(order) != numR || len(a0) != numR {
 		panic("chem: compile ordering length does not match reaction count")
 	}
 	c := &Compiled{
@@ -240,6 +268,7 @@ func compileOrdered(net *Network, order []int) *Compiled {
 		ReactStart: make([]int32, numR+1),
 		DeltaStart: make([]int32, numR+1),
 		DepStart:   make([]int32, numR+1),
+		OrderProp:  make([]float64, numR),
 	}
 	seen := make([]bool, numR)
 	for ch, i := range order {
@@ -254,6 +283,7 @@ func compileOrdered(net *Network, order []int) *Compiled {
 	for ch := 0; ch < numR; ch++ {
 		r := net.Reaction(int(c.Perm[ch]))
 		c.Rate[ch] = r.Rate
+		c.OrderProp[ch] = a0[c.Perm[ch]]
 		c.S1[ch], c.S2[ch] = -1, -1
 		c.Op[ch] = classifyOp(r)
 		switch c.Op[ch] {
@@ -293,7 +323,16 @@ func compileOrdered(net *Network, order []int) *Compiled {
 		c.DepStart[ch+1] = int32(len(c.DepList))
 	}
 
+	c.allLinear = numR > 0
+	for ch := 0; ch < numR; ch++ {
+		if c.Op[ch] != OpLinear {
+			c.allLinear = false
+			break
+		}
+	}
+
 	c.packFirePrograms()
+	c.buildBlocks()
 	return c
 }
 
@@ -455,17 +494,29 @@ func (c *Compiled) genericPropensity(ch int, st State) float64 {
 	return a
 }
 
-// PropensitiesInto evaluates every channel's propensity into prop (which
-// must have length NumChannels) and returns their sum, accumulated in
-// channel order — the same operation sequence as calling Propensity per
-// channel and summing, so totals are bit-for-bit reproducible. This is the
-// batch form engines use on full refreshes: one call per step instead of
-// one per channel, with the opcode switch kept in-loop.
+// fillPropensities evaluates every channel's propensity into prop without
+// accumulating a total: the stores are independent, so the loop is pure
+// throughput with no serial float dependency chain. Callers that need a
+// total fold over prop afterwards in whichever association their stream
+// contract pins (flat fold-left for PropensitiesInto, fold over block sums
+// for PropensitiesBlocksInto).
 //
 //stochlint:noalloc
-func (c *Compiled) PropensitiesInto(st State, prop []float64) float64 {
+func (c *Compiled) fillPropensities(st State, prop []float64) {
 	op, rate, s1, s2 := c.Op, c.Rate, c.S1, c.S2
-	total := 0.0
+	if c.allLinear {
+		// Uniform-opcode fast path: wide conversion/decay networks compile
+		// to all-linear channels, so the dispatch switch is dead weight.
+		// The arithmetic per channel is the OpLinear case verbatim.
+		for ch, s := range s1 {
+			var a float64
+			if x := st[s]; x >= 1 {
+				a = rate[ch] * float64(x)
+			}
+			prop[ch] = a
+		}
+		return
+	}
 	for ch := range op {
 		var a float64
 		switch op[ch] {
@@ -493,6 +544,23 @@ func (c *Compiled) PropensitiesInto(st State, prop []float64) float64 {
 			a = c.genericPropensity(ch, st)
 		}
 		prop[ch] = a
+	}
+}
+
+// PropensitiesInto evaluates every channel's propensity into prop (which
+// must have length NumChannels) and returns their sum, accumulated flat in
+// channel order — the same operation sequence as calling Propensity per
+// channel and summing, so totals are bit-for-bit reproducible. This is the
+// full-refresh form for narrow kernels, whose flat fold-left total is
+// pinned by the golden trajectory streams; wide kernels with selection
+// blocks refresh through PropensitiesBlocksInto instead, whose total folds
+// over block sums (see there).
+//
+//stochlint:noalloc
+func (c *Compiled) PropensitiesInto(st State, prop []float64) float64 {
+	c.fillPropensities(st, prop)
+	total := 0.0
+	for _, a := range prop {
 		total += a
 	}
 	return total

@@ -1,0 +1,152 @@
+package chem
+
+import "stochsynth/internal/rng"
+
+// Composite is the opt-in composite-rejection channel selector for kernels
+// at or above BlockThreshold. The firing block is found by the same O(√M)
+// cumulative scan over the maintained block sums as SelectBlock; the
+// channel *within* the block is then drawn by rejection against a static
+// per-block alias table (rng.Alias) built from the kernel's
+// characteristic-state propensities (OrderProp), with a per-block
+// acceptance bound maintained incrementally alongside the block sums.
+// When the characteristic state predicts the in-block propensity profile,
+// the expected number of rejection attempts is O(1) and selection is
+// O(√M) + O(1) regardless of block width.
+//
+// The sampler is exact in distribution — an accepted channel j has
+// probability prop[j]/Σprop exactly — but consumes a variable number of
+// uniforms, so its streams are NOT bitwise comparable to SelectBlock's.
+// Engines therefore enable it explicitly (OptimizedDirect.UseComposite);
+// the default wide-kernel path stays the deterministic two-level scan.
+type Composite struct {
+	comp  *Compiled
+	alias []*rng.Alias // per-block proposal table over w's block slice
+	w     []float64    // proposal weights: OrderProp floored away from zero
+	beta  []float64    // per-block acceptance bound: max_j prop[j]/w[j]
+}
+
+// NewComposite builds the composite-rejection selector for c. It panics on
+// kernels below BlockThreshold, which have no block structure to hang the
+// proposal tables on. The returned selector's acceptance bounds are unset;
+// call Refresh with the engine's propensity vector before selecting.
+func (c *Compiled) NewComposite() *Composite {
+	if c.numBlocks == 0 {
+		panic("chem: NewComposite on a kernel below BlockThreshold")
+	}
+	// Proposal weights: the characteristic-state propensities, floored a
+	// fixed fraction away from zero so every channel stays proposable (a
+	// channel quiet at the characteristic state may be live mid-trial) and
+	// the acceptance bound cannot divide by zero.
+	w := make([]float64, c.NumChannels())
+	maxP := 0.0
+	for _, p := range c.OrderProp {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	floor := maxP * 1e-6
+	if floor <= 0 {
+		floor = 1
+	}
+	for j, p := range c.OrderProp {
+		w[j] = max(p, floor)
+	}
+	x := &Composite{
+		comp:  c,
+		alias: make([]*rng.Alias, c.numBlocks),
+		w:     w,
+		beta:  make([]float64, c.numBlocks),
+	}
+	for k := 0; k < c.numBlocks; k++ {
+		lo := k << c.BlockShift
+		hi := min(lo+1<<c.BlockShift, len(w))
+		x.alias[k] = rng.NewAlias(w[lo:hi])
+	}
+	return x
+}
+
+// Refresh recomputes every block's acceptance bound from prop (full
+// refresh: Reset, periodic renormalisation).
+//
+//stochlint:noalloc
+func (x *Composite) Refresh(prop []float64) {
+	for k := range x.beta {
+		x.refreshBlock(k, prop)
+	}
+}
+
+// RefreshAfter recomputes the acceptance bounds of the blocks firing ch may
+// have perturbed — the same DepBlockList row RefreshBlockSums walks.
+//
+//stochlint:noalloc
+func (x *Composite) RefreshAfter(ch int, prop []float64) {
+	c := x.comp
+	for _, k := range c.DepBlockList[c.DepBlockStart[ch]:c.DepBlockStart[ch+1]] {
+		x.refreshBlock(int(k), prop)
+	}
+}
+
+//stochlint:noalloc
+func (x *Composite) refreshBlock(k int, prop []float64) {
+	lo := k << x.comp.BlockShift
+	hi := min(lo+1<<x.comp.BlockShift, len(prop))
+	b := 0.0
+	for j := lo; j < hi; j++ {
+		if r := prop[j] / x.w[j]; r > b {
+			b = r
+		}
+	}
+	x.beta[k] = b
+}
+
+// Select draws the firing channel: the block by the cumulative target
+// (identical block-marginal law to SelectBlock), the channel within the
+// block by alias-proposal rejection under the maintained bound. Returns -1
+// when the target exhausts every block or the chosen block turns out to be
+// drained — cached-total drift; the caller's usual recompute-and-retry
+// fallback applies.
+//
+//stochlint:noalloc
+func (x *Composite) Select(gen *rng.PCG, prop, sums []float64, target float64) int {
+	acc := 0.0
+	k := -1
+	for kb, s := range sums {
+		if target < acc+s {
+			k = kb
+			break
+		}
+		acc += s
+	}
+	if k < 0 || x.beta[k] <= 0 {
+		return -1
+	}
+	c := x.comp
+	lo := k << c.BlockShift
+	hi := min(lo+1<<c.BlockShift, len(prop))
+	al := x.alias[k]
+	beta := x.beta[k]
+	// Rejection: propose j ~ w within the block, accept with probability
+	// prop[j]/(beta·w[j]) ≤ 1. Each attempt is independent, so bailing out
+	// of a pathological acceptance rate into one exact in-block inversion
+	// with a fresh uniform keeps the draw exact.
+	for attempt := 0; attempt < 64; attempt++ {
+		j := lo + al.Sample(gen)
+		if gen.Float64()*beta*x.w[j] < prop[j] {
+			return j
+		}
+	}
+	inner := 0.0
+	t2 := gen.Float64() * sums[k]
+	for j := lo; j < hi; j++ {
+		inner += prop[j]
+		if t2 < inner {
+			return j
+		}
+	}
+	for j := hi - 1; j >= lo; j-- { // in-block float slack
+		if prop[j] > 0 {
+			return j
+		}
+	}
+	return -1
+}

@@ -33,6 +33,14 @@ type Partition struct {
 	// some relay (and is therefore advanced by the relay propagator, not by
 	// exact stepping or generic leaping, whenever that relay is active).
 	RelayHandled []bool
+	// Chains lists the detected two-stage conversion chains a → b → ∅ that
+	// extend the relay law to sequential first-order kinetics, in increasing
+	// order of the upstream species.
+	Chains []Chain
+	// ChainHandled[i] reports whether reaction i belongs to some chain
+	// (producer, conversion, or sink) and is advanced by the chain
+	// propagator whenever that chain is active.
+	ChainHandled []bool
 }
 
 // Relay describes one analytically-solvable species: every molecule of
@@ -57,6 +65,38 @@ type Relay struct {
 	// their reactants with net change zero). While any dependent has
 	// positive propensity the analytic law is invalid — the simulator must
 	// fall back to exact stepping for the relay's channels.
+	Dependents []int
+}
+
+// Chain describes a two-stage first-order conversion chain: molecules of A
+// exit at total per-molecule hazard MuA (unit conversions A → B plus unit
+// sinks A → ∅, a fraction ConvRate/MuA of exits converting), and molecules
+// of B decay at hazard MuB. With the rest of the state frozen, the pair
+// (A, B) evolves as a linear catenary whose joint transient law is closed
+// form — sequential exponential survival plus Poisson immigration — so a
+// hybrid simulator can advance it over an arbitrary interval exactly, the
+// same way it advances single-species relays.
+type Chain struct {
+	// A is the upstream species, B the downstream (conversion product).
+	A, B Species
+	// Producers are the constant-propensity channels with net stoichiometry
+	// exactly {A: +1}; BProducers the analogous direct producers of B. Both
+	// obey the relay producer conditions (fast-eligible, reactants
+	// unperturbed by any fast-eligible channel).
+	Producers  []int
+	BProducers []int
+	// Convert are the unit conversion channels (reactants exactly {A:1},
+	// products exactly {B:1}); ASinks the unit sinks A → ∅; BSinks the unit
+	// sinks B → ∅.
+	Convert []int
+	ASinks  []int
+	BSinks  []int
+	// ConvRate is the summed rate of Convert; MuA = ConvRate + summed ASink
+	// rate (total A-exit hazard); MuB the summed BSink rate.
+	ConvRate, MuA, MuB float64
+	// Dependents are channels reading A or B catalytically (net change
+	// zero); as with relays, any unblocked dependent invalidates the
+	// analytic law.
 	Dependents []int
 }
 
@@ -102,6 +142,7 @@ func NewPartition(net *Network, protected []Species) *Partition {
 	p := &Partition{
 		FastEligible: make([]bool, numR),
 		RelayHandled: make([]bool, numR),
+		ChainHandled: make([]bool, numR),
 	}
 	for i := 0; i < numR; i++ {
 		eligible := !touchesProtected[i]
@@ -160,7 +201,152 @@ func NewPartition(net *Network, protected []Species) *Partition {
 			}
 		}
 	}
+
+	// Conversion-chain detection. Chains are structurally disjoint from
+	// relays — a chain's A has a sink with products (the conversion), so it
+	// can never classify as a relay, and its B is fed by a non-unit producer
+	// (the conversion nets {A:−1, B:+1}), so neither can B — but a species
+	// is still only allowed into one chain (detection in ascending A order,
+	// first match wins).
+	inChain := make([]bool, numS)
+	for s := Species(0); int(s) < numS; s++ {
+		if isProtected[s] || inChain[s] {
+			continue
+		}
+		if c, ok := classifyChain(net, s, isProtected, netDelta, p.FastEligible, fastChanges, hasReactant); ok {
+			if inChain[c.B] {
+				continue
+			}
+			p.Chains = append(p.Chains, c)
+			inChain[c.A] = true
+			inChain[c.B] = true
+			for _, set := range [][]int{c.Producers, c.BProducers, c.Convert, c.ASinks, c.BSinks} {
+				for _, i := range set {
+					p.ChainHandled[i] = true
+				}
+			}
+		}
+	}
 	return p
+}
+
+// classifyChain checks the conversion-chain conditions with upstream
+// species a and, on success, returns the assembled Chain. The downstream
+// species is discovered from a's conversion channels (all of which must
+// agree on it). The conditions mirror classifyRelay's, stage by stage:
+//
+//   - every channel reading a is a fast-eligible unit conversion a → b, a
+//     fast-eligible unit sink a → ∅, or catalytic in a (a dependent);
+//   - every channel reading b is a fast-eligible unit sink b → ∅ or
+//     catalytic in b (a dependent);
+//   - every other producer of a or b is fast-eligible, nets exactly one
+//     unit of that species, and has no reactant any fast-eligible channel
+//     net-changes (constant propensity between exact events);
+//   - at least one conversion and at least one b sink exist (otherwise the
+//     plain relay law already covers the species).
+func classifyChain(net *Network, a Species, isProtected []bool, netDelta [][]int64,
+	fastEligible []bool, fastChanges []bool, hasReactant func(int, Species) bool) (Chain, bool) {
+	c := Chain{A: a, B: -1}
+	// Pass 1: find the downstream species from a's conversion channels.
+	for i := 0; i < net.NumReactions(); i++ {
+		rx := net.Reaction(i)
+		if rx.Rate == 0 || !hasReactant(i, a) {
+			continue
+		}
+		if b, ok := conversionTarget(rx, netDelta[i], a); ok {
+			if c.B >= 0 && c.B != b {
+				return Chain{}, false // conversions disagree on the target
+			}
+			c.B = b
+		}
+	}
+	if c.B < 0 || isProtected[c.B] {
+		return Chain{}, false
+	}
+	b := c.B
+	for i := 0; i < net.NumReactions(); i++ {
+		rx := net.Reaction(i)
+		if rx.Rate == 0 {
+			continue
+		}
+		readsA, readsB := hasReactant(i, a), hasReactant(i, b)
+		switch {
+		case readsA:
+			if _, ok := conversionTarget(rx, netDelta[i], a); ok {
+				if !fastEligible[i] {
+					return Chain{}, false
+				}
+				c.Convert = append(c.Convert, i)
+				c.ConvRate += rx.Rate
+			} else if isUnitSink(rx, a) {
+				if !fastEligible[i] {
+					return Chain{}, false
+				}
+				c.ASinks = append(c.ASinks, i)
+			} else if netDelta[i][a] == 0 && netDelta[i][b] == 0 {
+				c.Dependents = append(c.Dependents, i)
+			} else {
+				return Chain{}, false
+			}
+		case readsB:
+			if isUnitSink(rx, b) {
+				if !fastEligible[i] {
+					return Chain{}, false
+				}
+				c.BSinks = append(c.BSinks, i)
+				c.MuB += rx.Rate
+			} else if netDelta[i][b] == 0 && netDelta[i][a] == 0 {
+				c.Dependents = append(c.Dependents, i)
+			} else {
+				return Chain{}, false
+			}
+		case netDelta[i][a] > 0:
+			if !fastEligible[i] || !isUnitProducer(netDelta[i], a) ||
+				producerPerturbed(rx, fastChanges) {
+				return Chain{}, false
+			}
+			c.Producers = append(c.Producers, i)
+		case netDelta[i][b] > 0:
+			if !fastEligible[i] || !isUnitProducer(netDelta[i], b) ||
+				producerPerturbed(rx, fastChanges) {
+				return Chain{}, false
+			}
+			c.BProducers = append(c.BProducers, i)
+		}
+	}
+	for _, i := range c.Convert {
+		c.MuA += net.Reaction(i).Rate
+	}
+	for _, i := range c.ASinks {
+		c.MuA += net.Reaction(i).Rate
+	}
+	return c, len(c.Convert) > 0 && len(c.BSinks) > 0
+}
+
+// conversionTarget reports whether rx is a unit conversion a → b for some
+// b ≠ a — reactants exactly {a:1} and net stoichiometry exactly
+// {a:−1, b:+1} — returning the target species.
+func conversionTarget(rx *Reaction, delta []int64, a Species) (Species, bool) {
+	if len(rx.Reactants) != 1 || rx.Reactants[0].Species != a || rx.Reactants[0].Coeff != 1 {
+		return 0, false
+	}
+	target := Species(-1)
+	for sp, d := range delta {
+		switch {
+		case Species(sp) == a:
+			if d != -1 {
+				return 0, false
+			}
+		case d == 1 && target < 0:
+			target = Species(sp)
+		case d != 0:
+			return 0, false
+		}
+	}
+	if target < 0 {
+		return 0, false
+	}
+	return target, true
 }
 
 // classifyRelay checks the relay conditions for species s and, on success,

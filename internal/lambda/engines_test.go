@@ -65,7 +65,10 @@ func TestDirectOptimizedAgreeInDistribution(t *testing.T) {
 
 // TestCharacterizeMatchesPerTrialEngines: the engine-reuse hot path must
 // tally exactly what per-trial engines tally — same trial→stream mapping,
-// same outcomes, bit for bit.
+// same outcomes, bit for bit. The per-trial engines are built fresh from a
+// per-trial factory over the same MOI-dosed kernel Characterize compiles
+// (EngineFactoryAt): the reuse-vs-fresh comparison is about engine state
+// carrying over between Resets, not about the (deterministic) ordering.
 func TestCharacterizeMatchesPerTrialEngines(t *testing.T) {
 	m, err := NaturalModel(NaturalParams{})
 	if err != nil {
@@ -77,9 +80,29 @@ func TestCharacterizeMatchesPerTrialEngines(t *testing.T) {
 		func(gen *rng.PCG) *rng.PCG { return gen },
 		func(gen *rng.PCG) int {
 			classify := m.Classifier(moi)
-			return classify(sim.NewOptimizedDirect(m.Net, gen))
+			return classify(m.EngineFactoryAt(moi)(gen))
 		})
 	if reused.Counts[0] != fresh.Counts[0] || reused.Counts[1] != fresh.Counts[1] || reused.None != fresh.None {
 		t.Fatalf("engine reuse changed results: reused %v, fresh %v", reused, fresh)
+	}
+}
+
+// TestCharacterizeBatchMatchesCharacterize: the trial-lockstep batch path
+// must tally exactly what the unbatched engine-reuse path tallies — same
+// (seed, trial-index) streams, same dosed-state kernel, same race
+// semantics — for every batch width, including widths that do not divide
+// the trial count (ragged tail chunks).
+func TestCharacterizeBatchMatchesCharacterize(t *testing.T) {
+	m, err := NaturalModel(NaturalParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials, moi, seed = 300, 3, uint64(99)
+	want := m.Characterize(moi, trials, seed)
+	for _, batch := range []int{1, 4, 32} {
+		got := m.CharacterizeBatch(moi, trials, seed, batch)
+		if got.Counts[0] != want.Counts[0] || got.Counts[1] != want.Counts[1] || got.None != want.None {
+			t.Fatalf("batch=%d changed results: batched %v, unbatched %v", batch, got, want)
+		}
 	}
 }

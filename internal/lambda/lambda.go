@@ -100,6 +100,11 @@ func (m *Model) NewEngine(gen *rng.PCG) sim.Engine {
 // builds engines of the model's configured kind over the shared immutable
 // kernel — the per-worker factory shape mc.RunWith wants. Trajectories are
 // identical to NewEngine's (the kernel is a pure function of the network).
+//
+// The kernel is ordered at the *undosed* default initial state. The Monte
+// Carlo paths (Characterize, Trial, the shard factories) use
+// EngineFactoryAt instead, whose MOI-dosed ordering ranks the infection
+// cascade's hot channels correctly.
 func (m *Model) EngineFactory() func(gen *rng.PCG) sim.Engine {
 	comp := chem.Compile(m.Net)
 	protected := m.protected()
@@ -107,6 +112,31 @@ func (m *Model) EngineFactory() func(gen *rng.PCG) sim.Engine {
 	return func(gen *rng.PCG) sim.Engine {
 		return sim.MustEngineOfKindCompiled(kind, comp, protected, gen)
 	}
+}
+
+// EngineFactoryAt is EngineFactory with the kernel's channel ordering
+// computed at the MOI-dosed initial state (chem.CompileAt) — the
+// characteristic state the trial body actually Resets engines to. At the
+// undosed default every cascade channel is quiet and ranks by the
+// rate-constant tiebreak, which puts the models' hot channels at the back
+// of the selection scan; dosing the ordering state fixes the ranking.
+// Distributions are unchanged (any ordering is exact); the sampled
+// trajectory stream differs from EngineFactory's because propensity totals
+// accumulate in the new channel order.
+func (m *Model) EngineFactoryAt(moi int64) func(gen *rng.PCG) sim.Engine {
+	comp := m.compileAt(moi)
+	protected := m.protected()
+	kind := m.Engine
+	return func(gen *rng.PCG) sim.Engine {
+		return sim.MustEngineOfKindCompiled(kind, comp, protected, gen)
+	}
+}
+
+// compileAt compiles the network ordered at the MOI-dosed initial state.
+func (m *Model) compileAt(moi int64) *chem.Compiled {
+	st0 := m.Net.InitialState()
+	st0.Set(m.MOI, moi)
+	return chem.CompileAt(m.Net, st0)
 }
 
 func (m *Model) protected() []chem.Species {
@@ -124,7 +154,7 @@ func (m *Model) Trial(moi int64) mc.Trial {
 	if kind == "" {
 		kind = sim.EngineDirect
 	}
-	comp := chem.Compile(m.Net)
+	comp := m.compileAt(moi)
 	protected := m.protected()
 	return func(gen *rng.PCG) int {
 		return classify(sim.MustEngineOfKindCompiled(kind, comp, protected, gen))
@@ -203,8 +233,62 @@ func (m *Model) Characterize(moi int64, trials int, seed uint64) mc.Result {
 	classify := m.Classifier(moi)
 	return mc.RunWith(
 		mc.Config{Trials: trials, Outcomes: 2, Seed: seed},
-		m.EngineFactory(),
+		m.EngineFactoryAt(moi),
 		classify,
+	)
+}
+
+// CharacterizeBatch is Characterize on the trial-lockstep batch path: each
+// worker advances chunks of up to batch trials through one fused
+// sim.BatchRace kernel (mc.RunBatchWith). Per-trial streams, race
+// semantics and the dosed-state kernel are identical to Characterize's, so
+// the returned tallies are bit-for-bit equal to Characterize's for every
+// batch width and worker count — pinned by
+// TestCharacterizeBatchMatchesCharacterize. The batch kernel implements
+// the default (OptimizedDirect) race; models configured with a different
+// engine kind fall back to the unbatched path.
+func (m *Model) CharacterizeBatch(moi int64, trials int, seed uint64, batch int) mc.Result {
+	if m.Engine != "" && m.Engine != sim.EngineOptimizedDirect {
+		return m.Characterize(moi, trials, seed)
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	comp := m.compileAt(moi)
+	st0 := m.Net.InitialState()
+	st0.Set(m.MOI, moi)
+	maxSteps := m.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 5_000_000
+	}
+	lysis := sim.SpeciesThreshold{Species: m.Cro2, Count: m.Thresholds.Cro2}
+	lysogeny := sim.SpeciesThreshold{Species: m.CI2, Count: m.Thresholds.CI2}
+	ci2, th := m.CI2, m.Thresholds.CI2
+	type batchEng struct {
+		br  *sim.BatchRace
+		res []sim.RunResult
+	}
+	return mc.RunBatchWith(
+		mc.Config{Trials: trials, Outcomes: 2, Seed: seed}, batch,
+		func() batchEng {
+			return batchEng{br: sim.NewBatchRace(comp, batch), res: make([]sim.RunResult, batch)}
+		},
+		func(e batchEng, gens []*rng.PCG, out []int) {
+			n := len(gens)
+			e.br.Reset(st0)
+			e.br.Race(gens, lysis, lysogeny, maxSteps, e.res[:n])
+			// Classification mirrors racer's, per trial.
+			for j := 0; j < n; j++ {
+				switch {
+				case e.res[j].Reason != sim.StopPredicate:
+					out[j] = mc.None
+				case e.br.State(j)[ci2] >= th:
+					out[j] = Lysogeny
+				default:
+					out[j] = Lysis
+				}
+			}
+		},
 	)
 }
 

@@ -1,0 +1,89 @@
+package mc
+
+import (
+	"testing"
+
+	"stochsynth/internal/rng"
+)
+
+// toyOutcome is a deterministic function of one trial's generator state:
+// two draws, an occasional None, else one of three outcomes. Both the
+// batched and unbatched drivers below run exactly this body per trial, so
+// any tally difference is a stream-contract violation in the driver.
+func toyOutcome(gen *rng.PCG) int {
+	u := gen.Float64()
+	if gen.Float64() < 0.07 {
+		return None
+	}
+	return int(u * 3)
+}
+
+// TestRunBatchWithMatchesRunWith: the batch driver must tally bit-for-bit
+// what RunWith tallies — same (seed, trial-index) streams — for every batch
+// width (including widths not dividing the stripe length) and worker count.
+func TestRunBatchWithMatchesRunWith(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		cfg := Config{Trials: 500, Outcomes: 3, Seed: 0xbead, Workers: workers}
+		want := RunWith(cfg,
+			func(gen *rng.PCG) *rng.PCG { return gen },
+			toyOutcome)
+		for _, k := range []int{1, 4, 32} {
+			got := RunBatchWith(cfg, k,
+				func() struct{} { return struct{}{} },
+				func(_ struct{}, gens []*rng.PCG, out []int) {
+					for j, gen := range gens {
+						out[j] = toyOutcome(gen)
+					}
+				})
+			if got.None != want.None || got.Trials != want.Trials {
+				t.Fatalf("workers=%d k=%d: batched %+v, unbatched %+v", workers, k, got, want)
+			}
+			for i := range want.Counts {
+				if got.Counts[i] != want.Counts[i] {
+					t.Fatalf("workers=%d k=%d outcome %d: batched %d, unbatched %d",
+						workers, k, i, got.Counts[i], want.Counts[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunBatchRangeWithPartitions: tallies of any disjoint partition of the
+// trial range, each shard on its own batch width and worker count, must sum
+// to the full run's tallies exactly (the sharding contract of
+// RunRangeWith, carried over to the batch path).
+func TestRunBatchRangeWithPartitions(t *testing.T) {
+	cfg := Config{Outcomes: 3, Seed: 0xfeed}
+	const n = 400
+	full := RunRangeWith(cfg, 0, n,
+		func(gen *rng.PCG) *rng.PCG { return gen },
+		toyOutcome)
+
+	cuts := [][2]int{{0, 57}, {57, 170}, {170, 171}, {171, 400}}
+	widths := []int{5, 32, 1, 7}
+	sum := Result{Counts: make([]int64, cfg.Outcomes)}
+	for i, c := range cuts {
+		cfgShard := cfg
+		cfgShard.Workers = i + 1
+		part := RunBatchRangeWith(cfgShard, c[0], c[1], widths[i],
+			func() struct{} { return struct{}{} },
+			func(_ struct{}, gens []*rng.PCG, out []int) {
+				for j, gen := range gens {
+					out[j] = toyOutcome(gen)
+				}
+			})
+		for j := range sum.Counts {
+			sum.Counts[j] += part.Counts[j]
+		}
+		sum.None += part.None
+		sum.Trials += part.Trials
+	}
+	if sum.None != full.None || sum.Trials != full.Trials {
+		t.Fatalf("partition sum %+v != full run %+v", sum, full)
+	}
+	for i := range full.Counts {
+		if sum.Counts[i] != full.Counts[i] {
+			t.Fatalf("outcome %d: partition sum %d != full run %d", i, sum.Counts[i], full.Counts[i])
+		}
+	}
+}

@@ -131,7 +131,7 @@ func lambdaDistFactory(build func() (*lambda.Model, error)) Factory {
 				return DistTrial{}, err
 			}
 			observe := m.Observer(moi)
-			newEngine := m.EngineFactory()
+			newEngine := m.EngineFactoryAt(moi)
 			return DistTrial{
 				NewEngine: func(gen *rng.PCG) any { return newEngine(gen) },
 				Observe:   func(eng any) mc.Obs { return observe(eng.(sim.Engine)) },
@@ -182,7 +182,7 @@ func lambdaFactory(build func() (*lambda.Model, error)) Factory {
 				return OutcomeTrial{}, err
 			}
 			classify := m.Classifier(moi)
-			newEngine := m.EngineFactory()
+			newEngine := m.EngineFactoryAt(moi)
 			return OutcomeTrial{
 				NewEngine: func(gen *rng.PCG) any { return newEngine(gen) },
 				Classify:  func(eng any) int { return classify(eng.(sim.Engine)) },
@@ -205,7 +205,7 @@ func moiCurveFactory() Factory {
 			}
 			m := lambda.SyntheticModel()
 			classify := m.Classifier(moi)
-			newEngine := m.EngineFactory()
+			newEngine := m.EngineFactoryAt(moi)
 			return NumericTrial{
 				NewEngine: func(gen *rng.PCG) any { return newEngine(gen) },
 				Measure: func(eng any) float64 {

@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"stochsynth/internal/chem"
+	"stochsynth/internal/rng"
+)
+
+// BatchRace advances up to K independent trials of one compiled network
+// through a single fused threshold-race kernel in trial-lockstep: each
+// round of the scheduler runs a short burst of events in every
+// still-active trial (batchBurst per visit, keeping the trial's loop
+// state register-resident), the K state/propensity rows cycle through
+// cache together, and the batch Reset computes the shared initial
+// propensity vector once and broadcasts it instead of running K full
+// recomputes.
+//
+// Exactness is per-trial: trial i consumes only gens[i], and its event
+// loop replicates OptimizedDirect.raceThresholds' control flow operation
+// for operation — same drained recheck, same drift-retry with redraw, same
+// 4096-step renormalisation, same selection semantics (flat fold-left scan
+// on narrow kernels, two-level block scan at chem.BlockThreshold and
+// above). Batched per-trial results are therefore bitwise identical to
+// running each trial on its own engine with the same generator state,
+// pinned by TestBatchRaceMatchesUnbatched; mc.RunBatchWith builds the
+// (seed, trial-index) stream contract on top.
+type BatchRace struct {
+	comp *chem.Compiled
+	k    int
+	nb   int // selection blocks per trial row (0 on narrow kernels)
+	bs   *chem.BatchState
+	prop []float64 // k rows × NumChannels
+	sums []float64 // k rows × nb; nil on narrow kernels
+	// Per-trial row views into bs/prop/sums, fixed at construction: the
+	// event loop indexes these instead of re-slicing the backing arrays
+	// every event (the rows are stable — Reset copies in place).
+	stRows   []chem.State
+	propRows [][]float64
+	sumRows  [][]float64 // nil on narrow kernels
+	total    []float64
+	stale    []int
+	steps    []int64
+	active   []int
+	refresh  int
+}
+
+// NewBatchRace allocates a batch racer of width k over comp. Everything is
+// allocated here; Reset and Race are allocation-free.
+func NewBatchRace(comp *chem.Compiled, k int) *BatchRace {
+	if k < 1 {
+		panic("sim: NewBatchRace needs k >= 1")
+	}
+	b := &BatchRace{
+		comp:    comp,
+		k:       k,
+		nb:      comp.NumSelectBlocks(),
+		bs:      chem.NewBatchState(comp, k),
+		prop:    make([]float64, k*comp.NumChannels()),
+		total:   make([]float64, k),
+		stale:   make([]int, k),
+		steps:   make([]int64, k),
+		active:  make([]int, k),
+		refresh: 4096,
+	}
+	if b.nb > 0 {
+		b.sums = make([]float64, k*b.nb)
+		b.sumRows = make([][]float64, k)
+	}
+	m := comp.NumChannels()
+	b.stRows = make([]chem.State, k)
+	b.propRows = make([][]float64, k)
+	for i := 0; i < k; i++ {
+		b.stRows[i] = b.bs.Row(i)
+		b.propRows[i] = b.prop[i*m : i*m+m : i*m+m]
+		if b.nb > 0 {
+			b.sumRows[i] = b.sums[i*b.nb : i*b.nb+b.nb : i*b.nb+b.nb]
+		}
+	}
+	return b
+}
+
+// K returns the batch width.
+func (b *BatchRace) K() int { return b.k }
+
+// State returns trial i's species counts (read-only for callers), for
+// classifying outcomes after a Race.
+func (b *BatchRace) State(i int) chem.State {
+	return b.bs.Row(i)[:b.comp.NumSpecies()]
+}
+
+// Reset broadcasts st0 into every trial row and rebuilds the propensity
+// caches: the shared initial propensities, block sums and total are
+// computed by one kernel pass over the first row and copied to the rest —
+// bitwise the values OptimizedDirect.Reset computes per trial, since the
+// propensity vector is a pure function of the state.
+//
+//stochlint:noalloc
+func (b *BatchRace) Reset(st0 chem.State) {
+	b.bs.Reset(st0)
+	m := b.comp.NumChannels()
+	row0 := b.prop[:m]
+	var total0 float64
+	if b.sums != nil {
+		total0 = b.comp.PropensitiesBlocksInto(b.bs.Row(0), row0, b.sums[:b.nb])
+	} else {
+		total0 = b.comp.PropensitiesInto(b.bs.Row(0), row0)
+	}
+	for i := 1; i < b.k; i++ {
+		copy(b.prop[i*m:(i+1)*m], row0)
+		if b.sums != nil {
+			copy(b.sums[i*b.nb:(i+1)*b.nb], b.sums[:b.nb])
+		}
+	}
+	for i := 0; i < b.k; i++ {
+		b.total[i] = total0
+		b.stale[i] = 0
+		b.steps[i] = 0
+	}
+}
+
+// Race runs the two-threshold jump-chain race (see RunThresholdRace) for
+// trials 0..len(gens)-1 concurrently in lockstep rounds, writing trial i's
+// result to out[i]. Trial i draws exclusively from gens[i]. len(gens) may
+// be smaller than the batch width (a tail chunk); out must be at least as
+// long as gens. maxSteps <= 0 means no step bound. Like the engines' fused
+// races, Race is on the embedded jump chain: no waiting times are drawn
+// and RunResult.Time stays zero.
+//
+//stochlint:noalloc
+func (b *BatchRace) Race(gens []*rng.PCG, a, t SpeciesThreshold, maxSteps int64, out []RunResult) {
+	n := len(gens)
+	if n > b.k {
+		panic("sim: BatchRace.Race with more generators than batch width")
+	}
+	if len(out) < n {
+		panic("sim: BatchRace.Race output slice shorter than generator count")
+	}
+	if maxSteps <= 0 {
+		maxSteps = int64(^uint64(0) >> 1)
+	}
+	comp := b.comp
+	hasTails := len(comp.Tails) > 0
+	narrow := b.sumRows == nil
+
+	na := 0
+	for i := 0; i < n; i++ {
+		b.steps[i] = 0
+		st := b.stRows[i]
+		if st[a.Species] >= a.Count || st[t.Species] >= t.Count {
+			out[i] = RunResult{Steps: 0, Reason: StopPredicate}
+			continue
+		}
+		b.active[na] = i // b.active has length k >= n: never grows
+		na++
+	}
+	active := b.active[:na]
+
+	// Burst round-robin: each scheduling visit runs up to batchBurst events
+	// for one trial with its hot loop state (total, steps, stale) held in
+	// locals, then moves on; terminal trials are swap-compacted out of the
+	// active set at the end of each round. Scheduling granularity is
+	// invisible to results — trial i consumes only gens[i], so ANY
+	// interleaving yields the same per-trial stream — the burst just keeps
+	// the per-event body as register-resident as the unbatched loop. The
+	// event body below mirrors OptimizedDirect.raceThresholds operation
+	// for operation; keep the two in lockstep
+	// (TestBatchRaceMatchesUnbatched pins them).
+	for len(active) > 0 {
+		w := 0
+		for _, i := range active {
+			gen := gens[i]
+			st := b.stRows[i]
+			prop := b.propRows[i]
+			var srow []float64
+			if !narrow {
+				srow = b.sumRows[i]
+			}
+			steps := b.steps[i]
+			total := b.total[i]
+			stale := b.stale[i]
+			done := false
+
+			for e := 0; e < batchBurst && !done; e++ {
+				if steps >= maxSteps {
+					out[i] = RunResult{Steps: steps, Reason: StopSteps}
+					done = true
+					break
+				}
+				if total <= 1e-300 { // drained (or drifted to noise): recheck exactly
+					total = b.recompute(st, prop, srow)
+					stale = 0
+					if total <= 0 {
+						out[i] = RunResult{Steps: steps, Reason: StopQuiescent}
+						done = true
+						break
+					}
+				}
+				target := gen.Float64() * total
+				fired := -1
+				if srow == nil {
+					acc := 0.0
+					for c, p := range prop {
+						acc += p
+						if target < acc {
+							fired = c
+							break
+						}
+					}
+				} else {
+					fired = comp.SelectBlock(prop, srow, target)
+				}
+				if fired < 0 {
+					// Drift artifact: recompute exactly and redraw once.
+					total = b.recompute(st, prop, srow)
+					stale = 0
+					if total <= 0 {
+						out[i] = RunResult{Steps: steps, Reason: StopQuiescent}
+						done = true
+						break
+					}
+					target = gen.Float64() * total
+					if srow == nil {
+						acc := 0.0
+						for c, p := range prop {
+							acc += p
+							if target < acc {
+								fired = c
+								break
+							}
+						}
+					} else {
+						fired = comp.SelectBlock(prop, srow, target)
+					}
+					if fired < 0 {
+						out[i] = RunResult{Steps: steps, Reason: StopQuiescent}
+						done = true
+						break
+					}
+				}
+				// chem.Compiled.FireAndRefresh, manually inlined like the
+				// unbatched race loop (see there for the exactness notes).
+				for _, ins := range comp.Refs[comp.RefStart[fired]:comp.RefStart[fired+1]] {
+					xA := st[ins.S1] + int64(ins.DA)
+					xB := st[ins.S2] + int64(ins.DB)
+					fA := xA + int64(ins.Dim)*(xA*(xA-1)>>1-xA)
+					p := (ins.Rate * float64(fA)) * float64(xB)
+					total += p - prop[ins.J]
+					prop[ins.J] = p
+				}
+				for _, ins := range comp.FireDelta[comp.FireDeltaStart[fired]:comp.FireDeltaStart[fired+1]] {
+					st[ins.S] += ins.D
+				}
+				if hasTails {
+					for _, ins := range comp.Tails[comp.TailStart[fired]:comp.TailStart[fired+1]] {
+						p := comp.Propensity(int(ins.J), st)
+						total += p - prop[ins.J]
+						prop[ins.J] = p
+					}
+				}
+				if srow != nil {
+					comp.RefreshBlockSums(fired, prop, srow)
+				}
+				stale++
+				if stale >= b.refresh || total < 0 {
+					total = b.recompute(st, prop, srow)
+					stale = 0
+				}
+				steps++
+				if st[a.Species] >= a.Count || st[t.Species] >= t.Count {
+					out[i] = RunResult{Steps: steps, Reason: StopPredicate}
+					done = true
+				}
+			}
+
+			b.steps[i] = steps
+			b.total[i] = total
+			b.stale[i] = stale
+			if !done {
+				active[w] = i
+				w++
+			}
+		}
+		active = active[:w]
+	}
+}
+
+// batchBurst is the number of events one trial runs per scheduling visit.
+// Large enough to amortise the per-visit load/store of the trial's loop
+// state, small enough that the K trials' working rows keep cycling through
+// cache together.
+const batchBurst = 16
+
+// recompute is the batch form of OptimizedDirect.recomputeAll for one
+// trial row: exact full refresh of propensities and block sums. Callers
+// zero their local staleness counter.
+//
+//stochlint:noalloc
+func (b *BatchRace) recompute(st chem.State, prop, srow []float64) float64 {
+	if srow != nil {
+		return b.comp.PropensitiesBlocksInto(st, prop, srow)
+	}
+	return b.comp.PropensitiesInto(st, prop)
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"stochsynth/internal/chem"
+	"stochsynth/internal/rng"
+)
+
+// batchWideNet is a >= chem.BlockThreshold conversion ring with a slow leak
+// into the race species, exercising the block-selection path of BatchRace.
+func batchWideNet(n int) *chem.Network {
+	net := chem.NewNetwork()
+	b := chem.WrapBuilder(net)
+	for i := 0; i < n; i++ {
+		from := fmt.Sprintf("s%d", i)
+		to := fmt.Sprintf("s%d", (i+1)%n)
+		b.Rxn("").In(from, 1).Out(to, 1).Rate(1)
+		net.SetInitialByName(from, 30)
+	}
+	b.Rxn("").In("s0", 1).Out("win", 1).Rate(0.05)
+	return net
+}
+
+// TestBatchRaceMatchesUnbatched is the trial-lockstep exactness pin: for
+// every batch width, racing K trials through one BatchRace with generators
+// seeded to streams (seed, i) must reproduce — bit for bit — the Steps,
+// Reason, and final state of running each trial on its own OptimizedDirect
+// over the same compiled kernel and stream. Covers both selection regimes:
+// a narrow kernel (flat scan) and a wide one (block scan).
+func TestBatchRaceMatchesUnbatched(t *testing.T) {
+	cases := []struct {
+		name     string
+		net      *chem.Network
+		a, b     string
+		ca, cb   int64
+		maxSteps int64
+	}{
+		{"narrow", allocPinNet(), "c", "a", 40, 1 << 40, 3000},
+		{"wide", batchWideNet(64), "win", "s0", 12, 1 << 40, 50000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			comp := chem.Compile(tc.net)
+			st0 := tc.net.InitialState()
+			a := SpeciesThreshold{Species: tc.net.MustSpecies(tc.a), Count: tc.ca}
+			bThr := SpeciesThreshold{Species: tc.net.MustSpecies(tc.b), Count: tc.cb}
+			const seed = uint64(0xba7c)
+			for _, k := range []int{1, 4, 32} {
+				br := NewBatchRace(comp, k)
+				br.Reset(st0)
+				gens := make([]*rng.PCG, k)
+				for i := range gens {
+					gens[i] = rng.NewStream(seed, uint64(i))
+				}
+				out := make([]RunResult, k)
+				br.Race(gens, a, bThr, tc.maxSteps, out)
+
+				eng := NewOptimizedDirectCompiled(comp, rng.NewStream(seed, 0))
+				for i := 0; i < k; i++ {
+					eng.gen.Reseed(seed, uint64(i))
+					eng.Reset(st0, 0)
+					want := eng.raceThresholds(a, bThr, tc.maxSteps)
+					if out[i].Steps != want.Steps || out[i].Reason != want.Reason {
+						t.Fatalf("k=%d trial %d: batched %+v, unbatched %+v", k, i, out[i], want)
+					}
+					got := br.State(i)
+					ref := eng.State()
+					for s := range ref {
+						if got[s] != ref[s] {
+							t.Fatalf("k=%d trial %d species %d: batched count %d, unbatched %d",
+								k, i, s, got[s], ref[s])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchRaceSumsLockstep: after a wide batched race, every trial row's
+// incrementally maintained block sums must still equal a fresh rebuild from
+// that row's propensities, bitwise.
+func TestBatchRaceSumsLockstep(t *testing.T) {
+	net := batchWideNet(64)
+	comp := chem.Compile(net)
+	if comp.NumSelectBlocks() == 0 {
+		t.Fatal("wide test network did not cross chem.BlockThreshold")
+	}
+	const k = 8
+	br := NewBatchRace(comp, k)
+	br.Reset(net.InitialState())
+	gens := make([]*rng.PCG, k)
+	for i := range gens {
+		gens[i] = rng.NewStream(5, uint64(i))
+	}
+	out := make([]RunResult, k)
+	a := SpeciesThreshold{Species: net.MustSpecies("win"), Count: 10}
+	b := SpeciesThreshold{Species: net.MustSpecies("s0"), Count: 1 << 40}
+	br.Race(gens, a, b, 20000, out)
+
+	m := comp.NumChannels()
+	nb := comp.NumSelectBlocks()
+	rebuilt := make([]float64, nb)
+	for i := 0; i < k; i++ {
+		comp.BlockSumsInto(br.prop[i*m:(i+1)*m], rebuilt)
+		for j := 0; j < nb; j++ {
+			if math.Float64bits(br.sums[i*nb+j]) != math.Float64bits(rebuilt[j]) {
+				t.Fatalf("trial %d block %d: cached sum %v != rebuilt %v",
+					i, j, br.sums[i*nb+j], rebuilt[j])
+			}
+		}
+	}
+}
+
+// TestBatchRaceZeroAllocs pins the batched trial body: after construction,
+// Reset+Race must not allocate, on both selection regimes.
+func TestBatchRaceZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		net  *chem.Network
+		a    string
+	}{
+		{"narrow", allocPinNet(), "c"},
+		{"wide", batchWideNet(64), "win"},
+	} {
+		net := tc.net
+		comp := chem.Compile(net)
+		st0 := net.InitialState()
+		a := SpeciesThreshold{Species: net.MustSpecies(tc.a), Count: 5}
+		bThr := SpeciesThreshold{Species: 0, Count: 1 << 40} // unreachable count
+		const k = 8
+		br := NewBatchRace(comp, k)
+		gens := make([]*rng.PCG, k)
+		for i := range gens {
+			gens[i] = rng.NewStream(21, uint64(i))
+		}
+		out := make([]RunResult, k)
+		br.Reset(st0)
+		br.Race(gens, a, bThr, 2000, out)
+		allocs := testing.AllocsPerRun(100, func() {
+			br.Reset(st0)
+			br.Race(gens, a, bThr, 2000, out)
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: BatchRace Reset+Race allocates %.1f per batch, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -19,6 +19,7 @@ type Direct struct {
 	state chem.State
 	t     float64
 	prop  []float64 // scratch propensity vector, compiled channel order
+	sums  []float64 // per-block partial sums; nil below chem.BlockThreshold
 }
 
 // NewDirect returns a Direct engine over net, positioned at the network's
@@ -36,6 +37,9 @@ func NewDirectCompiled(comp *chem.Compiled, gen *rng.PCG) *Direct {
 		comp: comp,
 		gen:  gen,
 		prop: make([]float64, comp.NumChannels()),
+	}
+	if nb := comp.NumSelectBlocks(); nb > 0 {
+		d.sums = make([]float64, nb)
 	}
 	d.Reset(comp.Network().InitialState(), 0)
 	return d
@@ -67,7 +71,12 @@ func (d *Direct) Reset(state chem.State, t float64) {
 //stochlint:noalloc
 func (d *Direct) Step(horizon float64) (int, StepStatus) {
 	comp := d.comp
-	total := comp.PropensitiesInto(d.state, d.prop)
+	var total float64
+	if d.sums != nil {
+		total = comp.PropensitiesBlocksInto(d.state, d.prop, d.sums)
+	} else {
+		total = comp.PropensitiesInto(d.state, d.prop)
+	}
 	if total <= 0 {
 		return -1, Quiescent
 	}
@@ -77,16 +86,24 @@ func (d *Direct) Step(horizon float64) (int, StepStatus) {
 		return -1, Horizon
 	}
 	d.t = tNext
-	// Channel selection: linear scan of the cumulative propensities. The
-	// compile-time propensity-descending ordering makes this scan terminate
-	// early on skewed networks.
+	// Channel selection: linear scan of the cumulative propensities (the
+	// compile-time propensity-descending ordering makes it terminate early
+	// on skewed networks), or the O(√M) two-level scan when the kernel
+	// carries selection blocks (chem.BlockThreshold).
 	target := d.gen.Float64() * total
-	acc := 0.0
-	for c, a := range d.prop {
-		acc += a
-		if target < acc {
+	if d.sums != nil {
+		if c := comp.SelectBlock(d.prop, d.sums, target); c >= 0 {
 			comp.Apply(c, d.state)
 			return int(comp.Perm[c]), Fired
+		}
+	} else {
+		acc := 0.0
+		for c, a := range d.prop {
+			acc += a
+			if target < acc {
+				comp.Apply(c, d.state)
+				return int(comp.Perm[c]), Fired
+			}
 		}
 	}
 	// Floating-point slack: fire the last channel with positive propensity.
@@ -106,14 +123,16 @@ func (d *Direct) Step(horizon float64) (int, StepStatus) {
 // bound floating-point drift). It is exact and asymptotically faster than
 // Direct on wide networks.
 type OptimizedDirect struct {
-	comp    *chem.Compiled
-	gen     *rng.PCG
-	state   chem.State
-	t       float64
-	prop    []float64
-	total   float64
-	stale   int // steps since last full recomputation
-	refresh int // full recomputation period
+	comp      *chem.Compiled
+	gen       *rng.PCG
+	state     chem.State
+	t         float64
+	prop      []float64
+	sums      []float64 // per-block partial sums; nil below chem.BlockThreshold
+	composite *chem.Composite
+	total     float64
+	stale     int // steps since last full recomputation
+	refresh   int // full recomputation period
 }
 
 // NewOptimizedDirect returns an OptimizedDirect engine over net at the
@@ -140,8 +159,26 @@ func NewOptimizedDirectCompiled(comp *chem.Compiled, gen *rng.PCG) *OptimizedDir
 		prop:    make([]float64, comp.NumChannels()),
 		refresh: 4096,
 	}
+	if nb := comp.NumSelectBlocks(); nb > 0 {
+		o.sums = make([]float64, nb)
+	}
 	o.Reset(comp.Network().InitialState(), 0)
 	return o
+}
+
+// UseComposite switches wide-kernel channel selection from the two-level
+// block-sum scan to the composite-rejection sampler (chem.Composite,
+// alias-table proposals from the characteristic-state propensities). The
+// sampler is exact in distribution but consumes a variable number of
+// uniforms per event, so it is opt-in: enabling it forks the engine's
+// randomness stream away from the canonical SelectBlock stream. No-op on
+// kernels below chem.BlockThreshold.
+func (o *OptimizedDirect) UseComposite() {
+	if o.sums == nil {
+		return
+	}
+	o.composite = o.comp.NewComposite()
+	o.composite.Refresh(o.prop)
 }
 
 // Network returns the simulated network.
@@ -165,8 +202,42 @@ func (o *OptimizedDirect) Reset(state chem.State, t float64) {
 }
 
 func (o *OptimizedDirect) recomputeAll() {
-	o.total = o.comp.PropensitiesInto(o.state, o.prop)
+	if o.sums != nil {
+		// Wide kernels renormalise to the canonical block-fold total so
+		// every full-refresh path (this one, the fused races, BatchRace)
+		// lands on bitwise the same value.
+		o.total = o.comp.PropensitiesBlocksInto(o.state, o.prop, o.sums)
+		if o.composite != nil {
+			o.composite.Refresh(o.prop)
+		}
+	} else {
+		o.total = o.comp.PropensitiesInto(o.state, o.prop)
+	}
 	o.stale = 0
+}
+
+// selectChannel picks the firing channel for a cumulative target on the
+// engine's cached propensities: the flat fold-left scan on narrow kernels
+// (the historical, stream-pinned semantics), the two-level block scan — or
+// the opt-in composite sampler — on wide ones. -1 means cached-total
+// drift; callers recompute and retry.
+//
+//stochlint:noalloc
+func (o *OptimizedDirect) selectChannel(target float64) int {
+	if o.sums != nil {
+		if o.composite != nil {
+			return o.composite.Select(o.gen, o.prop, o.sums, target)
+		}
+		return o.comp.SelectBlock(o.prop, o.sums, target)
+	}
+	acc := 0.0
+	for c, a := range o.prop {
+		acc += a
+		if target < acc {
+			return c
+		}
+	}
+	return -1
 }
 
 // Step implements Engine.
@@ -185,15 +256,7 @@ func (o *OptimizedDirect) Step(horizon float64) (int, StepStatus) {
 		return -1, Horizon
 	}
 	target := o.gen.Float64() * o.total
-	acc := 0.0
-	fired := -1
-	for c, a := range o.prop {
-		acc += a
-		if target < acc {
-			fired = c
-			break
-		}
-	}
+	fired := o.selectChannel(target)
 	if fired < 0 {
 		// Drift artifact: the cached total exceeded the true sum. Recompute
 		// from scratch and retry once. The waiting time must be redrawn
@@ -211,14 +274,7 @@ func (o *OptimizedDirect) Step(horizon float64) (int, StepStatus) {
 			return -1, Horizon
 		}
 		target = o.gen.Float64() * o.total
-		acc = 0
-		for c, a := range o.prop {
-			acc += a
-			if target < acc {
-				fired = c
-				break
-			}
-		}
+		fired = o.selectChannel(target)
 		if fired < 0 {
 			return -1, Quiescent
 		}
@@ -226,6 +282,12 @@ func (o *OptimizedDirect) Step(horizon float64) (int, StepStatus) {
 	o.t = tNext
 	comp := o.comp
 	o.total = comp.FireAndRefresh(fired, o.state, o.prop, o.total)
+	if o.sums != nil {
+		comp.RefreshBlockSums(fired, o.prop, o.sums)
+		if o.composite != nil {
+			o.composite.RefreshAfter(fired, o.prop)
+		}
+	}
 	o.stale++
 	if o.stale >= o.refresh || o.total < 0 {
 		o.recomputeAll()

@@ -15,7 +15,9 @@ import (
 //     like the synthesised logarithm module's b → b + a clock and its a → ∅
 //     partner) are advanced with the exact closed-form transient law of the
 //     immigration-death process: Poisson births thinned by exponential
-//     survival. No approximation at all.
+//     survival. Two-stage conversion chains a → b → ∅ (chem.Chain) are
+//     advanced the same way with the sequential-survival law of the linear
+//     catenary (see propagateChains). No approximation at all.
 //   - Other fast-eligible channels are tau-leaped with the same
 //     Cao–Gillespie–Petzold step control as TauLeap — but only while their
 //     propensity dwarfs the slow set's (cold fast channels simply join the
@@ -75,7 +77,17 @@ type Hybrid struct {
 	relayActive    []bool
 	relayRate      []float64 // per relay: summed producer propensity λ
 	relayOfChannel []int     // channel → owning relay index, or -1
-	isRelaySpecies []bool
+	isRelaySpecies []bool    // species owned by a relay or chain propagator
+
+	// Conversion chains (chem.Chain), remapped the same way: a → b → ∅
+	// catenaries advanced with the exact sequential-survival law.
+	chainProds     [][]int32 // per chain: constant-propensity A producers
+	chainBProds    [][]int32 // per chain: constant-propensity direct B producers
+	chainDeps      [][]int32 // per chain: catalytic dependent channels
+	chainActive    []bool
+	chainLamA      []float64 // per chain: summed A-producer propensity
+	chainLamB      []float64 // per chain: summed direct-B-producer propensity
+	chainOfChannel []int     // channel → owning chain index, or -1
 
 	prop       []float64
 	inLeap     []bool // channel in this iteration's generic leap set
@@ -147,6 +159,39 @@ func NewHybridCompiled(comp *chem.Compiled, protected []chem.Species, gen *rng.P
 			h.relayDeps[k] = append(h.relayDeps[k], comp.Channel[i])
 		}
 	}
+	h.chainActive = make([]bool, len(h.part.Chains))
+	h.chainLamA = make([]float64, len(h.part.Chains))
+	h.chainLamB = make([]float64, len(h.part.Chains))
+	h.chainProds = make([][]int32, len(h.part.Chains))
+	h.chainBProds = make([][]int32, len(h.part.Chains))
+	h.chainDeps = make([][]int32, len(h.part.Chains))
+	h.chainOfChannel = make([]int, comp.NumChannels())
+	for c := range h.chainOfChannel {
+		h.chainOfChannel[c] = -1
+	}
+	for k := range h.part.Chains {
+		cn := &h.part.Chains[k]
+		h.isRelaySpecies[cn.A] = true
+		h.isRelaySpecies[cn.B] = true
+		for _, i := range cn.Producers {
+			ch := comp.Channel[i]
+			h.chainOfChannel[ch] = k
+			h.chainProds[k] = append(h.chainProds[k], ch)
+		}
+		for _, i := range cn.BProducers {
+			ch := comp.Channel[i]
+			h.chainOfChannel[ch] = k
+			h.chainBProds[k] = append(h.chainBProds[k], ch)
+		}
+		for _, set := range [][]int{cn.Convert, cn.ASinks, cn.BSinks} {
+			for _, i := range set {
+				h.chainOfChannel[comp.Channel[i]] = k
+			}
+		}
+		for _, i := range cn.Dependents {
+			h.chainDeps[k] = append(h.chainDeps[k], comp.Channel[i])
+		}
+	}
 	h.leapContributes = func(c int) bool { return h.inLeap[c] }
 	h.leapBounds = func(c int) bool { return !h.relayHandledActive(c) }
 	h.Reset(net.InitialState(), 0)
@@ -210,6 +255,28 @@ func (h *Hybrid) refresh() (aExact, aLeap float64) {
 			}
 		}
 	}
+	// Chains gate exactly like relays: analytic only while every catalytic
+	// dependent is blocked by a missing non-analytic reactant.
+	for k := range h.part.Chains {
+		cn := &h.part.Chains[k]
+		active := true
+		for _, dep := range h.chainDeps[k] {
+			if !h.blockedBesides(int(dep), cn.A) {
+				active = false
+				break
+			}
+		}
+		h.chainActive[k] = active
+		h.chainLamA[k], h.chainLamB[k] = 0, 0
+		if active {
+			for _, pr := range h.chainProds[k] {
+				h.chainLamA[k] += h.prop[pr]
+			}
+			for _, pr := range h.chainBProds[k] {
+				h.chainLamB[k] += h.prop[pr]
+			}
+		}
+	}
 	// Classify the remaining channels. Fast-eligible channels form the leap
 	// candidate pool; whether the pool actually leaps is decided by the
 	// caller from the totals.
@@ -229,10 +296,16 @@ func (h *Hybrid) refresh() (aExact, aLeap float64) {
 }
 
 // relayHandledActive reports whether channel c belongs to a currently
-// active relay (and is therefore advanced analytically this iteration).
+// active relay or conversion chain (and is therefore advanced analytically
+// this iteration).
 func (h *Hybrid) relayHandledActive(c int) bool {
-	k := h.relayOfChannel[c]
-	return k >= 0 && h.relayActive[k]
+	if k := h.relayOfChannel[c]; k >= 0 && h.relayActive[k] {
+		return true
+	}
+	if k := h.chainOfChannel[c]; k >= 0 && h.chainActive[k] {
+		return true
+	}
+	return false
 }
 
 // blockedBesides reports whether channel c lacks some reactant other than
@@ -535,5 +608,93 @@ func (h *Hybrid) propagateRelays(dt float64) {
 		deaths := x - s0 + births - sb
 		h.state[s] = s0 + sb
 		h.fastEvents += births + deaths
+	}
+	h.propagateChains(dt)
+}
+
+// propagateChains advances every active conversion chain a → b → ∅ over dt
+// with the exact transient law of the two-stage linear catenary under
+// frozen externals. Per molecule of A at time 0, with total A-exit hazard
+// μa, conversion fraction q = ConvRate/μa, and B-decay hazard μb:
+//
+//	P(still A at dt)    = e^{−μa·dt}
+//	P(alive as B at dt) = q·μa·(e^{−μb·dt} − e^{−μa·dt})/(μa − μb)
+//
+// (the μa ≈ μb limit q·μ·dt·e^{−μ·dt} is substituted when the hazards are
+// within relative 1e-9, where the difference quotient loses precision).
+// The per-molecule trichotomy still-A / alive-as-B / gone is sampled as
+// sequential binomials; Poisson(λ·dt) births of A are thinned by the same
+// probabilities time-averaged over a uniform arrival, births of B by the
+// uniform-arrival survival of the plain relay law. Every draw is exact —
+// the chain extends the relay propagator's no-approximation guarantee to
+// sequential first-order kinetics (pinned by the chain chi-square suite in
+// hybrid_chain_test.go).
+//
+// FastEvents accounting is telemetry, as for relays: births, A exits, and
+// B deaths among unconverted molecules each count one firing; a molecule
+// that converts and then dies within dt is tallied once, not twice.
+//
+//stochlint:noalloc
+func (h *Hybrid) propagateChains(dt float64) {
+	for k := range h.part.Chains {
+		if !h.chainActive[k] {
+			continue
+		}
+		cn := &h.part.Chains[k]
+		xa, xb := h.state[cn.A], h.state[cn.B]
+		lamA, lamB := h.chainLamA[k], h.chainLamB[k]
+		if xa == 0 && xb == 0 && lamA <= 0 && lamB <= 0 {
+			continue
+		}
+		muA, muB := cn.MuA, cn.MuB
+		q := cn.ConvRate / muA
+		adt, bdt := muA*dt, muB*dt
+		eA, eB := math.Exp(-adt), math.Exp(-bdt)
+		var pAB, pBarAB float64 // alive-as-B: age-0 molecule / uniform arrival
+		if diff := muA - muB; math.Abs(diff) > 1e-9*math.Max(muA, muB) {
+			pAB = q * muA * (eB - eA) / diff
+			pBarAB = q * muA / diff * ((1-eB)/muB - (1-eA)/muA) / dt
+		} else {
+			mdt := 0.5 * (adt + bdt)
+			e := math.Exp(-mdt)
+			pAB = q * mdt * e
+			pBarAB = q * (1 - e*(1+mdt)) / mdt
+		}
+		pBarA := -math.Expm1(-adt) / adt
+		pBarB := -math.Expm1(-bdt) / bdt
+
+		var sA, cAB, nA, sA2, cAB2, sB, nB, sB2 int64
+		if xa > 0 {
+			sA = h.gen.Binomial(xa, eA)
+			if exits := xa - sA; exits > 0 {
+				if pd := 1 - eA; pd > 0 {
+					sA2conv := math.Min(1, pAB/pd) // conditional on having exited A
+					cAB = h.gen.Binomial(exits, sA2conv)
+				}
+			}
+		}
+		if lamA > 0 {
+			nA = h.gen.Poisson(lamA * dt)
+			if nA > 0 {
+				sA2 = h.gen.Binomial(nA, pBarA)
+				if exits := nA - sA2; exits > 0 {
+					if pd := 1 - pBarA; pd > 0 {
+						cAB2 = h.gen.Binomial(exits, math.Min(1, pBarAB/pd))
+					}
+				}
+			}
+		}
+		if xb > 0 {
+			sB = h.gen.Binomial(xb, eB)
+		}
+		if lamB > 0 {
+			nB = h.gen.Poisson(lamB * dt)
+			if nB > 0 {
+				sB2 = h.gen.Binomial(nB, pBarB)
+			}
+		}
+		h.state[cn.A] = sA + sA2
+		h.state[cn.B] = sB + cAB + cAB2 + sB2
+		h.fastEvents += nA + nB + (xa + nA - sA - sA2) + (xb - sB) + (nB - sB2)
 	}
 }

@@ -62,6 +62,7 @@ func (o *OptimizedDirect) raceThresholds(a, b SpeciesThreshold, maxSteps int64) 
 	comp := o.comp
 	gen := o.gen
 	hasTails := len(comp.Tails) > 0
+	sums := o.sums
 	if maxSteps <= 0 {
 		maxSteps = int64(^uint64(0) >> 1)
 	}
@@ -87,14 +88,20 @@ func (o *OptimizedDirect) raceThresholds(a, b SpeciesThreshold, maxSteps int64) 
 			}
 		}
 		target := gen.Float64() * total
-		acc := 0.0
 		fired := -1
-		for c, p := range o.prop {
-			acc += p
-			if target < acc {
-				fired = c
-				break
+		if sums == nil {
+			// Narrow kernel: flat fold-left scan, inlined (the lambda
+			// races' hottest instruction sequence).
+			acc := 0.0
+			for c, p := range o.prop {
+				acc += p
+				if target < acc {
+					fired = c
+					break
+				}
 			}
+		} else {
+			fired = o.selectChannel(target)
 		}
 		if fired < 0 {
 			// Drift artifact: the cached total exceeded the true sum.
@@ -105,14 +112,7 @@ func (o *OptimizedDirect) raceThresholds(a, b SpeciesThreshold, maxSteps int64) 
 				return sync(steps, StopQuiescent)
 			}
 			target = gen.Float64() * total
-			acc = 0
-			for c, p := range o.prop {
-				acc += p
-				if target < acc {
-					fired = c
-					break
-				}
-			}
+			fired = o.selectChannel(target)
 			if fired < 0 {
 				return sync(steps, StopQuiescent)
 			}
@@ -139,6 +139,12 @@ func (o *OptimizedDirect) raceThresholds(a, b SpeciesThreshold, maxSteps int64) 
 				p := comp.Propensity(int(ins.J), st)
 				total += p - prop[ins.J]
 				prop[ins.J] = p
+			}
+		}
+		if sums != nil {
+			comp.RefreshBlockSums(fired, prop, sums)
+			if o.composite != nil {
+				o.composite.RefreshAfter(fired, prop)
 			}
 		}
 		stale++
@@ -170,18 +176,27 @@ func (d *Direct) raceThresholds(a, b SpeciesThreshold, maxSteps int64) RunResult
 		if maxSteps > 0 && steps >= maxSteps {
 			return RunResult{Steps: steps, Time: d.t, Reason: StopSteps}
 		}
-		total := comp.PropensitiesInto(st, d.prop)
+		var total float64
+		if d.sums != nil {
+			total = comp.PropensitiesBlocksInto(st, d.prop, d.sums)
+		} else {
+			total = comp.PropensitiesInto(st, d.prop)
+		}
 		if total <= 0 {
 			return RunResult{Steps: steps, Time: d.t, Reason: StopQuiescent}
 		}
 		target := gen.Float64() * total
-		acc := 0.0
 		fired := -1
-		for c, p := range d.prop {
-			acc += p
-			if target < acc {
-				fired = c
-				break
+		if d.sums != nil {
+			fired = comp.SelectBlock(d.prop, d.sums, target)
+		} else {
+			acc := 0.0
+			for c, p := range d.prop {
+				acc += p
+				if target < acc {
+					fired = c
+					break
+				}
 			}
 		}
 		if fired < 0 {
